@@ -1,0 +1,52 @@
+"""Shared fixtures and scaling knobs for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+laptop-scale budget.  ``REPRO_BENCH_SCALE`` (float, default 1.0)
+multiplies the SA iteration budgets — raise it on a bigger machine for
+results closer to the paper's converged search.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.sa import SASettings
+from repro.workloads.models import build
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def sa_settings(iterations: int, seed: int = 0) -> SASettings:
+    """SA settings with the global benchmark scale applied."""
+    return SASettings(iterations=max(1, int(iterations * SCALE)), seed=seed)
+
+
+@pytest.fixture(scope="session")
+def models():
+    """The paper's five evaluation DNNs, built once per session."""
+    return {name: build(name) for name in ("RN-50", "RNX", "IRes", "PNas", "TF")}
+
+
+@pytest.fixture(scope="session")
+def tf_model():
+    return build("TF")
+
+
+def print_banner(title: str):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def write_artifact(name: str, headers, rows) -> str:
+    """Persist a bench's table as CSV under benchmarks/artifacts/."""
+    from repro.reporting import write_csv
+
+    outdir = os.path.join(os.path.dirname(__file__), "artifacts")
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, name)
+    write_csv(path, headers, rows)
+    return path

@@ -1,0 +1,79 @@
+"""Ablation — MC breakdown, yield and area vs chiplet count and D2D BW.
+
+Reproduces the paper's Fig 8(a) side panel: for the 72-TOPs G-Arch
+resource budget (36 cores x 1024 MACs, 2 MB GLB), sweep the chiplet
+partition from 1 to 36 dies under two D2D bandwidths (16 and 32 GB/s)
+and report the monetary-cost breakdown, compute-die yield and total
+silicon area.
+
+Shape expectations: yield improves monotonically as dies shrink; total
+area and substrate cost grow (every extra die adds D2D interfaces, and
+higher D2D bandwidth makes each interface bigger); the total MC curve
+is U-shaped-to-rising, with 36 single-core chiplets clearly expensive.
+"""
+
+from conftest import print_banner
+
+from repro.arch import ArchConfig, DEFAULT_AREA
+from repro.cost import DEFAULT_MC, DEFAULT_YIELD
+from repro.reporting import format_table
+from repro.units import GB, MB
+
+#: (xcut, ycut) partitions of the 6x6 array: 1, 2, 4, 9, 18, 36 dies.
+CUTS = ((1, 1), (2, 1), (2, 2), (3, 3), (3, 6), (6, 6))
+D2D_GBPS = (16, 32)
+
+
+def arch_for(xcut, ycut, d2d_gbps):
+    mono = xcut * ycut == 1
+    return ArchConfig(
+        cores_x=6, cores_y=6, xcut=xcut, ycut=ycut,
+        dram_bw=144 * GB, noc_bw=32 * GB,
+        d2d_bw=(32 if mono else d2d_gbps) * GB,
+        glb_bytes=2 * MB, macs_per_core=1024,
+    )
+
+
+def run_sweep():
+    rows = []
+    for d2d in D2D_GBPS:
+        for xcut, ycut in CUTS:
+            arch = arch_for(xcut, ycut, d2d)
+            mc = DEFAULT_MC.evaluate(arch)
+            compute_die = DEFAULT_AREA.compute_chiplet_area(arch)
+            rows.append([
+                d2d, arch.n_chiplets,
+                mc.silicon, mc.packaging, mc.dram, mc.total,
+                DEFAULT_YIELD.die_yield(compute_die),
+                mc.total_silicon_area_mm2,
+            ])
+    return rows
+
+
+def test_ablation_d2d_bandwidth(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_banner(
+        "Fig 8(a) panel: MC breakdown / yield / area, 72-TOPs G-Arch "
+        "budget, 1-36 chiplets x D2D bandwidth"
+    )
+    print(format_table(
+        ["D2D GB/s", "chiplets", "silicon $", "package $", "DRAM $",
+         "total $", "compute-die yield", "area mm^2"],
+        rows, floatfmt=".3g",
+    ))
+    by = {(r[0], r[1]): r for r in rows}
+    for d2d in D2D_GBPS:
+        yields = [by[(d2d, n)][6] for n in (1, 2, 4, 9, 18, 36)]
+        # Yield improves monotonically with finer partitioning.
+        assert all(a <= b + 1e-12 for a, b in zip(yields, yields[1:]))
+        # Total area grows with die count (D2D interfaces multiply).
+        areas = [by[(d2d, n)][7] for n in (2, 4, 9, 18, 36)]
+        assert areas[-1] > areas[0]
+    # Higher D2D bandwidth means bigger interfaces => more area & MC
+    # at every multi-chiplet point.
+    for n in (2, 4, 9, 18, 36):
+        assert by[(32, n)][7] > by[(16, n)][7]
+        assert by[(32, n)][5] > by[(16, n)][5]
+    # 36 single-core chiplets are clearly more expensive than moderate
+    # partitioning at the same D2D bandwidth.
+    assert by[(16, 36)][5] > by[(16, 2)][5]

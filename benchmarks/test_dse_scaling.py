@@ -1,0 +1,62 @@
+"""Sec VI-A2 — DSE cost scaling with candidate count.
+
+The paper reports DSE wall-clock growing with the target computing
+power (2280 s for 72 TOPs to 23907 s for 512 TOPs on 80-100 threads).
+This bench measures our per-candidate evaluation time at two
+accelerator scales and checks the expected growth with core count, plus
+the SA-iteration scaling of the mapping engine itself.
+"""
+
+import time
+
+from conftest import print_banner, sa_settings
+
+from repro.dse import DesignSpaceExplorer, DseGrid, Workload, enumerate_candidates
+from repro.reporting import format_table
+
+SMALL = DseGrid(
+    tops=72, cuts=(1, 2), dram_bw_per_tops=(2.0,), noc_bw_gbps=(32,),
+    d2d_ratio=(0.5,), glb_kb=(2048,), macs_per_core=(4096,),
+)  # 9-core candidates
+LARGE = DseGrid(
+    tops=72, cuts=(1, 2), dram_bw_per_tops=(2.0,), noc_bw_gbps=(32,),
+    d2d_ratio=(0.5,), glb_kb=(2048,), macs_per_core=(1024,),
+)  # 36-core candidates
+
+
+def time_grid(tf_model, grid, iters):
+    explorer = DesignSpaceExplorer(
+        [Workload(tf_model, batch=16)],
+        sa_settings=sa_settings(iters),
+    )
+    candidates = enumerate_candidates(grid)
+    t0 = time.perf_counter()
+    report = explorer.explore(candidates)
+    wall = time.perf_counter() - t0
+    return wall / len(candidates), len(candidates), report
+
+
+def test_dse_scaling(tf_model, benchmark):
+    def run():
+        small = time_grid(tf_model, SMALL, iters=40)
+        large = time_grid(tf_model, LARGE, iters=40)
+        return small, large
+
+    (small, large) = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["9-core candidates", small[1], small[0]],
+        ["36-core candidates", large[1], large[0]],
+    ]
+    print_banner("Sec VI-A2: DSE per-candidate evaluation cost")
+    print(format_table(
+        ["grid", "candidates", "seconds/candidate"], rows, floatfmt=".2f"
+    ))
+    print(
+        f"\nscaling factor {large[0] / small[0]:.1f}x per candidate "
+        "(paper: 2280s -> 23907s total, 72 -> 512 TOPs)"
+    )
+    # Bigger accelerators cost more to evaluate per candidate.
+    assert large[0] > small[0]
+    # And both DSEs found a best candidate.
+    assert small[2].best is not None
+    assert large[2].best is not None

@@ -1,0 +1,83 @@
+"""Fig 5 — overall comparison (Sec VI-B1).
+
+Regenerates the paper's headline experiment: G-Arch + G-Map vs the
+S-Arch + T-Map baseline (and the S-Arch + G-Map ablation) across the
+five DNNs and batch sizes {64, 1}, reporting normalized delay and energy
+plus the monetary-cost delta.
+
+Paper numbers: 1.98x performance, 1.41x energy efficiency on average,
+with +14.3 % MC.  Shape expectations here: G-Arch + G-Map wins both
+delay and energy on (geomean) average, S-Arch + G-Map sits between the
+baseline and the co-optimized design, and MC rises by a modest fraction.
+"""
+
+from conftest import print_banner, sa_settings, write_artifact
+
+from repro.arch import g_arch, s_arch
+from repro.baselines import tangram_map
+from repro.core import MappingEngine, MappingEngineSettings
+from repro.cost import DEFAULT_MC
+from repro.dse import geomean
+from repro.reporting import format_table
+
+BATCHES = (64, 1)
+SA_ITERS = 150
+
+
+def gemini_map(graph, arch, batch, seed):
+    engine = MappingEngine(
+        arch,
+        settings=MappingEngineSettings(sa=sa_settings(SA_ITERS, seed=seed)),
+    )
+    return engine.map(graph, batch)
+
+
+def run_comparison(models):
+    rows = []
+    ratios = {"sg_delay": [], "sg_energy": [], "gg_delay": [], "gg_energy": []}
+    s, g = s_arch(), g_arch()
+    for seed, name in enumerate(sorted(models)):
+        graph = models[name]
+        for batch in BATCHES:
+            base = tangram_map(graph, s, batch)
+            s_gmap = gemini_map(graph, s, batch, seed=seed)
+            g_gmap = gemini_map(graph, g, batch, seed=seed + 100)
+            row = [
+                name, batch,
+                s_gmap.delay / base.delay, s_gmap.energy / base.energy,
+                g_gmap.delay / base.delay, g_gmap.energy / base.energy,
+            ]
+            rows.append(row)
+            ratios["sg_delay"].append(row[2])
+            ratios["sg_energy"].append(row[3])
+            ratios["gg_delay"].append(row[4])
+            ratios["gg_energy"].append(row[5])
+    return rows, {k: geomean(v) for k, v in ratios.items()}
+
+
+def test_fig5_overall(models, benchmark):
+    rows, means = benchmark.pedantic(
+        run_comparison, args=(models,), rounds=1, iterations=1
+    )
+    print_banner("Fig 5: normalized delay / energy vs S-Arch + T-Map (=1.0)")
+    headers = ["DNN", "batch", "S+G-Map D", "S+G-Map E",
+               "G+G-Map D", "G+G-Map E"]
+    print(format_table(headers, rows))
+    write_artifact("fig5.csv", headers, rows)
+    mc_s = DEFAULT_MC.evaluate(s_arch()).total
+    mc_g = DEFAULT_MC.evaluate(g_arch()).total
+    speedup = 1.0 / means["gg_delay"]
+    eff = 1.0 / means["gg_energy"]
+    print(
+        f"\ngeomean: G-Arch+G-Map {speedup:.2f}x performance, "
+        f"{eff:.2f}x energy efficiency (paper: 1.98x, 1.41x)\n"
+        f"MC: S-Arch ${mc_s:.2f} -> G-Arch ${mc_g:.2f} "
+        f"({mc_g / mc_s - 1:+.1%}, paper: +14.3%)"
+    )
+    # Shape assertions (who wins, roughly by how much).
+    assert speedup > 1.25, "co-optimized design must clearly win delay"
+    assert eff > 1.05, "co-optimized design must win energy"
+    # The mapping-only ablation already helps on the Simba architecture.
+    assert means["sg_delay"] < 1.0
+    # And the MC increase stays modest.
+    assert 1.00 < mc_g / mc_s < 1.30

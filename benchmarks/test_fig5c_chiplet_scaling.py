@@ -1,0 +1,88 @@
+"""Fig 5(c) panel — delay & energy breakdown while scaling chiplets.
+
+The paper's chiplet-scaling panel sweeps the 72-TOPs G-Arch resource
+budget from 1 to 36 chiplets under two D2D bandwidths (16 and 32 GB/s)
+and stacks the energy into router / intra-tile / DRAM / D2D buckets
+next to the delay bars.
+
+Shape expectations: intra-tile and DRAM energy stay roughly flat (the
+workload doesn't change); D2D energy appears with the first cut and
+grows with chiplet count; the doubled D2D bandwidth softens the delay
+penalty of fine-grained partitions but not their energy.
+"""
+
+from conftest import print_banner, sa_settings, write_artifact
+
+from repro.arch import ArchConfig
+from repro.core import MappingEngine, MappingEngineSettings
+from repro.reporting import format_table
+from repro.units import GB, MB
+
+CUTS = ((1, 1), (2, 1), (2, 2), (3, 3), (3, 6), (6, 6))
+D2D_GBPS = (16, 32)
+SA_ITERS = 120
+
+
+def arch_for(xcut, ycut, d2d_gbps):
+    mono = xcut * ycut == 1
+    return ArchConfig(
+        cores_x=6, cores_y=6, xcut=xcut, ycut=ycut,
+        dram_bw=144 * GB, noc_bw=32 * GB,
+        d2d_bw=(32 if mono else d2d_gbps) * GB,
+        glb_bytes=2 * MB, macs_per_core=1024,
+    )
+
+
+def run_sweep(tf_model):
+    rows = {}
+    for d2d in D2D_GBPS:
+        for seed, (xcut, ycut) in enumerate(CUTS):
+            arch = arch_for(xcut, ycut, d2d)
+            engine = MappingEngine(
+                arch,
+                settings=MappingEngineSettings(
+                    sa=sa_settings(SA_ITERS, seed=seed)
+                ),
+            )
+            mapped = engine.map(tf_model, batch=16)
+            e = mapped.evaluation.energy
+            rows[(d2d, arch.n_chiplets)] = (
+                mapped.delay, e.noc, e.intra, e.dram, e.d2d, e.total
+            )
+    return rows
+
+
+def test_fig5c_chiplet_scaling(tf_model, benchmark):
+    rows = benchmark.pedantic(
+        run_sweep, args=(tf_model,), rounds=1, iterations=1
+    )
+    base_delay = rows[(16, 1)][0]
+    base_energy = rows[(16, 1)][5]
+    table = [
+        [f"{d2d}-{n}", delay / base_delay, noc / base_energy,
+         intra / base_energy, dram / base_energy, d2dj / base_energy,
+         total / base_energy]
+        for (d2d, n), (delay, noc, intra, dram, d2dj, total)
+        in sorted(rows.items())
+    ]
+    print_banner(
+        "Fig 5(c) panel: delay & energy breakdown, 1-36 chiplets x D2D "
+        "BW, 72-TOPs budget (normalized to the monolithic point)"
+    )
+    headers = ["D2D-chiplets", "Delay", "Router E", "Intra-tile E",
+               "DRAM E", "D2D E", "Total E"]
+    print(format_table(headers, table, floatfmt=".3f"))
+    write_artifact("fig5c.csv", headers, table)
+    for d2d in D2D_GBPS:
+        # D2D energy is zero monolithic and grows with chiplet count.
+        assert rows[(d2d, 1)][4] == 0.0
+        assert rows[(d2d, 36)][4] > rows[(d2d, 2)][4]
+        # Intra-tile energy is workload-bound: roughly flat (+-30%).
+        intras = [rows[(d2d, n)][2] for n in (1, 2, 4, 9, 18, 36)]
+        assert max(intras) < 1.3 * min(intras)
+        # 36 single-core chiplets cost clearly more total energy.
+        assert rows[(d2d, 36)][5] > rows[(d2d, 1)][5]
+    # Extra D2D bandwidth helps fine-grained delay...
+    assert rows[(32, 36)][0] < 1.2 * rows[(16, 36)][0]
+    # ...but cannot remove the D2D energy (same crossings, same pJ/bit).
+    assert rows[(32, 36)][4] > 0.5 * rows[(16, 36)][4]

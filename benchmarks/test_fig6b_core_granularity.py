@@ -1,0 +1,76 @@
+"""Fig 6(b) — core granularity (Sec VII-A2).
+
+Holds computing power at 128 TOPs while sweeping MAC/core (8192 down to
+512), i.e. core count from 8 up to 128, and reports EDP and MC on the
+Transformer.
+
+Paper shape: EDP first improves with more (finer) cores — longer
+pipelines cut DRAM traffic — then declines slightly; MC rises as cores
+multiply (more per-core overheads).
+"""
+
+from conftest import print_banner, sa_settings, write_artifact
+
+from repro.arch import ArchConfig, arrange_cores, cores_for_tops
+from repro.core import MappingEngine, MappingEngineSettings
+from repro.cost import DEFAULT_MC
+from repro.reporting import format_table
+from repro.units import GB, MB
+
+MACS = (8192, 4096, 2048, 1024)
+SA_ITERS = 80
+
+
+def arch_for(macs):
+    n = cores_for_tops(128, macs)
+    x, y = arrange_cores(n)
+    xcut = 2 if x % 2 == 0 else 1
+    return ArchConfig(
+        cores_x=x, cores_y=y, xcut=xcut, ycut=1,
+        dram_bw=128 * GB, noc_bw=32 * GB,
+        d2d_bw=(16 * GB if xcut > 1 else 32 * GB),
+        glb_bytes=2 * MB, macs_per_core=macs,
+    )
+
+
+def run_sweep(tf_model):
+    results = {}
+    for seed, macs in enumerate(MACS):
+        arch = arch_for(macs)
+        engine = MappingEngine(
+            arch,
+            settings=MappingEngineSettings(sa=sa_settings(SA_ITERS, seed=seed)),
+        )
+        mapped = engine.map(tf_model, batch=64)
+        mc = DEFAULT_MC.evaluate(arch)
+        depth = max(len(g) for g in mapped.groups)
+        results[arch.n_cores] = (mapped.edp, mc.total, depth)
+    return results
+
+
+def test_fig6b_core_granularity(tf_model, benchmark):
+    results = benchmark.pedantic(
+        run_sweep, args=(tf_model,), rounds=1, iterations=1
+    )
+    counts = sorted(results)
+    base_edp, base_mc = results[counts[0]][0], results[counts[0]][1]
+    rows = [
+        [n, results[n][0] / base_edp, results[n][1] / base_mc, results[n][2]]
+        for n in counts
+    ]
+    print_banner(
+        "Fig 6(b): core granularity, 128 TOPs, Transformer "
+        f"(normalized to {counts[0]} cores)"
+    )
+    print(format_table(
+        ["cores", "EDP", "MC", "max pipeline depth"], rows, floatfmt=".3f"
+    ))
+    write_artifact("fig6b.csv", ["cores", "edp", "mc", "depth"], rows)
+    mcs = [results[n][1] for n in counts]
+    # MC rises with core count (monotone across the sweep ends).
+    assert mcs[-1] > mcs[0]
+    # EDP improves somewhere past the coarsest point (pipelining pays)...
+    edps = [results[n][0] for n in counts]
+    assert min(edps[1:]) < edps[0]
+    # ...and deeper pipelines become available with more cores.
+    assert results[counts[-1]][2] >= results[counts[0]][2]

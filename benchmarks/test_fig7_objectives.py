@@ -1,0 +1,90 @@
+"""Fig 7 — optimal architectures under four objectives (Sec VII-A2).
+
+Runs a reduced 128-TOPs DSE under each of the paper's four objectives
+(E, D, MC, MC*E*D) and reports the winning architecture with its energy,
+delay and MC breakdown, normalized to the MC*E*D winner.
+
+Paper shape: the pure-delay objective picks a resource-rich design, the
+pure-MC objective picks the cheapest, and each winner is (weakly) the
+best of the four under its own metric.
+"""
+
+from conftest import print_banner, sa_settings
+
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseGrid,
+    FIG7_OBJECTIVES,
+    Workload,
+    enumerate_candidates,
+)
+from repro.reporting import format_table
+
+SA_ITERS = 60
+
+#: Reduced 128-TOPs grid (documented subsample of Table I).
+GRID = DseGrid(
+    tops=128,
+    cuts=(1, 2, 4),
+    dram_bw_per_tops=(2.0,),
+    noc_bw_gbps=(32, 64),
+    d2d_ratio=(0.5,),
+    glb_kb=(2048, 4096),
+    macs_per_core=(2048, 4096, 8192),
+)
+
+
+def run_dse(tf_model):
+    """Evaluate every candidate once, then rank under each objective.
+
+    Energy/delay of a candidate do not depend on the DSE objective (the
+    mapping engine's own cost is E*D throughout, as in the paper), so a
+    single exhaustive pass serves all four rankings.
+    """
+    candidates = enumerate_candidates(GRID)
+    explorer = DesignSpaceExplorer(
+        [Workload(tf_model, batch=64)],
+        sa_settings=sa_settings(SA_ITERS),
+    )
+    report = explorer.explore(candidates)
+    winners = {}
+    for objective in FIG7_OBJECTIVES:
+        winners[objective.name] = min(
+            report.results,
+            key=lambda r: objective.score(r.mc.total, r.energy, r.delay),
+        )
+    return winners, len(candidates)
+
+
+def test_fig7_objectives(tf_model, benchmark):
+    winners, n_candidates = benchmark.pedantic(
+        run_dse, args=(tf_model,), rounds=1, iterations=1
+    )
+    ref = winners["MC*E*D"]
+    rows = [
+        [
+            name,
+            r.arch.paper_tuple(),
+            r.energy / ref.energy,
+            r.delay / ref.delay,
+            r.mc.total / ref.mc.total,
+        ]
+        for name, r in winners.items()
+    ]
+    print_banner(
+        f"Fig 7: optimal 128-TOPs architectures under four objectives "
+        f"({n_candidates} candidates; normalized to the MC*E*D winner)"
+    )
+    print(format_table(
+        ["objective", "arch", "Energy", "Delay", "MC"], rows, floatfmt=".3f"
+    ))
+    # Each winner is the best of the four under its own metric.
+    assert winners["E"].energy == min(r.energy for r in winners.values())
+    assert winners["D"].delay == min(r.delay for r in winners.values())
+    assert winners["MC"].mc.total == min(r.mc.total for r in winners.values())
+    # The product objective compromises: never the worst in everything.
+    assert not (
+        ref.energy == max(r.energy for r in winners.values())
+        and ref.delay == max(r.delay for r in winners.values())
+        and ref.mc.total == max(r.mc.total for r in winners.values())
+    )

@@ -1,0 +1,141 @@
+"""Fig 8 — reuse of a single chiplet for multiple accelerators (VII-B).
+
+Builds 128-TOPs and 512-TOPs accelerators four ways and compares their
+``MC x E x D``:
+
+* **Simba** — scaled out of Simba's 2-TOPs single-core chiplets;
+* **cross reuse** — built from the chiplet of the *other* level's
+  optimal design;
+* **Joint Optimal** — the best single chiplet across both levels found
+  by the joint DSE;
+* **Optimal** — each level's own best design.
+
+Paper shape: Simba chiplets scale terribly (one-size-fits-all fails);
+cross reuse is better but unsatisfactory; the joint optimum lands within
+a modest factor (paper: ~34 % on average) of the per-level optima.
+"""
+
+from conftest import print_banner, sa_settings
+
+from repro.arch import s_arch
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseGrid,
+    JointExplorer,
+    Workload,
+    enumerate_candidates,
+    geomean,
+    scale_with_chiplets,
+)
+from repro.reporting import format_table
+
+SA_ITERS = 50
+LEVELS = (128.0, 512.0)
+
+#: Reduced per-level grids: modest core counts keep the 512-TOPs
+#: evaluations tractable (documented subsample of Table I).
+def grid_for(tops: int) -> DseGrid:
+    return DseGrid(
+        tops=tops,
+        cuts=(1, 2, 4),
+        dram_bw_per_tops=(1.0,),
+        noc_bw_gbps=(64,),
+        d2d_ratio=(0.5,),
+        glb_kb=(2048,),
+        macs_per_core=(4096, 8192),
+    )
+
+
+def run_fig8(tf_model):
+    workloads = [Workload(tf_model, batch=64)]
+
+    def explorer():
+        return DesignSpaceExplorer(workloads, sa_settings=sa_settings(SA_ITERS))
+
+    # Per-level optima (and the best multi-chiplet design per level —
+    # the paper's optima happened to be 2- and 4-chiplet designs, which
+    # is what makes cross reuse constructible at all).
+    optimal = {}
+    best_multi = {}
+    for tops in LEVELS:
+        report = explorer().explore(enumerate_candidates(grid_for(int(tops))))
+        optimal[tops] = report.best
+        multi = [r for r in report.results if r.arch.n_chiplets > 1]
+        best_multi[tops] = min(multi, key=lambda r: r.score)
+
+    # Simba chiplets scaled to each level.
+    simba = {}
+    for tops in LEVELS:
+        arch = scale_with_chiplets(s_arch(), tops)
+        simba[tops] = explorer().evaluate_candidate(arch)
+
+    # Cross reuse: each level built from the other level's chiplet.
+    cross = {}
+    for tops, other in ((LEVELS[0], LEVELS[1]), (LEVELS[1], LEVELS[0])):
+        arch = scale_with_chiplets(best_multi[other].arch, tops)
+        cross[tops] = (
+            explorer().evaluate_candidate(arch) if arch is not None else None
+        )
+
+    # Joint optimum over multi-chiplet bases of the lower level.
+    bases = [
+        c for c in enumerate_candidates(grid_for(int(LEVELS[0])))
+        if c.n_chiplets > 1
+    ]
+    joint = JointExplorer(
+        {tops: workloads for tops in LEVELS},
+        sa_settings=sa_settings(SA_ITERS),
+    ).explore(bases)
+
+    return optimal, simba, cross, joint
+
+
+def mced(result):
+    return result.mc.total * result.energy * result.delay
+
+
+def test_fig8_chiplet_reuse(tf_model, benchmark):
+    optimal, simba, cross, joint = benchmark.pedantic(
+        run_fig8, args=(tf_model,), rounds=1, iterations=1
+    )
+    rows = []
+    ratios = {"simba": [], "cross": [], "joint": []}
+    for tops in LEVELS:
+        base = mced(optimal[tops])
+        j = mced(joint.best.per_level[tops])
+        s = mced(simba[tops])
+        c = mced(cross[tops]) if cross[tops] else float("nan")
+        rows.append([
+            int(tops), s / base, c / base, j / base, 1.0,
+        ])
+        ratios["simba"].append(s / base)
+        ratios["joint"].append(j / base)
+        if cross[tops]:
+            ratios["cross"].append(c / base)
+    print_banner(
+        "Fig 8: MC*E*D of four construction schemes "
+        "(normalized to each level's Optimal)"
+    )
+    print(format_table(
+        ["TOPs", "Simba chiplets", "cross reuse", "Joint Optimal", "Optimal"],
+        rows, floatfmt=".2f",
+    ))
+    joint_gap = geomean(ratios["joint"])
+    simba_gap = geomean(ratios["simba"])
+    print(
+        f"\nJoint Optimal is {joint_gap:.2f}x the per-level optimum "
+        f"(paper: ~1.34x); Simba chiplets are {simba_gap:.2f}x"
+    )
+    # One-size-fits-all fails: Simba chiplets are far off the optimum
+    # (the magnitude is exaggerated at small SA budgets; the paper's own
+    # 512-TOPs Simba bar needs an axis break at 8.4x).
+    assert simba_gap > 1.5
+    # The joint optimum is much closer to per-level optima than naive
+    # reuse of another platform's chiplet, and within a modest factor of
+    # the per-level optima.
+    assert joint_gap < simba_gap
+    if ratios["cross"]:
+        assert joint_gap < geomean(ratios["cross"])
+    assert joint_gap < 6.0
+    # Per-level optimal is optimal.
+    assert all(r[3] >= 0.999 for r in rows)

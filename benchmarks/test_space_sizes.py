@@ -1,0 +1,45 @@
+"""Sec IV-B — optimization-space sizes, Gemini encoding vs Tangram.
+
+Regenerates the space-size tables the paper links ([2]): for a range of
+(cores M, layers N) points, the exact lower bound of the Gemini LP SPM
+space against the upper bound of Tangram's heuristic space, in log10.
+
+Shape expectations: the Gemini space dwarfs Tangram's everywhere, and
+the gap widens with both M and N.
+"""
+
+from conftest import print_banner
+
+from repro.core import gemini_space_size, log10_size, tangram_space_size
+from repro.reporting import format_table
+
+POINTS = [
+    (16, 4), (36, 4), (36, 8), (64, 8), (100, 10), (144, 12), (256, 12),
+]
+
+
+def run_table():
+    rows = []
+    for m, n in POINTS:
+        g = log10_size(gemini_space_size(m, n))
+        t = log10_size(tangram_space_size(m, n))
+        rows.append([m, n, g, t, g - t])
+    return rows
+
+
+def test_space_sizes(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print_banner(
+        "Sec IV-B: LP SPM optimization-space sizes (log10 of schemes)"
+    )
+    print(format_table(
+        ["cores M", "layers N", "Gemini (lower bd)", "Tangram (upper bd)",
+         "gap (decades)"],
+        rows, floatfmt=".1f",
+    ))
+    # Gemini's space dwarfs Tangram's at every tabulated point...
+    assert all(r[4] > 3 for r in rows)
+    # ...and the gap widens with scale.
+    assert rows[-1][4] > rows[0][4]
+    # Sanity anchor: the Simba-scale point is astronomically large.
+    assert dict(((m, n), g) for m, n, g, _, _ in rows)[(36, 8)] > 40

@@ -1,0 +1,61 @@
+"""Table I — the DSE parameter grid and its valid candidates (Sec VI-A1).
+
+Enumerates the full Table-I grids for the three computing-power targets
+and reports how many valid architecture candidates each yields, broken
+down by chiplet count — the population Figs 6-8 sample from.  Also
+verifies the validity rules (integer core counts, cuts dividing edges)
+and that the paper's explored G-Arch is a member of the 72-TOPs grid.
+"""
+
+from conftest import print_banner
+
+from repro.arch import g_arch
+from repro.dse import DseGrid, enumerate_candidates
+from repro.reporting import format_table
+
+
+def run_enumeration():
+    out = {}
+    for tops in (72, 128, 512):
+        out[tops] = enumerate_candidates(DseGrid.paper_grid(tops))
+    return out
+
+
+def test_table1_candidates(benchmark):
+    grids = benchmark.pedantic(run_enumeration, rounds=1, iterations=1)
+    rows = []
+    for tops, candidates in grids.items():
+        by_chiplets = {}
+        for c in candidates:
+            by_chiplets[c.n_chiplets] = by_chiplets.get(c.n_chiplets, 0) + 1
+        rows.append([
+            tops,
+            len(candidates),
+            len({c.n_cores for c in candidates}),
+            ", ".join(f"{k}:{v}" for k, v in sorted(by_chiplets.items())),
+        ])
+    print_banner("Table I: valid candidates per DSE grid")
+    print(format_table(
+        ["TOPs", "candidates", "core-count options", "by chiplet count"],
+        rows,
+    ))
+    # Every candidate respects the validity rules.
+    for tops, candidates in grids.items():
+        for c in candidates:
+            assert round(c.tops) == tops
+            assert c.cores_x % c.xcut == 0
+            assert c.cores_y % c.ycut == 0
+            assert c.d2d_bw <= c.noc_bw
+    # 72 TOPs admits the 8192-MAC choice only as invalid (4.5 cores).
+    assert all(c.macs_per_core != 8192 for c in grids[72])
+    # The paper's explored G-Arch shape is in the 72-TOPs grid.
+    target = g_arch()
+    assert any(
+        (c.n_chiplets, c.n_cores, c.glb_bytes, c.macs_per_core,
+         c.noc_bw, c.d2d_bw, c.dram_bw) ==
+        (2, 36, target.glb_bytes, 1024, target.noc_bw, target.d2d_bw,
+         target.dram_bw)
+        for c in grids[72]
+    )
+    # Grid sizes grow with computing power (more valid cut options).
+    assert len(grids[72]) > 100

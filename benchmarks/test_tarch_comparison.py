@@ -1,0 +1,61 @@
+"""Sec VI-B2 — comparison against T-Arch (folded torus) with T-Map.
+
+Demonstrates the framework's topology generality: a Grayskull-like
+120-core monolithic folded-torus accelerator with Tangram mapping vs
+the Gemini-explored torus architecture (6, 60, 480 GB/s, 64 GB/s,
+32 GB/s, 2 MB, 2048) with Gemini mapping, on the Transformer.
+
+Paper numbers: 1.74x performance, 1.13x energy efficiency, -40.1 % MC.
+Shape expectations: G wins delay and energy, at clearly lower MC.
+"""
+
+from conftest import print_banner, sa_settings
+
+from repro.arch import FoldedTorusTopology, g_arch_120, t_arch
+from repro.baselines import tangram_map
+from repro.core import MappingEngine, MappingEngineSettings
+from repro.cost import DEFAULT_MC
+from repro.reporting import format_table
+
+SA_ITERS = 300
+
+
+def run_comparison(tf_model):
+    t = t_arch()
+    g = g_arch_120()
+    baseline = tangram_map(
+        tf_model, t, batch=64, topo=FoldedTorusTopology(t)
+    )
+    engine = MappingEngine(
+        g,
+        topo=FoldedTorusTopology(g),
+        settings=MappingEngineSettings(sa=sa_settings(SA_ITERS, seed=5)),
+    )
+    gemini = engine.map(tf_model, batch=64)
+    return baseline, gemini
+
+
+def test_tarch_comparison(tf_model, benchmark):
+    baseline, gemini = benchmark.pedantic(
+        run_comparison, args=(tf_model,), rounds=1, iterations=1
+    )
+    mc_t = DEFAULT_MC.evaluate(t_arch()).total
+    mc_g = DEFAULT_MC.evaluate(g_arch_120()).total
+    speedup = baseline.delay / gemini.delay
+    eff = baseline.energy / gemini.energy
+    rows = [
+        ["T-Arch + T-Map", baseline.delay * 1e3, baseline.energy * 1e3, mc_t],
+        ["G-Arch + G-Map", gemini.delay * 1e3, gemini.energy * 1e3, mc_g],
+    ]
+    print_banner("Sec VI-B2: folded-torus comparison (Transformer, batch 64)")
+    print(format_table(
+        ["configuration", "delay (ms)", "energy (mJ)", "MC ($)"], rows,
+    ))
+    print(
+        f"\nGemini: {speedup:.2f}x performance (paper 1.74x), "
+        f"{eff:.2f}x energy efficiency (paper 1.13x), "
+        f"{mc_g / mc_t - 1:+.1%} MC (paper -40.1%)"
+    )
+    assert speedup > 1.2
+    assert eff > 1.0
+    assert 0.45 < mc_g / mc_t < 0.75

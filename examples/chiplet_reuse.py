@@ -1,0 +1,81 @@
+"""Chiplet reuse across accelerator scales (the paper's Sec VII-B).
+
+Explores whether one chiplet design can serve both a 128-TOPs and a
+512-TOPs accelerator: compares per-level optimal designs against the
+joint optimum found with :class:`JointExplorer`, and shows how badly
+Simba's tiny 2-TOPs chiplet scales ("one-size-fits-all" fails).
+
+Run:  python examples/chiplet_reuse.py
+"""
+
+from repro import SASettings, s_arch
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseGrid,
+    JointExplorer,
+    Workload,
+    enumerate_candidates,
+    scale_with_chiplets,
+)
+from repro.reporting import format_table
+from repro.workloads.models import build
+
+LEVELS = (128.0, 512.0)
+
+
+def grid(tops):
+    return DseGrid(
+        tops=tops, cuts=(1, 2, 4), dram_bw_per_tops=(1.0,),
+        noc_bw_gbps=(64,), d2d_ratio=(0.5,), glb_kb=(2048,),
+        macs_per_core=(4096, 8192),
+    )
+
+
+def main():
+    workloads = [Workload(build("TF"), batch=64)]
+    sa = SASettings(iterations=60)
+
+    def explorer():
+        return DesignSpaceExplorer(workloads, sa_settings=sa)
+
+    print("per-level optima:")
+    optimal = {}
+    for tops in LEVELS:
+        report = explorer().explore(enumerate_candidates(grid(int(tops))))
+        optimal[tops] = report.best
+        print(f"  {tops:.0f} TOPs: {report.best.arch.paper_tuple()} "
+              f"MC*E*D={report.best.score:.3g}")
+
+    print("\nSimba chiplets scaled up:")
+    for tops in LEVELS:
+        arch = scale_with_chiplets(s_arch(), tops)
+        r = explorer().evaluate_candidate(arch)
+        print(f"  {tops:.0f} TOPs from 2-TOPs Simba chiplets "
+              f"({arch.n_chiplets} dies): "
+              f"{r.score / optimal[tops].score:.1f}x the optimum")
+
+    print("\njoint exploration (one chiplet for both levels):")
+    bases = [
+        c for c in enumerate_candidates(grid(int(LEVELS[0])))
+        if c.n_chiplets > 1
+    ]
+    joint = JointExplorer(
+        {t: workloads for t in LEVELS}, sa_settings=sa
+    ).explore(bases)
+    rows = []
+    for tops in LEVELS:
+        r = joint.best.per_level[tops]
+        rows.append([
+            f"{tops:.0f} TOPs", r.arch.paper_tuple(),
+            r.score / optimal[tops].score,
+        ])
+    print(format_table(
+        ["level", "joint-optimal construction", "score vs optimum"],
+        rows, floatfmt=".2f",
+    ))
+    print("\npaper: the joint optimum averages ~1.34x the per-level optima —"
+          "\nan acceptable premium for sharing one chiplet's NRE.")
+
+
+if __name__ == "__main__":
+    main()

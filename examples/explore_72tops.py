@@ -1,0 +1,64 @@
+"""72-TOPs design-space exploration (the paper's artifact `dse.sh`).
+
+Runs a scaled-down version of the paper's 72-TOPs DSE: enumerates a
+documented subsample of the Table-I grid, co-optimizes the mapping per
+candidate with a short SA budget, and prints the winner plus the top-10
+leaderboard under MC*E*D.
+
+The paper's converged search (80 threads x 38 min of C++) lands on
+(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024); the scaled-down search
+should land in the same neighborhood: few chiplets, 1024-2048 MAC
+cores, >=2 MB GLB.
+
+Run:  python examples/explore_72tops.py [--full]
+"""
+
+import sys
+
+from repro import SASettings
+from repro.dse import DesignSpaceExplorer, DseGrid, Workload, enumerate_candidates
+from repro.reporting import format_table
+from repro.workloads.models import build
+
+#: Scaled-down grid: one value axis at a time is narrowed; widen towards
+#: DseGrid.paper_grid(72) for a full-fidelity run.
+QUICK_GRID = DseGrid(
+    tops=72,
+    cuts=(1, 2, 6),
+    dram_bw_per_tops=(2.0,),
+    noc_bw_gbps=(32, 64),
+    d2d_ratio=(0.5,),
+    glb_kb=(1024, 2048),
+    macs_per_core=(1024, 2048),
+)
+
+
+def main(full: bool = False):
+    grid = DseGrid.paper_grid(72) if full else QUICK_GRID
+    candidates = enumerate_candidates(grid)
+    print(f"exploring {len(candidates)} architecture candidates "
+          f"({'full Table-I grid' if full else 'quick grid'})")
+
+    explorer = DesignSpaceExplorer(
+        [Workload(build("TF"), batch=64)],
+        sa_settings=SASettings(iterations=80),
+    )
+    report = explorer.explore(candidates)
+
+    rows = [
+        [r.arch.paper_tuple(), r.mc.total, r.energy * 1e3, r.delay * 1e3,
+         r.score / report.best.score]
+        for r in report.top(10)
+    ]
+    print()
+    print(format_table(
+        ["architecture", "MC ($)", "E (mJ)", "D (ms)", "score/best"],
+        rows, floatfmt=".3g",
+    ))
+    print(f"\nbest architecture: {report.best.arch.paper_tuple()}")
+    print("paper's converged best: (2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)")
+    print(f"wall time: {report.wall_time_s:.1f}s")
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

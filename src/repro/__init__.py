@@ -1,0 +1,70 @@
+"""repro — a from-scratch reproduction of Gemini (HPCA 2024).
+
+Gemini is a mapping and architecture co-exploration framework for
+large-scale DNN chiplet accelerators.  This package re-implements:
+
+* the layer-centric LP spatial-mapping encoding and its parser
+  (:mod:`repro.core`),
+* the SA-based mapping engine with the paper's five operators,
+* the configurable chiplet hardware template with mesh / folded-torus
+  NoCs, energy/area models and presets (:mod:`repro.arch`),
+* the Evaluator (traffic, delay, energy — :mod:`repro.evalmodel`),
+* the Monetary Cost Evaluator (:mod:`repro.cost`),
+* the DSE driver with Table-I candidate grids and multi-TOPS chiplet
+  reuse (:mod:`repro.dse`),
+* the Tangram T-Map baseline (:mod:`repro.baselines`) and the DNN model
+  zoo (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import MappingEngine, g_arch, s_arch
+    from repro.baselines import tangram_map
+    from repro.workloads.models import build
+
+    graph = build("TF")
+    gemini = MappingEngine(g_arch()).map(graph, batch=64)
+    baseline = tangram_map(graph, s_arch(), batch=64)
+    print(baseline.delay / gemini.delay, "x speedup")
+"""
+
+from repro.arch import (
+    ArchConfig,
+    FoldedTorusTopology,
+    MeshTopology,
+    g_arch,
+    g_arch_120,
+    s_arch,
+    t_arch,
+)
+from repro.core import (
+    MappingEngine,
+    MappingEngineSettings,
+    MappingResult,
+    SASettings,
+)
+from repro.cost import DEFAULT_MC, MCEvaluator
+from repro.dse import DesignSpaceExplorer, DseGrid, Workload, enumerate_candidates
+from repro.evalmodel import Evaluator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "DEFAULT_MC",
+    "DesignSpaceExplorer",
+    "DseGrid",
+    "Evaluator",
+    "FoldedTorusTopology",
+    "MCEvaluator",
+    "MappingEngine",
+    "MappingEngineSettings",
+    "MappingResult",
+    "MeshTopology",
+    "SASettings",
+    "Workload",
+    "enumerate_candidates",
+    "g_arch",
+    "g_arch_120",
+    "s_arch",
+    "t_arch",
+]

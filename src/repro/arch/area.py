@@ -1,0 +1,101 @@
+"""Silicon area model (Sec V-C).
+
+The MC Evaluator's cornerstone is total chiplet silicon area.  The paper
+takes analog IP areas from datasheets and logic areas from their own RTL;
+we substitute published 12 nm density figures (documented in DESIGN.md):
+
+* logic: ~0.5 mm^2 per 1024 8-bit MACs including PE-array control;
+* SRAM: ~0.55 mm^2/MB macro density;
+* mesh router + DMA + control: small fixed per-core overhead;
+* GRS-class D2D interface: PHY + controller area that grows with lane
+  count (bandwidth); calibrated so a Simba-like 1-core chiplet spends
+  ~35-40 % of its area on D2D, matching the paper's Sec VI-B1 analysis;
+* IO chiplet: fixed controller area plus DRAM PHY per 32 GB/s unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import ArchConfig
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area coefficients in mm^2 (12 nm)."""
+
+    a_per_mac: float = 0.5 / 1024
+    #: Compiled multi-bank SRAM macro with ECC and double-ported GLB
+    #: arbitration at 12 nm; calibrated so the S-Arch -> G-Arch monetary
+    #: cost delta matches the paper's +14.3 % (see DESIGN.md).
+    a_per_mb_sram: float = 0.9
+    a_router: float = 0.05
+    a_core_fixed: float = 0.22  # control unit, DMA, vector unit
+    #: D2D interface: fixed PHY area + per-(GB/s) lane area.
+    a_d2d_fixed: float = 0.08
+    a_d2d_per_gbps: float = 0.015
+    #: IO chiplet: controller/misc fixed area + DRAM PHY per 32 GB/s die.
+    a_io_fixed: float = 8.0
+    a_dram_phy_per_unit: float = 1.6
+
+    # ------------------------------------------------------------------
+
+    def core_area(self, arch: ArchConfig) -> float:
+        """One computing core (PE array + GLB + router + control)."""
+        logic = (
+            self.a_per_mac * arch.macs_per_core
+            + self.a_router
+            + self.a_core_fixed
+        )
+        return (
+            logic * arch.logic_overhead
+            + self.a_per_mb_sram * arch.glb_bytes / MB
+        )
+
+    def d2d_interface_area(self, arch: ArchConfig) -> float:
+        """One D2D interface (TX+RX pair) sized for the D2D bandwidth."""
+        return self.a_d2d_fixed + self.a_d2d_per_gbps * arch.d2d_bw / GB
+
+    def d2d_interfaces_per_chiplet(self, arch: ArchConfig) -> int:
+        """Interfaces placed around a computing chiplet (Sec III):
+        one per core on each of the four sides."""
+        if arch.is_monolithic:
+            return 0
+        return 2 * (arch.chiplet_cores_x + arch.chiplet_cores_y)
+
+    def compute_chiplet_area(self, arch: ArchConfig) -> float:
+        """Area of one computing chiplet."""
+        cores = arch.cores_per_chiplet * self.core_area(arch)
+        d2d = self.d2d_interfaces_per_chiplet(arch) * self.d2d_interface_area(arch)
+        return cores + d2d
+
+    def d2d_area_fraction(self, arch: ArchConfig) -> float:
+        """Fraction of computing-chiplet area spent on D2D interfaces."""
+        total = self.compute_chiplet_area(arch)
+        d2d = self.d2d_interfaces_per_chiplet(arch) * self.d2d_interface_area(arch)
+        return d2d / total if total else 0.0
+
+    def io_chiplet_area(self, arch: ArchConfig) -> float:
+        """One IO chiplet (the template uses two: left and right edges)."""
+        units = max(1, arch.n_dram // 2 + arch.n_dram % 2)
+        return self.a_io_fixed + self.a_dram_phy_per_unit * units
+
+    def die_areas(self, arch: ArchConfig) -> list[float]:
+        """Areas of every die in the package.
+
+        Monolithic accelerators integrate IO on the single die; chiplet
+        accelerators have ``n_chiplets`` computing dies plus two IO dies.
+        """
+        if arch.is_monolithic:
+            io = 2 * self.io_chiplet_area(arch) - self.a_io_fixed  # one ctrl
+            return [self.compute_chiplet_area(arch) + io]
+        compute = [self.compute_chiplet_area(arch)] * arch.n_chiplets
+        return compute + [self.io_chiplet_area(arch)] * 2
+
+    def total_area(self, arch: ArchConfig) -> float:
+        return sum(self.die_areas(arch))
+
+
+#: Default model instance used across the framework.
+DEFAULT_AREA = AreaModel()

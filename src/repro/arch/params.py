@@ -1,0 +1,171 @@
+"""Architecture configuration: the template's configurable parameters.
+
+Sec III of the paper lists the knobs of the scalable hardware template:
+NoC bandwidth, D2D bandwidth, total DRAM bandwidth, core-array extents in
+X and Y, chiplet divisions XCut / YCut, MACs per core and GLB size per
+core.  :class:`ArchConfig` captures exactly those, validates the
+template's structural constraints, and derives the quantities the
+evaluators need (chiplet geometry, TOPS, DRAM unit count).
+
+The paper quotes architectures as the tuple
+``(Chiplet Number, Core Number, DRAM_BW, NoC_BW, D2D_BW, GBUF/Core,
+MAC/Core)``; :meth:`ArchConfig.paper_tuple` renders that form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidArchitectureError
+from repro.units import GB, GHZ
+
+#: Bandwidth supplied by one DRAM die (GDDR6, Sec V-C).
+DRAM_UNIT_BW = 32 * GB
+
+
+def arrange_cores(n_cores: int) -> tuple[int, int]:
+    """Choose the (X, Y) core-array extents closest to a square.
+
+    The paper keeps "the core array's length and width as close as
+    possible" (Sec VI-A1): 36 cores -> 6x6, 18 cores -> 6x3.
+    Returns (X, Y) with X >= Y.
+    """
+    if n_cores < 1:
+        raise InvalidArchitectureError("need at least one core")
+    best = (n_cores, 1)
+    for y in range(1, int(math.isqrt(n_cores)) + 1):
+        if n_cores % y == 0:
+            best = (n_cores // y, y)
+    return best
+
+
+def cores_for_tops(tops: int, macs_per_core: int, frequency: float = GHZ):
+    """Core count delivering ``tops`` with the paper's 1024-MAC accounting.
+
+    TOPS = cores x MAC/core x 2 ops / 1024 at 1 GHz, so that 36 cores of
+    1024 MACs reads as "72 TOPs" (Simba-compatible).  Returns ``None``
+    when the division is not integral (the candidate is invalid).
+    """
+    ops_needed = tops * 1024 * frequency / GHZ
+    per_core = macs_per_core * 2
+    if ops_needed % per_core:
+        return None
+    return int(ops_needed // per_core)
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One point of the hardware-template design space.
+
+    Bandwidths are bytes/s, capacities bytes, frequency Hz.
+    """
+
+    cores_x: int
+    cores_y: int
+    xcut: int
+    ycut: int
+    dram_bw: float
+    noc_bw: float
+    d2d_bw: float
+    glb_bytes: int
+    macs_per_core: int
+    frequency: float = GHZ
+    #: Peak GLB port bandwidth per core, bytes/cycle.
+    glb_bytes_per_cycle: int = 64
+    #: Vector-unit throughput, ops/cycle.
+    vector_lanes: int = 64
+    #: Area multiplier on non-SRAM core logic.  1.0 for NVDLA-style
+    #: fixed-function cores; general programmable cores (e.g. Tenstorrent
+    #: Tensix with five RISC-V CPUs per core) spend substantially more
+    #: logic area per MAC.
+    logic_overhead: float = 1.0
+    name: str = ""
+
+    def __post_init__(self):
+        if min(self.cores_x, self.cores_y, self.xcut, self.ycut) < 1:
+            raise InvalidArchitectureError("extents and cuts must be >= 1")
+        if self.cores_x % self.xcut:
+            raise InvalidArchitectureError(
+                f"XCut={self.xcut} must divide cores_x={self.cores_x}"
+            )
+        if self.cores_y % self.ycut:
+            raise InvalidArchitectureError(
+                f"YCut={self.ycut} must divide cores_y={self.cores_y}"
+            )
+        if self.macs_per_core < 1 or self.glb_bytes < 1:
+            raise InvalidArchitectureError("core resources must be positive")
+        if min(self.dram_bw, self.noc_bw) <= 0:
+            raise InvalidArchitectureError("bandwidths must be positive")
+        if self.n_chiplets > 1 and self.d2d_bw <= 0:
+            raise InvalidArchitectureError(
+                "multi-chiplet architectures need positive D2D bandwidth"
+            )
+        if self.n_chiplets > 1 and self.d2d_bw > self.noc_bw:
+            raise InvalidArchitectureError("D2D bandwidth cannot exceed NoC")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        return self.cores_x * self.cores_y
+
+    @property
+    def n_chiplets(self) -> int:
+        return self.xcut * self.ycut
+
+    @property
+    def chiplet_cores_x(self) -> int:
+        return self.cores_x // self.xcut
+
+    @property
+    def chiplet_cores_y(self) -> int:
+        return self.cores_y // self.ycut
+
+    @property
+    def cores_per_chiplet(self) -> int:
+        return self.chiplet_cores_x * self.chiplet_cores_y
+
+    @property
+    def is_monolithic(self) -> bool:
+        return self.n_chiplets == 1
+
+    @property
+    def n_dram(self) -> int:
+        """Number of DRAM dies / attach points (one per 32 GB/s unit)."""
+        return max(1, math.ceil(self.dram_bw / DRAM_UNIT_BW))
+
+    @property
+    def tops(self) -> float:
+        """Computing power in the paper's 1024-based TOPs accounting."""
+        return self.n_cores * self.macs_per_core * 2 * (self.frequency / GHZ) / 1024
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return self.n_cores * self.macs_per_core * self.frequency
+
+    def chiplet_of(self, x: int, y: int) -> tuple[int, int]:
+        """Chiplet grid coordinate owning core (x, y)."""
+        return (x // self.chiplet_cores_x, y // self.chiplet_cores_y)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def paper_tuple(self) -> str:
+        """Render as the paper's architecture tuple."""
+        d2d = f"{self.d2d_bw / GB:.0f}GB/s" if not self.is_monolithic else "None"
+        return (
+            f"({self.n_chiplets}, {self.n_cores}, "
+            f"{self.dram_bw / GB:.0f}GB/s, {self.noc_bw / GB:.0f}GB/s, "
+            f"{d2d}, {self.glb_bytes / (1 << 20):.0f}MB, {self.macs_per_core})"
+        )
+
+    def with_name(self, name: str) -> "ArchConfig":
+        return replace(self, name=name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "arch"
+        return f"{label}{self.paper_tuple()}"

@@ -1,0 +1,84 @@
+"""Named architecture presets used in the paper's evaluation (Sec VI-A4).
+
+* **S-Arch** — the optimized Simba baseline: 36 chiplets of one
+  1024-MAC core each, 1 MB GLB/core (per the MAGNet exploration [58]),
+  IO dies added with 2 GB/s-per-TOPs DRAM bandwidth.  Simba's GRS links
+  provide less bandwidth than the on-chip network; we use NoC/4.
+* **G-Arch** — the architecture Gemini's 72-TOPs DSE finds (Sec VI-B1):
+  (2, 36, 144 GB/s, 32 GB/s, 16 GB/s, 2 MB, 1024).
+* **T-Arch** — a 120-core monolithic accelerator with Tenstorrent
+  Grayskull parameters (Sec VI-B2): 10x12 core grid, folded torus,
+  ~1 MB SRAM/core, modeled at the same 12 nm point.
+* **G-Arch-120** — the torus-template architecture Gemini finds in that
+  comparison: (6, 60, 480 GB/s, 64 GB/s, 32 GB/s, 2 MB, 2048).
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchConfig
+from repro.units import GB, MB
+
+
+def s_arch() -> ArchConfig:
+    """Optimized Simba baseline (72 TOPs, 36 single-core chiplets)."""
+    return ArchConfig(
+        cores_x=6,
+        cores_y=6,
+        xcut=6,
+        ycut=6,
+        dram_bw=144 * GB,
+        noc_bw=32 * GB,
+        d2d_bw=8 * GB,
+        glb_bytes=1 * MB,
+        macs_per_core=1024,
+        name="S-Arch",
+    )
+
+
+def g_arch() -> ArchConfig:
+    """Gemini's explored 72-TOPs architecture (Sec VI-B1)."""
+    return ArchConfig(
+        cores_x=6,
+        cores_y=6,
+        xcut=2,
+        ycut=1,
+        dram_bw=144 * GB,
+        noc_bw=32 * GB,
+        d2d_bw=16 * GB,
+        glb_bytes=2 * MB,
+        macs_per_core=1024,
+        name="G-Arch",
+    )
+
+
+def t_arch() -> ArchConfig:
+    """Grayskull-like 120-core monolithic folded-torus baseline."""
+    return ArchConfig(
+        cores_x=12,
+        cores_y=10,
+        xcut=1,
+        ycut=1,
+        dram_bw=192 * GB,
+        noc_bw=32 * GB,
+        d2d_bw=32 * GB,
+        glb_bytes=1 * MB,
+        macs_per_core=1024,
+        logic_overhead=2.5,  # Tensix: general programmable cores
+        name="T-Arch",
+    )
+
+
+def g_arch_120() -> ArchConfig:
+    """Gemini's explored architecture in the torus comparison (Sec VI-B2)."""
+    return ArchConfig(
+        cores_x=10,
+        cores_y=6,
+        xcut=2,
+        ycut=3,
+        dram_bw=480 * GB,
+        noc_bw=64 * GB,
+        d2d_bw=32 * GB,
+        glb_bytes=2 * MB,
+        macs_per_core=2048,
+        name="G-Arch-120",
+    )

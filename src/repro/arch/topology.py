@@ -1,0 +1,188 @@
+"""Mesh topology of the scalable hardware template (Sec III, Fig 2).
+
+Computing cores form an ``X x Y`` mesh of routers.  ``XCut x YCut``
+chiplet divisions partition the mesh into equal rectangles; every mesh
+link crossing a division boundary is a D2D link (lower bandwidth, higher
+energy).  IO chiplets sit on the left and right edges: each DRAM die
+(one per 32 GB/s unit) attaches to an edge router through an IO link,
+which is itself a D2D link whenever the accelerator is multi-chiplet
+(the IO chiplet is then a separate die).
+
+Nodes are tagged tuples — ``("core", x, y)`` or ``("dram", i)`` — and
+every *directed* link carries a small integer id so traffic accounting
+can use flat numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import ArchConfig
+
+NodeId = tuple
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link of the interconnect."""
+
+    index: int
+    src: NodeId
+    dst: NodeId
+    bandwidth: float
+    is_d2d: bool
+    is_io: bool
+
+
+class MeshTopology:
+    """The template's default mesh interconnect."""
+
+    def __init__(self, arch: ArchConfig):
+        self.arch = arch
+        self._links: list[Link] = []
+        self._by_endpoints: dict[tuple[NodeId, NodeId], Link] = {}
+        self._dram_attach: dict[NodeId, NodeId] = {}
+        self._route_cache: dict[tuple[NodeId, NodeId], tuple[int, ...]] = {}
+        self._build_drams()
+        self._build_links()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _add_link(self, src: NodeId, dst: NodeId, bandwidth: float,
+                  is_d2d: bool, is_io: bool = False) -> None:
+        link = Link(len(self._links), src, dst, bandwidth, is_d2d, is_io)
+        self._links.append(link)
+        self._by_endpoints[(src, dst)] = link
+
+    def _crosses_cut(self, a: tuple[int, int], b: tuple[int, int]) -> bool:
+        return self.arch.chiplet_of(*a) != self.arch.chiplet_of(*b)
+
+    def _build_drams(self) -> None:
+        """Spread DRAM attach points over the left and right edge routers."""
+        arch = self.arch
+        n = arch.n_dram
+        left = (n + 1) // 2
+        right = n - left
+        attach: list[NodeId] = []
+        for count, x_edge in ((left, 0), (right, arch.cores_x - 1)):
+            for j in range(count):
+                y = min(arch.cores_y - 1, (2 * j + 1) * arch.cores_y // (2 * count))
+                attach.append(("core", x_edge, y))
+        self._dram_nodes = tuple(("dram", i) for i in range(n))
+        for i, node in enumerate(self._dram_nodes):
+            self._dram_attach[node] = attach[i]
+
+    def _mesh_neighbors(self, x: int, y: int):
+        if x + 1 < self.arch.cores_x:
+            yield (x + 1, y)
+        if y + 1 < self.arch.cores_y:
+            yield (x, y + 1)
+
+    def _build_links(self) -> None:
+        arch = self.arch
+        for y in range(arch.cores_y):
+            for x in range(arch.cores_x):
+                for nx, ny in self._mesh_neighbors(x, y):
+                    d2d = self._crosses_cut((x, y), (nx, ny))
+                    bw = arch.d2d_bw if d2d else arch.noc_bw
+                    a, b = ("core", x, y), ("core", nx, ny)
+                    self._add_link(a, b, bw, d2d)
+                    self._add_link(b, a, bw, d2d)
+        io_is_d2d = not arch.is_monolithic
+        io_bw = arch.d2d_bw if io_is_d2d else arch.noc_bw
+        for dram in self._dram_nodes:
+            router = self._dram_attach[dram]
+            self._add_link(dram, router, io_bw, io_is_d2d, is_io=True)
+            self._add_link(router, dram, io_bw, io_is_d2d, is_io=True)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def links(self) -> list[Link]:
+        return self._links
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    def core_node(self, index: int) -> NodeId:
+        """Core node for a row-major core index (0-based)."""
+        x = index % self.arch.cores_x
+        y = index // self.arch.cores_x
+        return ("core", x, y)
+
+    def core_index(self, node: NodeId) -> int:
+        _, x, y = node
+        return y * self.arch.cores_x + x
+
+    def core_nodes(self) -> list[NodeId]:
+        return [self.core_node(i) for i in range(self.arch.n_cores)]
+
+    def dram_node(self, index: int) -> NodeId:
+        return self._dram_nodes[index]
+
+    def dram_nodes(self) -> tuple[NodeId, ...]:
+        return self._dram_nodes
+
+    def attach_router(self, dram: NodeId) -> NodeId:
+        return self._dram_attach[dram]
+
+    def link_between(self, src: NodeId, dst: NodeId) -> Link:
+        return self._by_endpoints[(src, dst)]
+
+    def d2d_link_indices(self) -> list[int]:
+        return [l.index for l in self._links if l.is_d2d]
+
+    # ------------------------------------------------------------------
+    # Routing (deterministic XY, Sec VII-C assumes XY routing)
+    # ------------------------------------------------------------------
+
+    def _step_toward(self, x: int, y: int, tx: int, ty: int) -> tuple[int, int]:
+        """One XY-routing hop from (x, y) toward (tx, ty)."""
+        if x != tx:
+            return (x + (1 if tx > x else -1), y)
+        return (x, y + (1 if ty > y else -1))
+
+    def _router_path(self, a: NodeId, b: NodeId) -> list[NodeId]:
+        """Router-level XY path from core a to core b, inclusive."""
+        (_, x, y), (_, tx, ty) = a, b
+        path = [a]
+        while (x, y) != (tx, ty):
+            x, y = self._step_toward(x, y, tx, ty)
+            path.append(("core", x, y))
+        return path
+
+    def route(self, src: NodeId, dst: NodeId) -> tuple[int, ...]:
+        """Directed link indices along the deterministic path src -> dst."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            self._route_cache[key] = ()
+            return ()
+        hops: list[int] = []
+        a, b = src, dst
+        if a[0] == "dram":
+            router = self._dram_attach[a]
+            hops.append(self._by_endpoints[(a, router)].index)
+            a = router
+        tail: list[int] = []
+        if b[0] == "dram":
+            router = self._dram_attach[b]
+            tail.append(self._by_endpoints[(router, b)].index)
+            b = router
+        path = self._router_path(a, b)
+        for u, v in zip(path, path[1:]):
+            hops.append(self._by_endpoints[(u, v)].index)
+        hops.extend(tail)
+        result = tuple(hops)
+        self._route_cache[key] = result
+        return result
+
+    def hop_count(self, src: NodeId, dst: NodeId) -> int:
+        return len(self.route(src, dst))

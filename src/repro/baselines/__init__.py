@@ -1,0 +1,5 @@
+"""Baseline mappings and architectures used in the paper's comparisons."""
+
+from repro.baselines.tangram import tangram_engine, tangram_map
+
+__all__ = ["tangram_engine", "tangram_map"]

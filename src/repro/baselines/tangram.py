@@ -1,0 +1,49 @@
+"""The T-Map baseline: Tangram LP mapping (Sec VI-A4).
+
+Tangram [15] combines the DP-based graph partition (which Gemini reuses,
+Sec V-B) with a heuristic stripe-based spatial mapping that assigns each
+layer a consecutive, rectangle-shaped group of cores.  In this framework
+that is exactly the Mapping Engine with the SA stage disabled: the DP
+partition plus the stripe initial scheme *is* T-Map.
+"""
+
+from __future__ import annotations
+
+from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
+from repro.arch.params import ArchConfig
+from repro.arch.topology import MeshTopology
+from repro.core.engine import MappingEngine, MappingEngineSettings, MappingResult
+from repro.core.sa import SASettings
+from repro.workloads.graph import DNNGraph
+
+
+def tangram_engine(
+    arch: ArchConfig,
+    energy: EnergyModel = DEFAULT_ENERGY,
+    topo: MeshTopology | None = None,
+    max_group_layers: int = 10,
+) -> MappingEngine:
+    """A Mapping Engine configured as the Tangram baseline."""
+    return MappingEngine(
+        arch,
+        energy=energy,
+        topo=topo,
+        settings=MappingEngineSettings(
+            sa=SASettings(iterations=0),
+            max_group_layers=max_group_layers,
+        ),
+    )
+
+
+def tangram_map(
+    graph: DNNGraph,
+    arch: ArchConfig,
+    batch: int,
+    energy: EnergyModel = DEFAULT_ENERGY,
+    topo: MeshTopology | None = None,
+    max_group_layers: int = 10,
+) -> MappingResult:
+    """Map ``graph`` with the T-Map baseline and evaluate it."""
+    return tangram_engine(
+        arch, energy=energy, topo=topo, max_group_layers=max_group_layers
+    ).map(graph, batch)

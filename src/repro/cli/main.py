@@ -1,0 +1,277 @@
+"""Command-line interface mirroring the paper artifact's workflow.
+
+The artifact drives everything through ``dse.sh`` (find the best arch),
+``compare.sh`` (pit it against the baselines) and ``Fig5_reproduce.py``
+(collect the figure rows).  The equivalents here:
+
+* ``python -m repro dse``      — explore a (scaled) Table-I grid,
+  write ``result.csv`` and ``best_arch.json``;
+* ``python -m repro map``      — map one model onto one architecture;
+* ``python -m repro compare``  — G-Arch+G-Map vs S-Arch+T-Map vs
+  S-Arch+G-Map over the evaluation DNNs, write ``fig5.csv``;
+* ``python -m repro heatmap``  — Fig 9 ASCII traffic heatmaps;
+* ``python -m repro space``    — Sec IV-B space-size table;
+* ``python -m repro mc``       — Monetary-Cost breakdown of an arch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.arch import g_arch, g_arch_120, s_arch, t_arch
+from repro.arch.params import ArchConfig
+from repro.baselines import tangram_map
+from repro.core import MappingEngine, MappingEngineSettings, SASettings
+from repro.cost import DEFAULT_MC
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseGrid,
+    Workload,
+    enumerate_candidates,
+    geomean,
+)
+from repro.io import (
+    candidate_result_summary,
+    load_arch,
+    mapping_result_summary,
+    save_arch,
+    save_mapping,
+)
+from repro.reporting import format_table, write_csv
+from repro.workloads.models import MODEL_REGISTRY, build
+
+PRESETS = {
+    "s-arch": s_arch,
+    "g-arch": g_arch,
+    "t-arch": t_arch,
+    "g-arch-120": g_arch_120,
+}
+
+
+def resolve_arch(spec: str) -> ArchConfig:
+    """A preset name or a path to a JSON file saved by ``dse``."""
+    if spec.lower() in PRESETS:
+        return PRESETS[spec.lower()]()
+    path = Path(spec)
+    if path.exists():
+        return load_arch(path)
+    raise SystemExit(
+        f"unknown architecture {spec!r}: expected one of "
+        f"{sorted(PRESETS)} or a JSON file path"
+    )
+
+
+def engine_for(arch: ArchConfig, iterations: int, seed: int = 0) -> MappingEngine:
+    return MappingEngine(
+        arch,
+        settings=MappingEngineSettings(
+            sa=SASettings(iterations=iterations, seed=seed)
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_dse(args) -> int:
+    if args.full:
+        grid = DseGrid.paper_grid(args.tops)
+    else:
+        cuts = (1, 2, 3, 6) if args.tops == 72 else (1, 2, 4)
+        grid = DseGrid(
+            tops=args.tops, cuts=cuts, dram_bw_per_tops=(2.0,),
+            noc_bw_gbps=(32, 64), d2d_ratio=(0.5,),
+            glb_kb=(1024, 2048), macs_per_core=(1024, 2048),
+        )
+    candidates = enumerate_candidates(grid)
+    print(f"exploring {len(candidates)} candidates at {args.tops} TOPs "
+          f"(SA x{args.iters})")
+    explorer = DesignSpaceExplorer(
+        [Workload(build(m), args.batch) for m in args.models],
+        sa_settings=SASettings(iterations=args.iters),
+    )
+    report = explorer.explore(candidates)
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    rows = [list(candidate_result_summary(r).values())
+            for r in sorted(report.results, key=lambda r: r.score)]
+    headers = list(candidate_result_summary(report.best).keys())
+    write_csv(outdir / "result.csv", headers, rows)
+    save_arch(report.best.arch, outdir / "best_arch.json")
+    print(format_table(headers, rows[:10]))
+    print(f"\nbest architecture: {report.best.arch.paper_tuple()}")
+    print(f"wrote {outdir / 'result.csv'} and {outdir / 'best_arch.json'}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    arch = resolve_arch(args.arch)
+    graph = build(args.model)
+    result = engine_for(arch, args.iters).map(graph, args.batch)
+    summary = mapping_result_summary(result)
+    print(format_table(
+        ["field", "value"], [[k, v] for k, v in summary.items()],
+    ))
+    if args.save_mapping:
+        save_mapping(result.lmss, args.save_mapping)
+        print(f"wrote {args.save_mapping}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    g = resolve_arch(args.arch)
+    s = s_arch()
+    headers = ["dnn", "batch", "sarch_tmap_delay", "sarch_tmap_energy",
+               "sarch_gmap_delay", "sarch_gmap_energy",
+               "garch_gmap_delay", "garch_gmap_energy"]
+    rows = []
+    perf, eff = [], []
+    for seed, model in enumerate(args.models):
+        graph = build(model)
+        for batch in (64, 1):
+            base = tangram_map(graph, s, batch)
+            sg = engine_for(s, args.iters, seed).map(graph, batch)
+            gg = engine_for(g, args.iters, seed + 50).map(graph, batch)
+            rows.append([
+                model, batch, base.delay, base.energy,
+                sg.delay, sg.energy, gg.delay, gg.energy,
+            ])
+            perf.append(base.delay / gg.delay)
+            eff.append(base.energy / gg.energy)
+    out = Path(args.out)
+    write_csv(out, headers, rows)
+    mc_ratio = DEFAULT_MC.evaluate(g).total / DEFAULT_MC.evaluate(s).total
+    print(format_table(headers, rows))
+    print(
+        f"\nG-Arch+G-Map vs S-Arch+T-Map: {geomean(perf):.2f}x performance, "
+        f"{geomean(eff):.2f}x energy efficiency, {mc_ratio - 1:+.1%} MC "
+        f"(paper: 1.98x, 1.41x, +14.3%)"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    from repro.core import SAController
+    from repro.core.graphpart import partition_graph
+    from repro.core.initial import initial_lms
+    from repro.core.parser import parse_lms
+    from repro.evalmodel import Evaluator, GroupTrafficAnalyzer
+    from repro.reporting import heat_summary, render_ascii
+
+    arch = resolve_arch(args.arch)
+    graph = build(args.model)
+    evaluator = Evaluator(arch)
+    groups = partition_graph(graph, arch, batch=args.batch)
+    group = max(groups, key=len)
+    tangram = initial_lms(graph, group, arch)
+    gemini = SAController(
+        graph, evaluator, [tangram], args.batch,
+        SASettings(iterations=args.iters),
+    ).run()[0]
+    for label, lms in (("Tangram", tangram), ("Gemini", gemini)):
+        parsed = parse_lms(graph, lms)
+        intra = evaluator._intra_results(parsed)
+        traffic = GroupTrafficAnalyzer(graph, arch, evaluator.topo).analyze(
+            parsed, lms, intra, {}
+        )
+        print(f"\n{label} SPM ({json.dumps(heat_summary(traffic.traffic))}):")
+        print(render_ascii(traffic.traffic))
+    return 0
+
+
+def cmd_space(args) -> int:
+    from repro.core import gemini_space_size, log10_size, tangram_space_size
+
+    rows = []
+    for n in args.layers:
+        g = gemini_space_size(args.cores, n)
+        t = tangram_space_size(args.cores, n)
+        rows.append([args.cores, n, log10_size(g), log10_size(t)])
+    print(format_table(
+        ["cores M", "layers N", "log10 Gemini", "log10 Tangram"],
+        rows, floatfmt=".1f",
+    ))
+    return 0
+
+
+def cmd_mc(args) -> int:
+    arch = resolve_arch(args.arch)
+    report = DEFAULT_MC.evaluate(arch)
+    print(f"{arch}")
+    print(report.describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dse", help="explore a Table-I grid")
+    p.add_argument("--tops", type=int, default=72, choices=(72, 128, 512))
+    p.add_argument("--models", nargs="+", default=["TF"],
+                   choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--iters", type=int, default=80)
+    p.add_argument("--full", action="store_true",
+                   help="use the full Table-I grid (slow)")
+    p.add_argument("--out", default="dse_log")
+    p.set_defaults(func=cmd_dse)
+
+    p = sub.add_parser("map", help="map one model onto one architecture")
+    p.add_argument("--model", default="TF", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--arch", default="g-arch")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--iters", type=int, default=200)
+    p.add_argument("--save-mapping")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("compare", help="reproduce the Fig 5 comparison")
+    p.add_argument("--arch", default="g-arch",
+                   help="the G-Arch (preset or best_arch.json)")
+    p.add_argument("--models", nargs="+",
+                   default=["RN-50", "RNX", "IRes", "PNas", "TF"],
+                   choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--iters", type=int, default=150)
+    p.add_argument("--out", default="fig5.csv")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("heatmap", help="Fig 9 traffic heatmaps")
+    p.add_argument("--model", default="TF", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--arch", default="g-arch")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--iters", type=int, default=400)
+    p.set_defaults(func=cmd_heatmap)
+
+    p = sub.add_parser("space", help="Sec IV-B space sizes")
+    p.add_argument("--cores", type=int, default=36)
+    p.add_argument("--layers", type=int, nargs="+", default=[2, 4, 8])
+    p.set_defaults(func=cmd_space)
+
+    p = sub.add_parser("mc", help="monetary-cost breakdown")
+    p.add_argument("--arch", default="g-arch")
+    p.set_defaults(func=cmd_mc)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

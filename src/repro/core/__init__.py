@@ -1,0 +1,58 @@
+"""Gemini's primary contribution: LP SPM encoding + SA mapping engine."""
+
+from repro.core.encoding import (
+    IMPLICIT,
+    INTERLEAVED,
+    FdRequirements,
+    FlowOfData,
+    LayerGroup,
+    LayerGroupMapping,
+    MappingScheme,
+    Partition,
+    fd_requirements,
+    split_range,
+    validate_lms,
+)
+from repro.core.engine import MappingEngine, MappingEngineSettings, MappingResult
+from repro.core.graphpart import estimate_group_cost, partition_graph
+from repro.core.initial import initial_lms
+from repro.core.operators import OPERATORS
+from repro.core.parser import ParsedGroup, Region, parse_lms
+from repro.core.sa import SAController, SASettings, SAStats
+from repro.core.space import (
+    gemini_space_size,
+    log10_size,
+    partition_count,
+    tangram_space_size,
+)
+
+__all__ = [
+    "IMPLICIT",
+    "INTERLEAVED",
+    "FdRequirements",
+    "FlowOfData",
+    "LayerGroup",
+    "LayerGroupMapping",
+    "MappingEngine",
+    "MappingEngineSettings",
+    "MappingResult",
+    "MappingScheme",
+    "OPERATORS",
+    "ParsedGroup",
+    "Partition",
+    "Region",
+    "SAController",
+    "SASettings",
+    "SAStats",
+    "estimate_group_cost",
+    "fd_requirements",
+    "gemini_space_size",
+    "initial_lms",
+    "log10_size",
+    "parse_lms",
+    "partition_count",
+    "partition_graph",
+    "split_range",
+    "tangram_space_size",
+    "validate_lms",
+]

@@ -1,0 +1,247 @@
+"""Layer-centric LP spatial-mapping encoding (Sec IV-A).
+
+An LP Spatial Mapping Scheme (:class:`LayerGroupMapping`, the paper's
+``LMS``) for a layer group holds one :class:`MappingScheme` (``MS``) per
+layer, each with three attributes:
+
+* :class:`Partition` — ``Part_i = (H_i, W_i, B_i, K_i)``, splitting the
+  four-dimensional ofmap cube into ``nc_i`` near-equal parts;
+* Core Group — an **ordered** tuple of core indices (``(c1, c2) != (c2,
+  c1)``): the Correspondence Rule maps the partitioned workload with
+  numerical ID ``n`` to the ``(n+1)``-th core of the group;
+* :class:`FlowOfData` — ``FD_i = (IF_i, WGT_i, OF_i)`` with ``-1`` for
+  implicitly managed / absent flows, ``0`` for DRAM interleaving and
+  ``d > 0`` for explicit DRAM ``d``.
+
+The module also derives which FD entries *must* be explicit for a given
+layer group (the paper's three management rules) and validates schemes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidMappingError
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer
+
+#: FD sentinel for "implicitly managed or absent".
+IMPLICIT = -1
+#: FD value for "interleave across all DRAMs".
+INTERLEAVED = 0
+
+
+def split_range(total: int, parts: int, index: int) -> tuple[int, int]:
+    """Near-equal integer split: the ``index``-th of ``parts`` intervals."""
+    lo = index * total // parts
+    hi = (index + 1) * total // parts
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class Partition:
+    """``Part_i``: partition counts along (H, W, B, K) of the ofmap cube."""
+
+    h: int
+    w: int
+    b: int
+    k: int
+
+    def __post_init__(self):
+        if min(self.h, self.w, self.b, self.k) < 1:
+            raise InvalidMappingError("partition counts must be >= 1")
+
+    @property
+    def n_parts(self) -> int:
+        return self.h * self.w * self.b * self.k
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.h, self.w, self.b, self.k)
+
+    def ids(self):
+        """4-D part IDs in numerical-ID order (Correspondence Rule).
+
+        ``NID = h*W*B*K + w*B*K + b*K + k``, i.e. row-major over
+        (h, w, b, k).
+        """
+        return itertools.product(
+            range(self.h), range(self.w), range(self.b), range(self.k)
+        )
+
+    def numerical_id(self, h: int, w: int, b: int, k: int) -> int:
+        return ((h * self.w + w) * self.b + b) * self.k + k
+
+    def feasible_for(self, layer: Layer, batch_unit: int) -> bool:
+        """Counts cannot exceed the extents they partition."""
+        return (
+            self.h <= layer.out_h
+            and self.w <= layer.out_w
+            and self.b <= batch_unit
+            and self.k <= layer.out_k
+        )
+
+
+@dataclass(frozen=True)
+class FlowOfData:
+    """``FD_i = (IF, WGT, OF)`` DRAM source/destination selectors."""
+
+    ifmap: int
+    weight: int
+    ofmap: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.ifmap, self.weight, self.ofmap)
+
+    def replace(self, **kw) -> "FlowOfData":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class MappingScheme:
+    """``MS_i``: one layer's Partition, Core Group and Flow of Data."""
+
+    part: Partition
+    core_group: tuple[int, ...]
+    fd: FlowOfData
+
+    def __post_init__(self):
+        if self.part.n_parts != len(self.core_group):
+            raise InvalidMappingError(
+                f"partition yields {self.part.n_parts} parts but the core "
+                f"group has {len(self.core_group)} cores"
+            )
+        if len(set(self.core_group)) != len(self.core_group):
+            raise InvalidMappingError("core group contains duplicate cores")
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.core_group)
+
+    def core_of(self, h: int, w: int, b: int, k: int) -> int:
+        """Correspondence Rule: the core computing part (h, w, b, k)."""
+        return self.core_group[self.part.numerical_id(h, w, b, k)]
+
+
+@dataclass(frozen=True)
+class LayerGroup:
+    """A pipeline stage set: layer names plus the batch unit per stage."""
+
+    layers: tuple[str, ...]
+    batch_unit: int
+
+    def __post_init__(self):
+        if self.batch_unit < 1:
+            raise InvalidMappingError("batch unit must be >= 1")
+        if not self.layers:
+            raise InvalidMappingError("empty layer group")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.layers
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class LayerGroupMapping:
+    """``LMS``: the full LP SPM scheme of one layer group."""
+
+    def __init__(self, group: LayerGroup, schemes: dict[str, MappingScheme]):
+        if set(schemes) != set(group.layers):
+            raise InvalidMappingError(
+                "schemes must cover exactly the group's layers"
+            )
+        self.group = group
+        self.schemes = dict(schemes)
+
+    def scheme(self, name: str) -> MappingScheme:
+        return self.schemes[name]
+
+    def with_scheme(self, name: str, scheme: MappingScheme) -> "LayerGroupMapping":
+        updated = dict(self.schemes)
+        updated[name] = scheme
+        return LayerGroupMapping(self.group, updated)
+
+    def cores_used(self) -> set[int]:
+        used: set[int] = set()
+        for s in self.schemes.values():
+            used.update(s.core_group)
+        return used
+
+    def total_cores(self) -> int:
+        return sum(s.n_cores for s in self.schemes.values())
+
+
+# ----------------------------------------------------------------------
+# FD management rules (Sec IV-A)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FdRequirements:
+    """Which FD entries must be explicit (non-negative) for a layer."""
+
+    ifmap: bool
+    weight: bool
+    ofmap: bool
+
+
+def fd_requirements(graph: DNNGraph, group: LayerGroup, name: str) -> FdRequirements:
+    """Apply the paper's three explicit-management rules.
+
+    * ofmaps: explicit when some consumer is outside the group, or the
+      layer is a DNN output;
+    * ifmaps: explicit only when the layer reads the DNN input (ifmaps of
+      cross-group producers are fetched from wherever the producer's
+      ofmaps were stored);
+    * weights: explicit whenever the layer has weights.
+    """
+    layer = graph.layer(name)
+    succs = graph.successors(name)
+    of_explicit = (not succs) or any(s not in group for s in succs)
+    if_explicit = graph.reads_graph_input(name)
+    return FdRequirements(
+        ifmap=if_explicit, weight=layer.has_weights, ofmap=of_explicit
+    )
+
+
+def validate_lms(
+    graph: DNNGraph,
+    lms: LayerGroupMapping,
+    n_cores: int,
+    n_dram: int,
+) -> None:
+    """Raise :class:`InvalidMappingError` on any encoding violation."""
+    group = lms.group
+    used: set[int] = set()
+    for name in group.layers:
+        scheme = lms.scheme(name)
+        layer = graph.layer(name)
+        if not scheme.part.feasible_for(layer, group.batch_unit):
+            raise InvalidMappingError(
+                f"{name}: partition {scheme.part.as_tuple()} exceeds the "
+                f"ofmap extents of {layer}"
+            )
+        for core in scheme.core_group:
+            if not 0 <= core < n_cores:
+                raise InvalidMappingError(f"{name}: core {core} out of range")
+            if core in used:
+                raise InvalidMappingError(
+                    f"{name}: core {core} already used by another layer in "
+                    "the group"
+                )
+            used.add(core)
+        req = fd_requirements(graph, group, name)
+        for label, explicit, value in (
+            ("IF", req.ifmap, scheme.fd.ifmap),
+            ("WGT", req.weight, scheme.fd.weight),
+            ("OF", req.ofmap, scheme.fd.ofmap),
+        ):
+            if explicit and not 0 <= value <= n_dram:
+                raise InvalidMappingError(
+                    f"{name}: {label} must be in [0, {n_dram}], got {value}"
+                )
+            if not explicit and value != IMPLICIT:
+                raise InvalidMappingError(
+                    f"{name}: {label} must be implicit (-1), got {value}"
+                )

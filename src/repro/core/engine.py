@@ -1,0 +1,123 @@
+"""The Mapping Engine facade (Fig 4, right side).
+
+Model parsing (done by the workloads package), graph partitioning, the
+stripe-based initial scheme, SA-based LP SPM exploration and final
+evaluation, wrapped into one call: :meth:`MappingEngine.map`.
+
+With ``SASettings(iterations=0)`` the engine degrades to the baseline
+Tangram flow (DP graph partition + stripe heuristic SPM, no SA), which
+is exactly the paper's T-Map baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
+from repro.arch.params import ArchConfig
+from repro.arch.topology import MeshTopology
+from repro.core.encoding import LayerGroup, LayerGroupMapping, validate_lms
+from repro.core.graphpart import partition_graph
+from repro.core.initial import initial_lms
+from repro.core.sa import SAController, SASettings, SAStats
+from repro.evalmodel.breakdown import MappingEval
+from repro.evalmodel.evaluator import Evaluator
+from repro.workloads.graph import DNNGraph
+
+
+@dataclass
+class MappingResult:
+    """Outcome of mapping one DNN onto one architecture."""
+
+    arch: ArchConfig
+    evaluation: MappingEval
+    lmss: list[LayerGroupMapping]
+    groups: list[LayerGroup]
+    sa_stats: SAStats | None = None
+
+    @property
+    def delay(self) -> float:
+        return self.evaluation.delay
+
+    @property
+    def energy(self) -> float:
+        return self.evaluation.energy.total
+
+    @property
+    def edp(self) -> float:
+        return self.evaluation.edp
+
+
+@dataclass
+class MappingEngineSettings:
+    sa: SASettings = field(default_factory=SASettings)
+    max_group_layers: int = 10
+    validate: bool = True
+    #: Independent SA restarts (different seeds); the best run wins.
+    #: Restarts trade wall-clock for robustness against unlucky seeds.
+    restarts: int = 1
+
+
+class MappingEngine:
+    """Gemini's Mapping Engine bound to one architecture."""
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        topo: MeshTopology | None = None,
+        settings: MappingEngineSettings | None = None,
+    ):
+        self.arch = arch
+        self.settings = settings or MappingEngineSettings()
+        self.evaluator = Evaluator(arch, topo=topo, energy=energy)
+
+    # ------------------------------------------------------------------
+
+    def initial_mapping(
+        self, graph: DNNGraph, batch: int
+    ) -> list[LayerGroupMapping]:
+        """Graph partition + stripe heuristic (the T-Map baseline)."""
+        groups = partition_graph(
+            graph, self.arch, batch,
+            max_group_layers=self.settings.max_group_layers,
+        )
+        lmss = [initial_lms(graph, g, self.arch) for g in groups]
+        if self.settings.validate:
+            for lms in lmss:
+                validate_lms(graph, lms, self.arch.n_cores, self.arch.n_dram)
+        return lmss
+
+    def map(self, graph: DNNGraph, batch: int) -> MappingResult:
+        """Full Gemini mapping flow for one DNN."""
+        from dataclasses import replace as dc_replace
+
+        lmss = self.initial_mapping(graph, batch)
+        stats = None
+        if self.settings.sa.iterations > 0:
+            best_lmss, best_cost = None, None
+            for restart in range(max(1, self.settings.restarts)):
+                settings = dc_replace(
+                    self.settings.sa, seed=self.settings.sa.seed + restart
+                )
+                controller = SAController(
+                    graph, self.evaluator, lmss, batch, settings
+                )
+                candidate = controller.run()
+                cost = sum(controller.best_costs)
+                if best_cost is None or cost < best_cost:
+                    best_lmss, best_cost, stats = (
+                        candidate, cost, controller.stats
+                    )
+            lmss = best_lmss
+        if self.settings.validate:
+            for lms in lmss:
+                validate_lms(graph, lms, self.arch.n_cores, self.arch.n_dram)
+        evaluation = self.evaluator.evaluate_mapping(graph, lmss, batch)
+        return MappingResult(
+            arch=self.arch,
+            evaluation=evaluation,
+            lmss=lmss,
+            groups=[lms.group for lms in lmss],
+            sa_stats=stats,
+        )

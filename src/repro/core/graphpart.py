@@ -1,0 +1,132 @@
+"""DP-based graph partitioning into layer groups (Sec V-B).
+
+Gemini "employ[s] the same DP-based graph partition algorithm as
+Tangram [15]": layers in topological order are segmented into contiguous
+groups, and the dynamic program minimizes the summed estimated cost,
+also choosing the batch unit (samples per pipeline stage) per group.
+
+The segment-cost estimator is deliberately cheap (no NoC detail): it
+balances the DRAM traffic a fusion saves (inter-group feature maps stay
+on-chip) against pipeline fill/drain loss and per-layer core-count
+granularity — the same trade-off the paper describes for pipeline depth
+(Sec VII-A2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
+from repro.arch.params import ArchConfig
+from repro.core.encoding import LayerGroup
+from repro.workloads.graph import DNNGraph
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """Closed-form cost estimate of one candidate group.
+
+    ``cost`` must be *additive* across groups for the DP to compose, so
+    instead of the (non-decomposable) global ``E x D`` product we use the
+    linearization ``E + P_ref x D`` where ``P_ref`` is the accelerator's
+    full-load MAC power: saving a joule and saving a full-load-second are
+    weighed equally.
+    """
+
+    delay: float
+    energy: float
+    batch_unit: int
+    ref_power: float
+
+    @property
+    def cost(self) -> float:
+        return self.energy + self.ref_power * self.delay
+
+
+def _candidate_units(batch: int) -> list[int]:
+    units = [u for u in (1, 2, 4, 8, 16, 32, 64) if u <= batch]
+    return units or [1]
+
+
+def estimate_group_cost(
+    graph: DNNGraph,
+    names: list[str],
+    arch: ArchConfig,
+    batch: int,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> GroupEstimate:
+    """Best-batch-unit analytic estimate for a contiguous group."""
+    inside = set(names)
+    total_weights = sum(graph.layer(n).weight_bytes() for n in names)
+    ref_power = arch.peak_macs_per_s * energy.e_mac
+    best: GroupEstimate | None = None
+    for unit in _candidate_units(batch):
+        rounds = math.ceil(batch / unit)
+        macs = sum(graph.layer(n).macs(unit) for n in names)
+        # Bytes entering/leaving the group per round via DRAM.
+        io_bytes = 0
+        for n in names:
+            layer = graph.layer(n)
+            for s in graph.input_slices(n):
+                if s.producer is None or s.producer not in inside:
+                    io_bytes += layer.ifmap_bytes(unit) * (
+                        s.channels / max(1, layer.in_c)
+                    )
+            if any(succ not in inside for succ in graph.successors(n)) or \
+                    not graph.successors(n):
+                io_bytes += layer.ofmap_bytes(unit)
+        weights_per_round = total_weights / rounds
+        dram_bytes = io_bytes + weights_per_round
+        compute = macs / (arch.peak_macs_per_s * 0.6)
+        dram_t = dram_bytes / arch.dram_bw
+        stage = max(compute, dram_t)
+        delay = stage * (rounds + len(names) - 1)
+        joules = (
+            macs * rounds * energy.e_mac
+            + (io_bytes * rounds + total_weights) * energy.e_dram
+        )
+        est = GroupEstimate(
+            delay=delay, energy=joules, batch_unit=unit, ref_power=ref_power
+        )
+        if best is None or est.cost < best.cost:
+            best = est
+    return best
+
+
+def partition_graph(
+    graph: DNNGraph,
+    arch: ArchConfig,
+    batch: int,
+    max_group_layers: int = 10,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> list[LayerGroup]:
+    """Segment the topological order into layer groups by DP."""
+    order = graph.topological_order()
+    n = len(order)
+    limit = min(max_group_layers, arch.n_cores)
+    # dp[i]: best cost of partitioning order[:i]; choice[i]: group start.
+    dp = [math.inf] * (n + 1)
+    dp[0] = 0.0
+    choice: list[tuple[int, int]] = [(0, 1)] * (n + 1)
+    estimates: dict[tuple[int, int], GroupEstimate] = {}
+    for end in range(1, n + 1):
+        for start in range(max(0, end - limit), end):
+            est = estimates.get((start, end))
+            if est is None:
+                est = estimate_group_cost(
+                    graph, order[start:end], arch, batch, energy
+                )
+                estimates[(start, end)] = est
+            cost = dp[start] + est.cost
+            if cost < dp[end]:
+                dp[end] = cost
+                choice[end] = (start, est.batch_unit)
+    groups: list[LayerGroup] = []
+    end = n
+    while end > 0:
+        start, unit = choice[end]
+        groups.append(LayerGroup(tuple(order[start:end]), batch_unit=unit))
+        end = start
+    groups.reverse()
+    return groups

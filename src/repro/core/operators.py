@@ -1,0 +1,139 @@
+"""The five SA operators (Sec V-B1).
+
+Each operator takes a :class:`LayerGroupMapping` and returns a modified
+copy, or ``None`` when it is not applicable to the current state (the SA
+controller then draws another operator).  Together the operators make
+every point of the encoding space reachable from every other (the paper's
+comprehensiveness proof [1]):
+
+* **OP1** re-randomizes one layer's Partition under its constraints;
+* **OP2** swaps two cores inside one layer's Core Group;
+* **OP3** swaps a core of one layer with a core of another layer;
+* **OP4** moves a core from one layer's CG to another's and re-factors
+  both Partitions for the new sizes;
+* **OP5** re-draws one explicitly managed FD entry in [0, D].
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+
+from repro.core.encoding import (
+    LayerGroupMapping,
+    MappingScheme,
+    Partition,
+)
+from repro.core.initial import factor_partition
+from repro.workloads.graph import DNNGraph
+
+
+def _random_partition(
+    graph: DNNGraph, lms: LayerGroupMapping, name: str, n_cores: int,
+    rng: random.Random,
+) -> Partition | None:
+    layer = graph.layer(name)
+    part = factor_partition(layer, n_cores, lms.group.batch_unit, rng=rng)
+    return part
+
+
+def op1_change_partition(
+    graph: DNNGraph, lms: LayerGroupMapping, rng: random.Random
+) -> LayerGroupMapping | None:
+    """Re-randomize one layer's Part, keeping |CG| fixed."""
+    name = rng.choice(lms.group.layers)
+    scheme = lms.scheme(name)
+    part = _random_partition(graph, lms, name, scheme.n_cores, rng)
+    if part is None or part == scheme.part:
+        return None
+    return lms.with_scheme(name, dc_replace(scheme, part=part))
+
+
+def op2_swap_within_layer(
+    graph: DNNGraph, lms: LayerGroupMapping, rng: random.Random
+) -> LayerGroupMapping | None:
+    """Swap two positions of one layer's ordered CG."""
+    name = rng.choice(lms.group.layers)
+    scheme = lms.scheme(name)
+    if scheme.n_cores < 2:
+        return None
+    i, j = rng.sample(range(scheme.n_cores), 2)
+    cg = list(scheme.core_group)
+    cg[i], cg[j] = cg[j], cg[i]
+    return lms.with_scheme(name, dc_replace(scheme, core_group=tuple(cg)))
+
+
+def op3_swap_between_layers(
+    graph: DNNGraph, lms: LayerGroupMapping, rng: random.Random
+) -> LayerGroupMapping | None:
+    """Exchange one core of layer a with one core of layer b."""
+    if len(lms.group) < 2:
+        return None
+    a, b = rng.sample(list(lms.group.layers), 2)
+    sa_, sb = lms.scheme(a), lms.scheme(b)
+    ia = rng.randrange(sa_.n_cores)
+    ib = rng.randrange(sb.n_cores)
+    cga, cgb = list(sa_.core_group), list(sb.core_group)
+    cga[ia], cgb[ib] = cgb[ib], cga[ia]
+    out = lms.with_scheme(a, dc_replace(sa_, core_group=tuple(cga)))
+    return out.with_scheme(b, dc_replace(sb, core_group=tuple(cgb)))
+
+
+def op4_move_core(
+    graph: DNNGraph, lms: LayerGroupMapping, rng: random.Random
+) -> LayerGroupMapping | None:
+    """Move a core from one layer to another; re-factor both Parts."""
+    if len(lms.group) < 2:
+        return None
+    donor, receiver = rng.sample(list(lms.group.layers), 2)
+    sd, sr = lms.scheme(donor), lms.scheme(receiver)
+    if sd.n_cores < 2:
+        return None
+    new_d = _random_partition(graph, lms, donor, sd.n_cores - 1, rng)
+    new_r = _random_partition(graph, lms, receiver, sr.n_cores + 1, rng)
+    if new_d is None or new_r is None:
+        return None
+    idx = rng.randrange(sd.n_cores)
+    cgd = list(sd.core_group)
+    moved = cgd.pop(idx)
+    cgr = list(sr.core_group)
+    cgr.insert(rng.randrange(len(cgr) + 1), moved)
+    out = lms.with_scheme(
+        donor, MappingScheme(new_d, tuple(cgd), sd.fd)
+    )
+    return out.with_scheme(
+        receiver, MappingScheme(new_r, tuple(cgr), sr.fd)
+    )
+
+
+def op5_change_flow(
+    graph: DNNGraph, lms: LayerGroupMapping, rng: random.Random,
+    n_dram: int,
+) -> LayerGroupMapping | None:
+    """Re-draw one explicit FD entry within [0, n_dram]."""
+    name = rng.choice(lms.group.layers)
+    scheme = lms.scheme(name)
+    fields = [
+        f for f, v in zip(
+            ("ifmap", "weight", "ofmap"), scheme.fd.as_tuple()
+        )
+        if v >= 0
+    ]
+    if not fields:
+        return None
+    field = rng.choice(fields)
+    value = rng.randint(0, n_dram)
+    if getattr(scheme.fd, field) == value:
+        return None
+    fd = scheme.fd.replace(**{field: value})
+    return lms.with_scheme(name, dc_replace(scheme, fd=fd))
+
+
+#: Operator registry in paper order.
+OPERATORS = (
+    ("OP1", op1_change_partition),
+    ("OP2", op2_swap_within_layer),
+    ("OP3", op3_swap_between_layers),
+    ("OP4", op4_move_core),
+    ("OP5", op5_change_flow),
+)

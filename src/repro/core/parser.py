@@ -1,0 +1,213 @@
+"""LP SPM parsing: encoded scheme -> concrete per-core workloads (Fig 3).
+
+Parsing an encoded :class:`LayerGroupMapping` produces, for every layer,
+the ofmap :class:`Region` each core owns (via near-equal splits along the
+four partition dimensions and the Correspondence Rule) and the
+:class:`~repro.intracore.CoreWorkload` that core must execute.  The
+parser also exposes the receptive-field arithmetic that traffic analysis
+uses to find which producer bytes each consumer part needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoding import (
+    LayerGroup,
+    LayerGroupMapping,
+    MappingScheme,
+    split_range,
+)
+from repro.errors import InvalidMappingError
+from repro.intracore.dataflow import CoreWorkload
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open 4-D box of the ofmap cube: (h, w, b, k) ranges."""
+
+    h_lo: int
+    h_hi: int
+    w_lo: int
+    w_hi: int
+    b_lo: int
+    b_hi: int
+    k_lo: int
+    k_hi: int
+
+    @property
+    def h_size(self) -> int:
+        return self.h_hi - self.h_lo
+
+    @property
+    def w_size(self) -> int:
+        return self.w_hi - self.w_lo
+
+    @property
+    def b_size(self) -> int:
+        return self.b_hi - self.b_lo
+
+    @property
+    def k_size(self) -> int:
+        return self.k_hi - self.k_lo
+
+    def volume(self) -> int:
+        return self.h_size * self.w_size * self.b_size * self.k_size
+
+    def is_empty(self) -> bool:
+        return self.volume() <= 0
+
+    def intersection_volume(self, other: "Region") -> int:
+        h = min(self.h_hi, other.h_hi) - max(self.h_lo, other.h_lo)
+        w = min(self.w_hi, other.w_hi) - max(self.w_lo, other.w_lo)
+        b = min(self.b_hi, other.b_hi) - max(self.b_lo, other.b_lo)
+        k = min(self.k_hi, other.k_hi) - max(self.k_lo, other.k_lo)
+        if min(h, w, b, k) <= 0:
+            return 0
+        return h * w * b * k
+
+
+@dataclass(frozen=True)
+class PlacedPart:
+    """One partitioned workload: its owning core, region and workload."""
+
+    core: int
+    part_id: tuple[int, int, int, int]
+    region: Region
+    workload: CoreWorkload
+
+
+@dataclass(frozen=True)
+class ParsedLayer:
+    name: str
+    scheme: MappingScheme
+    parts: tuple[PlacedPart, ...]
+
+
+@dataclass(frozen=True)
+class ParsedGroup:
+    """The concrete SPM scheme of a layer group."""
+
+    group: LayerGroup
+    layers: dict[str, ParsedLayer]
+
+    def layer(self, name: str) -> ParsedLayer:
+        return self.layers[name]
+
+
+def part_region(layer: Layer, scheme: MappingScheme, batch_unit: int,
+                h: int, w: int, b: int, k: int) -> Region:
+    """Ofmap region of part (h, w, b, k) under near-equal splits."""
+    part = scheme.part
+    h_lo, h_hi = split_range(layer.out_h, part.h, h)
+    w_lo, w_hi = split_range(layer.out_w, part.w, w)
+    b_lo, b_hi = split_range(batch_unit, part.b, b)
+    k_lo, k_hi = split_range(layer.out_k, part.k, k)
+    return Region(h_lo, h_hi, w_lo, w_hi, b_lo, b_hi, k_lo, k_hi)
+
+
+def _workload_for(layer: Layer, region: Region) -> CoreWorkload:
+    """The core-level workload computing ``region`` of ``layer``."""
+    if layer.is_channelwise:
+        c = region.k_size
+        groups = 1
+    elif layer.kind is LayerType.MATMUL:
+        c = layer.in_c
+        groups = 1
+    else:
+        c = layer.in_c
+        groups = layer.groups
+        # A K-slice of a grouped conv touches only its groups' channels.
+        if layer.groups > 1:
+            k_per_group = layer.out_k // layer.groups
+            g_lo = region.k_lo // k_per_group
+            g_hi = (region.k_hi - 1) // k_per_group + 1
+            n_groups = g_hi - g_lo
+            c = n_groups * (layer.in_c // layer.groups)
+            groups = n_groups
+    return CoreWorkload(
+        kind=layer.kind,
+        b=region.b_size,
+        k=region.k_size,
+        h=region.h_size,
+        w=region.w_size,
+        c=c,
+        r=layer.kernel_r,
+        s=layer.kernel_s,
+        stride=layer.stride,
+        groups=groups,
+        bytes_per_elem=layer.bytes_per_elem,
+    )
+
+
+def parse_scheme(
+    layer: Layer, scheme: MappingScheme, batch_unit: int
+) -> tuple[PlacedPart, ...]:
+    """Apply the Correspondence Rule to place every part on its core."""
+    parts = []
+    for (h, w, b, k) in scheme.part.ids():
+        region = part_region(layer, scheme, batch_unit, h, w, b, k)
+        if region.is_empty():
+            raise InvalidMappingError(
+                f"{layer.name}: partition produced an empty part "
+                f"{(h, w, b, k)} — partition counts exceed extents"
+            )
+        core = scheme.core_of(h, w, b, k)
+        parts.append(
+            PlacedPart(core, (h, w, b, k), region, _workload_for(layer, region))
+        )
+    return tuple(parts)
+
+
+def parse_lms(graph: DNNGraph, lms: LayerGroupMapping) -> ParsedGroup:
+    """Parse a full LMS into concrete per-core workloads."""
+    layers = {}
+    for name in lms.group.layers:
+        layer = graph.layer(name)
+        scheme = lms.scheme(name)
+        layers[name] = ParsedLayer(
+            name, scheme, parse_scheme(layer, scheme, lms.group.batch_unit)
+        )
+    return ParsedGroup(lms.group, layers)
+
+
+# ----------------------------------------------------------------------
+# Receptive-field arithmetic (used by traffic analysis)
+# ----------------------------------------------------------------------
+
+
+def required_input_box(
+    layer: Layer, region: Region
+) -> tuple[int, int, int, int]:
+    """Ifmap spatial box (ih_lo, ih_hi, iw_lo, iw_hi) feeding ``region``.
+
+    Halo-aware: the box is the union of the receptive fields of the
+    region's output pixels, clipped to the valid ifmap extent (padding
+    contributes no transferred data).
+    """
+    ih_lo = max(0, region.h_lo * layer.stride - layer.pad_h)
+    ih_hi = min(
+        layer.in_h,
+        (region.h_hi - 1) * layer.stride - layer.pad_h + layer.kernel_r,
+    )
+    iw_lo = max(0, region.w_lo * layer.stride - layer.pad_w)
+    iw_hi = min(
+        layer.in_w,
+        (region.w_hi - 1) * layer.stride - layer.pad_w + layer.kernel_s,
+    )
+    return ih_lo, max(ih_lo, ih_hi), iw_lo, max(iw_lo, iw_hi)
+
+
+def required_channels(layer: Layer, region: Region) -> tuple[int, int]:
+    """Ifmap channel range feeding ``region`` (consumer coordinates)."""
+    if layer.is_channelwise:
+        return region.k_lo, region.k_hi
+    if layer.groups > 1:
+        k_per_group = layer.out_k // layer.groups
+        c_per_group = layer.in_c // layer.groups
+        g_lo = region.k_lo // k_per_group
+        g_hi = (region.k_hi - 1) // k_per_group + 1
+        return g_lo * c_per_group, g_hi * c_per_group
+    return 0, layer.in_c

@@ -1,0 +1,181 @@
+"""Simulated-annealing LP SPM exploration engine (Sec V-B1).
+
+In each iteration the controller picks a layer group (probability
+proportional to the log-size of its optimization space, Sec IV-B), draws
+one of the five operators, and evaluates the modified scheme with the
+Evaluator under the ``E^beta * D^gamma`` objective.  Improvements are
+always accepted; regressions are accepted with probability
+``exp(-rel_delta / T)`` under a geometrically cooling temperature.
+
+Because D2D links have lower bandwidth and higher energy, moves that add
+D2D traffic raise the cost and are increasingly rejected as T falls —
+the mechanism by which Gemini "automatically optimizes D2D
+communication" (Sec V-B1, demonstrated in Sec VII-C).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.encoding import LayerGroupMapping
+from repro.core.operators import OPERATORS, op5_change_flow
+from repro.core.space import gemini_space_size, log10_size
+from repro.errors import SearchError
+from repro.evalmodel.evaluator import Evaluator
+from repro.workloads.graph import DNNGraph
+
+
+@dataclass
+class SASettings:
+    """Hyper-parameters of the annealing schedule."""
+
+    iterations: int = 400
+    t_start: float = 0.30
+    t_end: float = 0.005
+    beta: float = 1.0   # energy exponent
+    gamma: float = 1.0  # delay exponent
+    seed: int = 0
+    #: Operator names to draw from (None = all five).  Used by the
+    #: operator-ablation study; the paper's search always uses all five.
+    operators: tuple[str, ...] | None = None
+
+
+@dataclass
+class SAStats:
+    """Telemetry of one annealing run."""
+
+    iterations: int = 0
+    proposed: int = 0
+    accepted: int = 0
+    improved: int = 0
+    operator_uses: dict[str, int] = field(default_factory=dict)
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction achieved by the search."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+class SAController:
+    """Anneals the LMS of every layer group of one DNN."""
+
+    def __init__(
+        self,
+        graph: DNNGraph,
+        evaluator: Evaluator,
+        lmss: list[LayerGroupMapping],
+        batch: int,
+        settings: SASettings | None = None,
+    ):
+        if not lmss:
+            raise SearchError("no layer groups to anneal")
+        self.graph = graph
+        self.evaluator = evaluator
+        self.batch = batch
+        self.settings = settings or SASettings()
+        self.rng = random.Random(self.settings.seed)
+        self.current = list(lmss)
+        self.best = list(lmss)
+        self._group_weights = self._space_weights()
+        self._stored_at = self._stored_at_map(self.current)
+        self.current_costs = [self._cost(lms) for lms in self.current]
+        self.best_costs = list(self.current_costs)
+        self.stats = SAStats(initial_cost=sum(self.current_costs))
+
+    # ------------------------------------------------------------------
+
+    def _space_weights(self) -> list[float]:
+        arch = self.evaluator.arch
+        weights = []
+        for lms in self.current:
+            size = gemini_space_size(arch.n_cores, len(lms.group))
+            weights.append(max(1.0, log10_size(size)))
+        return weights
+
+    def _stored_at_map(self, lmss) -> dict[str, int]:
+        stored: dict[str, int] = {}
+        for lms in lmss:
+            for name in lms.group.layers:
+                of = lms.scheme(name).fd.ofmap
+                if of >= 0:
+                    stored[name] = of
+        return stored
+
+    def _cost(self, lms: LayerGroupMapping) -> float:
+        ev = self.evaluator.evaluate_group(
+            self.graph, lms, self.batch, self._stored_at
+        )
+        s = self.settings
+        return (ev.energy.total ** s.beta) * (ev.delay ** s.gamma)
+
+    def _temperature(self, i: int) -> float:
+        s = self.settings
+        if s.iterations <= 1:
+            return s.t_end
+        ratio = (s.t_end / s.t_start) ** (i / (s.iterations - 1))
+        return s.t_start * ratio
+
+    def _pick_group(self) -> int:
+        return self.rng.choices(
+            range(len(self.current)), weights=self._group_weights
+        )[0]
+
+    def _apply_operator(self, lms: LayerGroupMapping):
+        enabled = self.settings.operators
+        pool = (
+            OPERATORS if enabled is None
+            else tuple(o for o in OPERATORS if o[0] in enabled)
+        )
+        if not pool:
+            raise SearchError("no SA operators enabled")
+        name, op = pool[self.rng.randrange(len(pool))]
+        self.stats.operator_uses[name] = self.stats.operator_uses.get(name, 0) + 1
+        if op is op5_change_flow:
+            return op(self.graph, lms, self.rng,
+                      n_dram=self.evaluator.arch.n_dram)
+        return op(self.graph, lms, self.rng)
+
+    # ------------------------------------------------------------------
+
+    def step(self, iteration: int) -> bool:
+        """One SA iteration; returns True when a move was accepted."""
+        gi = self._pick_group()
+        candidate = self._apply_operator(self.current[gi])
+        if candidate is None:
+            return False
+        self.stats.proposed += 1
+        new_cost = self._cost(candidate)
+        old_cost = self.current_costs[gi]
+        accept = new_cost <= old_cost
+        if not accept and old_cost > 0:
+            rel = (new_cost - old_cost) / old_cost
+            t = self._temperature(iteration)
+            accept = self.rng.random() < math.exp(-rel / max(t, 1e-9))
+        if not accept:
+            return False
+        self.stats.accepted += 1
+        self.current[gi] = candidate
+        self.current_costs[gi] = new_cost
+        self._stored_at = self._stored_at_map(self.current)
+        if new_cost < self.best_costs[gi]:
+            self.best[gi] = candidate
+            self.best_costs[gi] = new_cost
+            self.stats.improved += 1
+        return True
+
+    def run(self) -> list[LayerGroupMapping]:
+        for i in range(self.settings.iterations):
+            self.stats.iterations += 1
+            self.step(i)
+        self.stats.final_cost = sum(self.best_costs)
+        return list(self.best)

@@ -1,0 +1,97 @@
+"""Optimization-space size calculations (Sec IV-B).
+
+The paper conservatively lower-bounds the size of the LP SPM space of
+mapping N layers onto M cores (D DRAMs) at
+
+    M! * Σ_{i=0}^{N-1} C(N, i) * C(M-N-1, N-i-1) * 4^{N-i}
+
+and upper-bounds the SOTA heuristic Tangram's space at ``N * part(M)``
+(``part`` = the integer partition function).  Exact big-integer
+implementations of both are provided, along with the partition function
+and a brute-force enumerator used by tests to validate the combinatorial
+building blocks on tiny instances.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+
+def _comb(x: int, y: int) -> int:
+    """Binomial coefficient with the convention C(x, 0) = 1 for any x
+    and C(x, y) = 0 when y < 0 or y > max(x, 0)."""
+    if y == 0:
+        return 1
+    if y < 0 or x < y:
+        return 0
+    return math.comb(x, y)
+
+
+def gemini_space_size(m: int, n: int) -> int:
+    """Paper's lower bound of the LP SPM space for N layers on M cores."""
+    if n < 1 or m < n:
+        return 0
+    total = 0
+    for i in range(n):
+        total += _comb(n, i) * _comb(m - n - 1, n - i - 1) * 4 ** (n - i)
+    return math.factorial(m) * total
+
+
+@lru_cache(maxsize=None)
+def partition_count(m: int) -> int:
+    """Integer partition function p(m) via Euler's pentagonal recurrence."""
+    if m < 0:
+        return 0
+    if m == 0:
+        return 1
+    total = 0
+    k = 1
+    while True:
+        g1 = k * (3 * k - 1) // 2
+        g2 = k * (3 * k + 1) // 2
+        if g1 > m and g2 > m:
+            break
+        sign = -1 if k % 2 == 0 else 1
+        if g1 <= m:
+            total += sign * partition_count(m - g1)
+        if g2 <= m:
+            total += sign * partition_count(m - g2)
+        k += 1
+    return total
+
+
+def tangram_space_size(m: int, n: int) -> int:
+    """Paper's upper bound of Tangram's heuristic space: N * part(M)."""
+    if n < 1 or m < 1:
+        return 0
+    return n * partition_count(m)
+
+
+def compositions(total: int, parts: int) -> int:
+    """Number of compositions of ``total`` into ``parts`` positive parts."""
+    if parts < 1 or total < parts:
+        return 0
+    return math.comb(total - 1, parts - 1)
+
+
+def space_table(ms: list[int], ns: list[int]):
+    """(M, N) -> (gemini, tangram) size table, as the paper's link [2]."""
+    table = {}
+    for m in ms:
+        for n in ns:
+            if n <= m:
+                table[(m, n)] = (gemini_space_size(m, n), tangram_space_size(m, n))
+    return table
+
+
+def log10_size(value: int) -> float:
+    """log10 of a (possibly astronomically large) exact integer."""
+    if value <= 0:
+        return float("-inf")
+    # math.log10 overflows for ints > 1e308; use bit length scaling.
+    bits = value.bit_length()
+    if bits < 900:
+        return math.log10(value)
+    shift = bits - 900
+    return math.log10(value >> shift) + shift * math.log10(2)

@@ -1,0 +1,21 @@
+"""Monetary Cost Evaluator: yield, silicon, DRAM and packaging costs."""
+
+from repro.cost.dram_cost import DEFAULT_DRAM_COST, DramCostModel
+from repro.cost.mc import DEFAULT_MC, MCEvaluator, MCReport
+from repro.cost.packaging import DEFAULT_PACKAGING, PackagingModel
+from repro.cost.silicon import DEFAULT_SILICON, SiliconCostModel
+from repro.cost.yield_model import DEFAULT_YIELD, YieldModel
+
+__all__ = [
+    "DEFAULT_DRAM_COST",
+    "DEFAULT_MC",
+    "DEFAULT_PACKAGING",
+    "DEFAULT_SILICON",
+    "DEFAULT_YIELD",
+    "DramCostModel",
+    "MCEvaluator",
+    "MCReport",
+    "PackagingModel",
+    "SiliconCostModel",
+    "YieldModel",
+]

@@ -1,0 +1,27 @@
+"""DRAM cost model (Sec V-C).
+
+``Cost = ceil(DRAM_BW / Unit_BW) x C_DRAM_die`` with the paper's GDDR6
+constants: 32 GB/s and $3.5 per die [12].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class DramCostModel:
+    unit_bw: float = 32 * GB
+    cost_per_die: float = 3.5
+
+    def n_dies(self, dram_bw: float) -> int:
+        return max(1, math.ceil(dram_bw / self.unit_bw))
+
+    def cost(self, dram_bw: float) -> float:
+        return self.n_dies(dram_bw) * self.cost_per_die
+
+
+DEFAULT_DRAM_COST = DramCostModel()

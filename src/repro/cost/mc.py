@@ -1,0 +1,65 @@
+"""The Monetary Cost Evaluator (Sec V-C).
+
+Combines the silicon, DRAM and packaging models over the area model's
+die list.  MC depends only on the architecture (not on workloads or
+mapping), which is why the DSE evaluates it once per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.area import DEFAULT_AREA, AreaModel
+from repro.arch.params import ArchConfig
+from repro.cost.dram_cost import DEFAULT_DRAM_COST, DramCostModel
+from repro.cost.packaging import DEFAULT_PACKAGING, PackagingModel
+from repro.cost.silicon import DEFAULT_SILICON, SiliconCostModel
+
+
+@dataclass(frozen=True)
+class MCReport:
+    """Monetary cost breakdown of one architecture, USD."""
+
+    silicon: float
+    dram: float
+    packaging: float
+    die_areas_mm2: tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        return self.silicon + self.dram + self.packaging
+
+    @property
+    def total_silicon_area_mm2(self) -> float:
+        return sum(self.die_areas_mm2)
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MC ${self.total:.2f} = silicon ${self.silicon:.2f} + "
+            f"DRAM ${self.dram:.2f} + package ${self.packaging:.2f} "
+            f"({self.total_silicon_area_mm2:.1f} mm^2, "
+            f"{len(self.die_areas_mm2)} dies)"
+        )
+
+
+@dataclass(frozen=True)
+class MCEvaluator:
+    """Assesses the production cost of an architecture candidate."""
+
+    area: AreaModel = DEFAULT_AREA
+    silicon: SiliconCostModel = DEFAULT_SILICON
+    dram: DramCostModel = DEFAULT_DRAM_COST
+    packaging: PackagingModel = DEFAULT_PACKAGING
+
+    def evaluate(self, arch: ArchConfig) -> MCReport:
+        dies = self.area.die_areas(arch)
+        total_area = sum(dies)
+        return MCReport(
+            silicon=self.silicon.cost(dies),
+            dram=self.dram.cost(arch.dram_bw),
+            packaging=self.packaging.cost(total_area, len(dies)),
+            die_areas_mm2=tuple(dies),
+        )
+
+
+DEFAULT_MC = MCEvaluator()

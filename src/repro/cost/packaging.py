@@ -1,0 +1,58 @@
+"""Packaging cost model (Sec V-C).
+
+``Cost = (Area_total x f_scale) / Yield_package x C_package`` where the
+substrate area is the total silicon area times an empirical fan-out
+scaling factor [13], and ``C_package`` depends on the substrate class:
+
+* monolithic chips use a basic fan-out substrate (0.005 $/mm^2);
+* chiplet designs need high-density organic substrates whose unit price
+  rises with substrate area (larger areas need more layers and more
+  intricate manufacturing).
+
+Package yield degrades slightly with every additional die bonded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PackagingModel:
+    #: Substrate area = total silicon area x f_scale (IO fanout, wiring).
+    f_scale: float = 2.0
+    #: Basic fan-out substrate for monolithic chips, $/mm^2.
+    c_fanout: float = 0.005
+    #: High-density organic substrate price tiers: (max area mm^2, $/mm^2).
+    hd_tiers: tuple[tuple[float, float], ...] = (
+        (500.0, 0.02),
+        (1000.0, 0.03),
+        (2000.0, 0.045),
+        (float("inf"), 0.07),
+    )
+    #: Base packaging/assembly yield.
+    base_yield: float = 0.98
+    #: Per-bonded-die assembly yield.
+    per_die_yield: float = 0.995
+
+    def substrate_area(self, silicon_area_mm2: float) -> float:
+        return silicon_area_mm2 * self.f_scale
+
+    def unit_price(self, substrate_area_mm2: float, n_dies: int) -> float:
+        if n_dies <= 1:
+            return self.c_fanout
+        for limit, price in self.hd_tiers:
+            if substrate_area_mm2 <= limit:
+                return price
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def package_yield(self, n_dies: int) -> float:
+        return self.base_yield * self.per_die_yield ** max(0, n_dies - 1)
+
+    def cost(self, silicon_area_mm2: float, n_dies: int) -> float:
+        area = self.substrate_area(silicon_area_mm2)
+        price = self.unit_price(area, n_dies)
+        return area * price / self.package_yield(n_dies)
+
+
+DEFAULT_PACKAGING = PackagingModel()

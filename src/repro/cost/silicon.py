@@ -1,0 +1,32 @@
+"""Chiplet silicon cost (Sec V-C).
+
+``Cost_die = Area_die / Yield_die x C_silicon`` summed over all dies.
+``C_silicon`` is the per-mm^2 price of processed 12 nm wafer silicon
+(wafer price / usable area); we use 0.25 $/mm^2, in line with published
+12 nm wafer cost estimates used by Chiplet Actuary [13].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.yield_model import DEFAULT_YIELD, YieldModel
+
+
+@dataclass(frozen=True)
+class SiliconCostModel:
+    c_silicon_per_mm2: float = 0.25
+    yield_model: YieldModel = DEFAULT_YIELD
+
+    def die_cost(self, area_mm2: float) -> float:
+        return (
+            area_mm2
+            * self.yield_model.good_die_cost_factor(area_mm2)
+            * self.c_silicon_per_mm2
+        )
+
+    def cost(self, die_areas_mm2: list[float]) -> float:
+        return sum(self.die_cost(a) for a in die_areas_mm2)
+
+
+DEFAULT_SILICON = SiliconCostModel()

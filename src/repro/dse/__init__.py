@@ -1,0 +1,57 @@
+"""Architecture/mapping co-exploration (DSE) driver and helpers."""
+
+from repro.dse.candidates import DseGrid, candidate_from, enumerate_candidates
+from repro.dse.explorer import (
+    CandidateResult,
+    DesignSpaceExplorer,
+    DseReport,
+    Workload,
+    geomean,
+)
+from repro.dse.joint import (
+    JointCandidateResult,
+    JointDseReport,
+    JointExplorer,
+    scale_with_chiplets,
+)
+from repro.dse.pareto import (
+    category_bests,
+    dominates,
+    pareto_front,
+    top_fraction,
+)
+from repro.dse.objective import (
+    FIG7_OBJECTIVES,
+    OBJECTIVE_DELAY,
+    OBJECTIVE_EDP,
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_MC,
+    OBJECTIVE_MCED,
+    Objective,
+)
+
+__all__ = [
+    "CandidateResult",
+    "DesignSpaceExplorer",
+    "DseGrid",
+    "DseReport",
+    "FIG7_OBJECTIVES",
+    "JointCandidateResult",
+    "JointDseReport",
+    "JointExplorer",
+    "OBJECTIVE_DELAY",
+    "OBJECTIVE_EDP",
+    "OBJECTIVE_ENERGY",
+    "OBJECTIVE_MC",
+    "OBJECTIVE_MCED",
+    "Objective",
+    "Workload",
+    "candidate_from",
+    "category_bests",
+    "dominates",
+    "enumerate_candidates",
+    "geomean",
+    "pareto_front",
+    "scale_with_chiplets",
+    "top_fraction",
+]

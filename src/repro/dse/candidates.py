@@ -1,0 +1,96 @@
+"""Architecture candidate enumeration from the Table-I DSE grid.
+
+Table I (Sec VI-A1) lists candidate values per parameter; a candidate is
+valid when the MAC/core choice divides the target computing power into an
+integer core count, the core array arranges near-square, and XCut / YCut
+divide the per-edge core counts.  D2D bandwidth candidates are expressed
+relative to the NoC bandwidth (NoC/4, NoC/2, NoC).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.arch.params import ArchConfig, arrange_cores, cores_for_tops
+from repro.errors import InvalidArchitectureError
+from repro.units import GB, KB
+
+
+@dataclass(frozen=True)
+class DseGrid:
+    """Candidate values per Table-I parameter (defaults = the paper's)."""
+
+    tops: int = 72
+    cuts: tuple[int, ...] = (1, 2, 3, 6)
+    dram_bw_per_tops: tuple[float, ...] = (0.5, 1.0, 2.0)  # GB/s per TOPs
+    noc_bw_gbps: tuple[int, ...] = (8, 16, 32, 64, 128)
+    d2d_ratio: tuple[float, ...] = (0.25, 0.5, 1.0)
+    glb_kb: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
+    macs_per_core: tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+
+    @staticmethod
+    def paper_grid(tops: int) -> "DseGrid":
+        """The exact Table-I grid for one of the paper's power targets."""
+        cuts = (1, 2, 3, 6) if tops == 72 else (1, 2, 4, 8)
+        return DseGrid(tops=tops, cuts=cuts)
+
+
+def candidate_from(
+    tops: int,
+    macs_per_core: int,
+    xcut: int,
+    ycut: int,
+    dram_per_tops: float,
+    noc_gbps: float,
+    d2d_ratio: float,
+    glb_kb: int,
+) -> ArchConfig | None:
+    """Build one candidate; ``None`` when the combination is invalid."""
+    n_cores = cores_for_tops(tops, macs_per_core)
+    if n_cores is None:
+        return None
+    cores_x, cores_y = arrange_cores(n_cores)
+    if cores_x % xcut or cores_y % ycut:
+        return None
+    monolithic = xcut * ycut == 1
+    noc_bw = noc_gbps * GB
+    d2d_bw = noc_bw if monolithic else noc_bw * d2d_ratio
+    try:
+        return ArchConfig(
+            cores_x=cores_x,
+            cores_y=cores_y,
+            xcut=xcut,
+            ycut=ycut,
+            dram_bw=dram_per_tops * tops * GB,
+            noc_bw=noc_bw,
+            d2d_bw=d2d_bw,
+            glb_bytes=glb_kb * KB,
+            macs_per_core=macs_per_core,
+        )
+    except InvalidArchitectureError:
+        return None
+
+
+def enumerate_candidates(grid: DseGrid) -> list[ArchConfig]:
+    """All valid, de-duplicated candidates of a grid."""
+    seen: set[tuple] = set()
+    out: list[ArchConfig] = []
+    for macs, xcut, ycut, dram, noc, ratio, glb in itertools.product(
+        grid.macs_per_core, grid.cuts, grid.cuts, grid.dram_bw_per_tops,
+        grid.noc_bw_gbps, grid.d2d_ratio, grid.glb_kb,
+    ):
+        arch = candidate_from(
+            grid.tops, macs, xcut, ycut, dram, noc, ratio, glb
+        )
+        if arch is None:
+            continue
+        key = (
+            arch.cores_x, arch.cores_y, arch.xcut, arch.ycut, arch.dram_bw,
+            arch.noc_bw, arch.d2d_bw, arch.glb_bytes, arch.macs_per_core,
+        )
+        if key in seen:
+            continue  # monolithic candidates collapse the D2D ratios
+        seen.add(key)
+        out.append(arch)
+    return out

@@ -1,0 +1,145 @@
+"""The DSE driver (Sec V-A, Fig 4 left).
+
+All architecture candidates are exhaustively explored: for each, the
+Mapping Engine optimizes every input DNN (``E_i``, ``D_i``), the overall
+energy and delay are the geometric means across DNNs, the MC Evaluator
+prices the architecture, and the objective ``MC^a x E^b x D^g`` ranks
+the candidate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.params import ArchConfig
+from repro.core.engine import MappingEngine, MappingEngineSettings
+from repro.core.sa import SASettings
+from repro.cost.mc import DEFAULT_MC, MCEvaluator, MCReport
+from repro.dse.objective import OBJECTIVE_MCED, Objective
+from repro.workloads.graph import DNNGraph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One DSE input DNN with its batch size."""
+
+    graph: DNNGraph
+    batch: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.graph.name}@b{self.batch}"
+
+
+@dataclass
+class CandidateResult:
+    """Evaluation record of one architecture candidate."""
+
+    arch: ArchConfig
+    mc: MCReport
+    energy: float       # geomean joules per inference pass
+    delay: float        # geomean seconds per inference pass
+    score: float
+    per_workload: dict[str, tuple[float, float]] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.delay
+
+
+@dataclass
+class DseReport:
+    """Outcome of one design-space exploration."""
+
+    best: CandidateResult
+    results: list[CandidateResult]
+    objective: Objective
+    wall_time_s: float
+
+    def top(self, n: int = 10) -> list[CandidateResult]:
+        return sorted(self.results, key=lambda r: r.score)[:n]
+
+    def by_chiplet_count(self) -> dict[int, list[CandidateResult]]:
+        out: dict[int, list[CandidateResult]] = {}
+        for r in self.results:
+            out.setdefault(r.arch.n_chiplets, []).append(r)
+        return out
+
+    def by_core_count(self) -> dict[int, list[CandidateResult]]:
+        out: dict[int, list[CandidateResult]] = {}
+        for r in self.results:
+            out.setdefault(r.arch.n_cores, []).append(r)
+        return out
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class DesignSpaceExplorer:
+    """Exhaustive co-exploration of architecture and mapping."""
+
+    def __init__(
+        self,
+        workloads: list[Workload],
+        objective: Objective = OBJECTIVE_MCED,
+        mc_evaluator: MCEvaluator = DEFAULT_MC,
+        sa_settings: SASettings | None = None,
+        max_group_layers: int = 10,
+    ):
+        if not workloads:
+            raise ValueError("DSE needs at least one workload")
+        self.workloads = workloads
+        self.objective = objective
+        self.mc_evaluator = mc_evaluator
+        self.sa_settings = sa_settings or SASettings(iterations=100)
+        self.max_group_layers = max_group_layers
+
+    # ------------------------------------------------------------------
+
+    def evaluate_candidate(self, arch: ArchConfig) -> CandidateResult:
+        t0 = time.perf_counter()
+        engine = MappingEngine(
+            arch,
+            settings=MappingEngineSettings(
+                sa=self.sa_settings,
+                max_group_layers=self.max_group_layers,
+            ),
+        )
+        per: dict[str, tuple[float, float]] = {}
+        energies, delays = [], []
+        for wl in self.workloads:
+            result = engine.map(wl.graph, wl.batch)
+            per[wl.name] = (result.energy, result.delay)
+            energies.append(result.energy)
+            delays.append(result.delay)
+        mc = self.mc_evaluator.evaluate(arch)
+        energy = geomean(energies)
+        delay = geomean(delays)
+        return CandidateResult(
+            arch=arch,
+            mc=mc,
+            energy=energy,
+            delay=delay,
+            score=self.objective.score(mc.total, energy, delay),
+            per_workload=per,
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    def explore(self, candidates: list[ArchConfig]) -> DseReport:
+        if not candidates:
+            raise ValueError("no candidates to explore")
+        t0 = time.perf_counter()
+        results = [self.evaluate_candidate(a) for a in candidates]
+        best = min(results, key=lambda r: r.score)
+        return DseReport(
+            best=best,
+            results=results,
+            objective=self.objective,
+            wall_time_s=time.perf_counter() - t0,
+        )

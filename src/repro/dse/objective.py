@@ -1,0 +1,37 @@
+"""DSE optimization objectives: ``MC^alpha x E^beta x D^gamma`` (Sec V-A).
+
+The exponents weight monetary cost, energy and delay.  The paper's
+default DSE objective is ``MC * E * D``; Fig 7 compares the optima under
+four instances (pure E, pure D, pure MC and the product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Objective:
+    alpha: float = 1.0  # monetary cost
+    beta: float = 1.0   # energy
+    gamma: float = 1.0  # delay
+    name: str = "MC*E*D"
+
+    def score(self, mc: float, energy: float, delay: float) -> float:
+        return (mc ** self.alpha) * (energy ** self.beta) * (delay ** self.gamma)
+
+
+#: The four objectives of Fig 7 (left-to-right order in the figure is
+#: E, D, MC, MC*E*D after the paper's caption).
+OBJECTIVE_ENERGY = Objective(alpha=0.0, beta=1.0, gamma=0.0, name="E")
+OBJECTIVE_DELAY = Objective(alpha=0.0, beta=0.0, gamma=1.0, name="D")
+OBJECTIVE_MC = Objective(alpha=1.0, beta=0.0, gamma=0.0, name="MC")
+OBJECTIVE_MCED = Objective(alpha=1.0, beta=1.0, gamma=1.0, name="MC*E*D")
+OBJECTIVE_EDP = Objective(alpha=0.0, beta=1.0, gamma=1.0, name="E*D")
+
+FIG7_OBJECTIVES = (
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_DELAY,
+    OBJECTIVE_MC,
+    OBJECTIVE_MCED,
+)

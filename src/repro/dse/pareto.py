@@ -1,0 +1,73 @@
+"""Pareto-front utilities over DSE results (the Fig 6 scatter view).
+
+Fig 6 plots candidates in the (EDP, MC) plane; the interesting designs
+are the Pareto-optimal ones.  These helpers compute Pareto fronts over
+arbitrary minimization axes of :class:`CandidateResult` records and the
+per-category "top p %" filtering the paper uses ("only the top 50 % of
+each category is plotted").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dse.explorer import CandidateResult
+
+#: Named axes over CandidateResult, all to be minimized.
+AXES: dict[str, Callable[[CandidateResult], float]] = {
+    "mc": lambda r: r.mc.total,
+    "energy": lambda r: r.energy,
+    "delay": lambda r: r.delay,
+    "edp": lambda r: r.edp,
+    "score": lambda r: r.score,
+}
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when point a is no worse than b everywhere and better once."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    results: list[CandidateResult], axes: Sequence[str] = ("edp", "mc")
+) -> list[CandidateResult]:
+    """Pareto-optimal results under the named minimization axes."""
+    keyfns = [AXES[a] for a in axes]
+    points = [tuple(f(r) for f in keyfns) for r in results]
+    front = []
+    for i, (r, p) in enumerate(zip(results, points)):
+        if not any(
+            dominates(q, p) for j, q in enumerate(points) if j != i
+        ):
+            front.append(r)
+    return front
+
+
+def top_fraction(
+    results: list[CandidateResult],
+    fraction: float = 0.5,
+    axis: str = "score",
+) -> list[CandidateResult]:
+    """The best ``fraction`` of results under one axis (Fig 6's top-50%)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(results, key=AXES[axis])
+    keep = max(1, int(len(ordered) * fraction))
+    return ordered[:keep]
+
+
+def category_bests(
+    results: list[CandidateResult],
+    category: Callable[[CandidateResult], int],
+    axis: str = "score",
+) -> dict[int, CandidateResult]:
+    """Best result per category (e.g. per chiplet count)."""
+    keyfn = AXES[axis]
+    best: dict[int, CandidateResult] = {}
+    for r in results:
+        c = category(r)
+        if c not in best or keyfn(r) < keyfn(best[c]):
+            best[c] = r
+    return best

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidArchitectureError(ReproError):
+    """An architecture configuration violates a template constraint."""
+
+
+class InvalidMappingError(ReproError):
+    """An encoded LP SPM scheme violates an encoding constraint."""
+
+
+class InvalidWorkloadError(ReproError):
+    """A DNN graph or layer definition is malformed."""
+
+
+class CapacityError(ReproError):
+    """A workload cannot be scheduled within the available buffer capacity."""
+
+
+class SearchError(ReproError):
+    """A search engine could not produce a valid result."""

@@ -1,0 +1,89 @@
+"""Result records of the Gemini Evaluator (Sec V-B2).
+
+The paper reports energy in four buckets — network (router hops), D2D,
+intra-tile (MAC + GLB + registers) and DRAM — and delay per DNN.  These
+records carry those buckets plus the per-link traffic needed for the
+Fig 9 heatmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.traffic import TrafficMap
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component bucket."""
+
+    intra: float = 0.0
+    noc: float = 0.0
+    d2d: float = 0.0
+    dram: float = 0.0
+
+    @property
+    def network(self) -> float:
+        """NoC + D2D, the paper's "Network Energy" bucket."""
+        return self.noc + self.d2d
+
+    @property
+    def total(self) -> float:
+        return self.intra + self.noc + self.d2d + self.dram
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            intra=self.intra + other.intra,
+            noc=self.noc + other.noc,
+            d2d=self.d2d + other.d2d,
+            dram=self.dram + other.dram,
+        )
+
+    def scaled(self, f: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            intra=self.intra * f, noc=self.noc * f,
+            d2d=self.d2d * f, dram=self.dram * f,
+        )
+
+
+@dataclass
+class GroupEval:
+    """Evaluation of one layer group for a full inference pass."""
+
+    delay: float
+    energy: EnergyBreakdown
+    stage_time: float
+    rounds: int
+    compute_time: float
+    network_time: float
+    dram_time: float
+    traffic: TrafficMap | None = None
+    dram_round_bytes: list[float] = field(default_factory=list)
+    fits: bool = True
+
+    @property
+    def bound(self) -> str:
+        """Which resource bounds the pipeline stage."""
+        times = {
+            "compute": self.compute_time,
+            "network": self.network_time,
+            "dram": self.dram_time,
+        }
+        return max(times, key=times.get)
+
+
+@dataclass
+class MappingEval:
+    """Evaluation of a whole DNN (all layer groups, one inference)."""
+
+    delay: float
+    energy: EnergyBreakdown
+    groups: list[GroupEval] = field(default_factory=list)
+
+    @property
+    def edp(self) -> float:
+        return self.delay * self.energy.total
+
+    def cost(self, beta: float = 1.0, gamma: float = 1.0) -> float:
+        """The mapping-engine objective ``E^beta * D^gamma``."""
+        return (self.energy.total ** beta) * (self.delay ** gamma)

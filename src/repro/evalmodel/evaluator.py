@@ -1,0 +1,169 @@
+"""The Gemini Evaluator facade (Sec V-B2, Fig 4).
+
+Combines the parser, the intra-core exploration engine, the traffic
+analyzer and the delay/energy models into the two interfaces the paper
+describes: per-group evaluation (called inside the SA loop) and
+whole-mapping evaluation (chaining groups, propagating where each
+group's ofmaps were stored so later groups fetch from the right DRAM).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
+from repro.arch.params import ArchConfig
+from repro.arch.topology import MeshTopology
+from repro.core.encoding import LayerGroupMapping
+from repro.core.parser import parse_lms
+from repro.evalmodel.breakdown import EnergyBreakdown, GroupEval, MappingEval
+from repro.evalmodel.delay import group_delay, stage_times
+from repro.evalmodel.energy import group_energy
+from repro.evalmodel.traffic_analysis import GroupTraffic, GroupTrafficAnalyzer
+from repro.intracore.cache import IntraCoreEngine
+from repro.intracore.result import IntraCoreResult
+from repro.workloads.graph import DNNGraph
+
+
+class Evaluator:
+    """Delay / energy evaluator bound to one architecture instance.
+
+    ``network_model`` selects the network stage-time estimate:
+    ``"bound"`` (default, the paper's analytic most-loaded-link bound)
+    or ``"maxmin"`` (max–min-fair flow simulation of the round's
+    transfers — slower, upper-bounds the analytic estimate, useful for
+    validating schemes the search has already picked).
+    """
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        topo: MeshTopology | None = None,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        network_model: str = "bound",
+    ):
+        if network_model not in ("bound", "maxmin"):
+            raise ValueError(f"unknown network model {network_model!r}")
+        self.arch = arch
+        self.topo = topo if topo is not None else MeshTopology(arch)
+        self.energy = energy
+        self.network_model = network_model
+        self.intracore = IntraCoreEngine(arch, energy)
+
+    # ------------------------------------------------------------------
+
+    def _n_d2d_interfaces(self) -> int:
+        arch = self.arch
+        if arch.is_monolithic:
+            return 0
+        return arch.n_chiplets * 2 * (
+            arch.chiplet_cores_x + arch.chiplet_cores_y
+        )
+
+    def _intra_results(self, parsed) -> dict[str, list[IntraCoreResult]]:
+        results: dict[str, list[IntraCoreResult]] = {}
+        for name, parsed_layer in parsed.layers.items():
+            results[name] = [
+                self.intracore.schedule(part.workload)
+                for part in parsed_layer.parts
+            ]
+        return results
+
+    # ------------------------------------------------------------------
+
+    def evaluate_group(
+        self,
+        graph: DNNGraph,
+        lms: LayerGroupMapping,
+        batch: int,
+        stored_at: dict[str, int] | None = None,
+        keep_traffic: bool = False,
+    ) -> GroupEval:
+        """Evaluate one layer group for a full inference of ``batch``."""
+        stored_at = stored_at or {}
+        parsed = parse_lms(graph, lms)
+        intra = self._intra_results(parsed)
+        analyzer = GroupTrafficAnalyzer(
+            graph, self.arch, self.topo,
+            collect_flows=self.network_model == "maxmin",
+        )
+        traffic = analyzer.analyze(parsed, lms, intra, stored_at)
+        rounds = math.ceil(batch / lms.group.batch_unit)
+        depth = len(lms.group)
+        times = stage_times(self.arch, intra, traffic)
+        if self.network_model == "maxmin":
+            times = self._refine_network_time(traffic, times)
+        delay = group_delay(times, rounds, depth)
+        energy = group_energy(
+            self.arch, self.energy, intra, traffic, rounds,
+            times.stage, self._n_d2d_interfaces(),
+        )
+        fits = all(r.fits for results in intra.values() for r in results)
+        return GroupEval(
+            delay=delay,
+            energy=energy,
+            stage_time=times.stage,
+            rounds=rounds,
+            compute_time=times.compute,
+            network_time=times.network,
+            dram_time=times.dram,
+            traffic=traffic.traffic if keep_traffic else None,
+            dram_round_bytes=list(traffic.dram_round_bytes),
+            fits=fits,
+        )
+
+    def _refine_network_time(self, traffic, times):
+        """Replace the analytic network bound by a max–min simulation.
+
+        Weight multicasts are simulated as per-destination unicasts
+        (slightly conservative); the simulated time can never be below
+        the analytic bound.
+        """
+        from dataclasses import replace
+
+        from repro.evalmodel.delay import StageTimes
+        from repro.evalmodel.traffic_analysis import round_flows
+        from repro.noc.flowsim import Flow, simulate_completion_time
+
+        flows = [
+            Flow(self.topo.route(f.src, f.dst), f.volume)
+            for f in round_flows(traffic.flows, self.topo)
+        ]
+        if not flows:
+            return times
+        simulated = simulate_completion_time(self.topo, flows)
+        return StageTimes(
+            compute=times.compute,
+            network=max(times.network, simulated),
+            dram=times.dram,
+            prologue=times.prologue,
+        )
+
+    def evaluate_mapping(
+        self,
+        graph: DNNGraph,
+        lmss: list[LayerGroupMapping],
+        batch: int,
+        keep_traffic: bool = False,
+    ) -> MappingEval:
+        """Evaluate a whole DNN mapping: chained layer groups.
+
+        Groups must be given in topological order; each group's explicit
+        OF selections feed later groups' cross-group ifmap fetches.
+        """
+        stored_at: dict[str, int] = {}
+        total_delay = 0.0
+        total_energy = EnergyBreakdown()
+        evals = []
+        for lms in lmss:
+            ev = self.evaluate_group(
+                graph, lms, batch, stored_at, keep_traffic=keep_traffic
+            )
+            evals.append(ev)
+            total_delay += ev.delay
+            total_energy = total_energy + ev.energy
+            for name in lms.group.layers:
+                of = lms.scheme(name).fd.ofmap
+                if of >= 0:
+                    stored_at[name] = of
+        return MappingEval(delay=total_delay, energy=total_energy, groups=evals)

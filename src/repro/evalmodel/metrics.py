@@ -1,0 +1,61 @@
+"""Derived metrics behind the paper's Discussion insights (Sec VII).
+
+The paper quotes quantities like "the average number of layers
+processed simultaneously" (5.4 / 4.1 / 10.2 / 8.1 for the four Fig 7
+optima) and per-core-count DRAM-access reductions.  These helpers
+compute the same statistics from a :class:`MappingResult`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a core <-> evalmodel cycle
+    from repro.core.engine import MappingResult
+
+
+def average_concurrent_layers(result: "MappingResult") -> float:
+    """Delay-weighted mean pipeline depth: the paper's "average number
+    of layers processed simultaneously"."""
+    total = result.delay
+    if total <= 0:
+        return 0.0
+    return sum(
+        len(group) * ev.delay
+        for group, ev in zip(result.groups, result.evaluation.groups)
+    ) / total
+
+
+def dram_bytes_per_inference(result: "MappingResult") -> float:
+    """Total DRAM traffic (reads + writes) of one inference pass."""
+    total = 0.0
+    for ev in result.evaluation.groups:
+        total += sum(ev.dram_round_bytes) * ev.rounds
+    return total
+
+
+def d2d_energy_share(result: "MappingResult") -> float:
+    """Fraction of network energy spent on D2D links."""
+    network = result.evaluation.energy.network
+    if network <= 0:
+        return 0.0
+    return result.evaluation.energy.d2d / network
+
+
+def stage_bound_histogram(result: "MappingResult") -> dict[str, int]:
+    """How many layer groups are compute- / network- / DRAM-bound."""
+    hist: dict[str, int] = {}
+    for ev in result.evaluation.groups:
+        hist[ev.bound] = hist.get(ev.bound, 0) + 1
+    return hist
+
+
+def pipeline_fill_drain_loss(result: "MappingResult") -> float:
+    """Fraction of total delay spent filling/draining pipelines."""
+    total = result.delay
+    if total <= 0:
+        return 0.0
+    useful = sum(
+        ev.stage_time * ev.rounds for ev in result.evaluation.groups
+    )
+    return max(0.0, 1.0 - useful / total)

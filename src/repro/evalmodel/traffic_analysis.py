@@ -1,0 +1,346 @@
+"""Traffic analysis: parsed scheme -> per-round link and DRAM volumes.
+
+This implements the Evaluator's global analysis (Sec V-B2): the data
+communication volume on every NoC/D2D link and the access pattern of
+every DRAM, for one pipeline round (one batch unit) of a layer group.
+
+Flows handled:
+
+* **inter-layer** — producer part -> consumer part overlap volumes
+  (4-D interval intersections of the producer's owned ofmap regions with
+  the consumer's halo-aware ifmap requirement), unicast over XY routes;
+* **DRAM ifmap** — layers reading the DNN input or a cross-group
+  producer fetch from the DRAM selected by FD (0 = interleaved over all
+  DRAMs, d > 0 = DRAM d; cross-group inputs come from wherever the
+  producer group stored its ofmaps);
+* **weights** — cores sharing a K-slice receive the same bytes, so each
+  distinct slice is read from DRAM once and multicast along an XY tree;
+* **DRAM ofmap** — explicit OF flows write each part's ofmap out.
+
+MATMUL layers are special-cased: the first operand is consumed row-wise
+(its H range follows the consumer's), the second operand either row-wise
+by the consumer's K range (score products) or channel-wise (context
+products), detected from the contraction geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.params import ArchConfig
+from repro.arch.topology import MeshTopology, NodeId
+from repro.core.encoding import INTERLEAVED, LayerGroupMapping
+from repro.core.parser import (
+    ParsedGroup,
+    PlacedPart,
+    Region,
+    required_channels,
+    required_input_box,
+)
+from repro.intracore.result import IntraCoreResult
+from repro.noc.multicast import multicast_tree
+from repro.noc.traffic import TrafficMap
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One logical transfer, kept when flow collection is enabled.
+
+    ``kind`` is one of ``ifmap`` (inter-layer or DRAM input), ``weight``
+    or ``ofmap``; endpoints are topology nodes.
+    """
+
+    kind: str
+    layer: str
+    src: tuple
+    dst: tuple
+    volume: float
+    #: Producer layer when the source endpoint is a core computing it.
+    src_layer: str | None = None
+    #: Records sharing an id are one multicast: the same bytes traverse
+    #: each tree link once (simulators must deduplicate; instruction
+    #: generation keeps every destination's copy).
+    multicast_group: int | None = None
+    #: True for once-per-inference transfers (resident weight loads),
+    #: which do not belong to a steady-state round.
+    once: bool = False
+
+
+@dataclass
+class GroupTraffic:
+    """Per-round traffic of one layer group."""
+
+    traffic: TrafficMap
+    dram_read: np.ndarray
+    dram_write: np.ndarray
+    #: Weight bytes loaded once per inference (resident weights), per DRAM.
+    dram_weight_once: np.ndarray
+    weight_tree_hop_bytes: float = 0.0
+    flows: list[FlowRecord] | None = None
+
+    @property
+    def dram_round_bytes(self) -> np.ndarray:
+        return self.dram_read + self.dram_write
+
+
+def round_flows(flows, topo) -> list["FlowRecord"]:
+    """Steady-state per-round flows for simulators.
+
+    Excludes once-per-inference transfers (resident weight prologues)
+    and collapses each multicast to its longest-route representative —
+    the tree's trunk carries the bytes once; side branches reuse them.
+    """
+    kept: list[FlowRecord] = []
+    best_per_group: dict[int, FlowRecord] = {}
+    for f in flows or []:
+        if f.once:
+            continue
+        if f.multicast_group is None:
+            kept.append(f)
+            continue
+        cur = best_per_group.get(f.multicast_group)
+        if cur is None or len(topo.route(f.src, f.dst)) > \
+                len(topo.route(cur.src, cur.dst)):
+            best_per_group[f.multicast_group] = f
+    kept.extend(best_per_group.values())
+    return kept
+
+
+def _dram_targets(
+    topo: MeshTopology, fd_value: int
+) -> list[tuple[NodeId, float]]:
+    """(dram node, share) pairs for an FD selector."""
+    drams = topo.dram_nodes()
+    if fd_value == INTERLEAVED:
+        share = 1.0 / len(drams)
+        return [(d, share) for d in drams]
+    return [(drams[fd_value - 1], 1.0)]
+
+
+def _required_region(
+    consumer: Layer, dest: Region, c_lo: int, c_hi: int,
+    slice_lo: int, slice_hi: int, producer: Layer | None,
+) -> Region | None:
+    """Producer-coordinate region the consumer part needs from a slice.
+
+    ``(c_lo, c_hi)`` is the consumer-ifmap channel requirement and
+    ``(slice_lo, slice_hi)`` the producer's channel placement; their
+    overlap maps onto producer output channels.
+    """
+    lo = max(c_lo, slice_lo)
+    hi = min(c_hi, slice_hi)
+    if hi <= lo:
+        return None
+    ih_lo, ih_hi, iw_lo, iw_hi = required_input_box(consumer, dest)
+    return Region(
+        ih_lo, ih_hi, iw_lo, iw_hi,
+        dest.b_lo, dest.b_hi,
+        lo - slice_lo, hi - slice_lo,
+    )
+
+
+def _matmul_required_region(
+    consumer: Layer, dest: Region, operand: int, producer: Layer
+) -> Region:
+    """Producer region a MATMUL consumer part needs (see module doc)."""
+    if operand == 0:
+        # First operand: rows follow the consumer's H range.
+        return Region(
+            dest.h_lo, dest.h_hi, 0, producer.out_w,
+            dest.b_lo, dest.b_hi, 0, producer.out_k,
+        )
+    if producer.out_k == consumer.in_c and producer.out_h != consumer.in_c:
+        # Score product (Q @ K^T): row j of the operand feeds output
+        # column j.
+        return Region(
+            dest.k_lo, dest.k_hi, 0, producer.out_w,
+            dest.b_lo, dest.b_hi, 0, producer.out_k,
+        )
+    # Context product (P @ V): column k feeds output channel k; all rows.
+    return Region(
+        0, producer.out_h, 0, producer.out_w,
+        dest.b_lo, dest.b_hi, dest.k_lo, dest.k_hi,
+    )
+
+
+class GroupTrafficAnalyzer:
+    """Builds :class:`GroupTraffic` for a parsed layer group."""
+
+    def __init__(
+        self,
+        graph: DNNGraph,
+        arch: ArchConfig,
+        topo: MeshTopology,
+        collect_flows: bool = False,
+    ):
+        self.graph = graph
+        self.arch = arch
+        self.topo = topo
+        self.collect_flows = collect_flows
+        self._mcast_counter = 0
+
+    def _record(self, out, kind, layer, src, dst, volume, src_layer=None,
+                multicast_group=None, once=False):
+        if out.flows is not None and volume > 0:
+            out.flows.append(
+                FlowRecord(kind, layer, src, dst, volume, src_layer,
+                           multicast_group, once)
+            )
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        parsed: ParsedGroup,
+        lms: LayerGroupMapping,
+        intra: dict[str, list[IntraCoreResult]],
+        stored_at: dict[str, int],
+    ) -> GroupTraffic:
+        """Per-round traffic for the group.
+
+        ``intra`` maps layer name -> per-part intra-core results (same
+        order as the parsed parts); ``stored_at`` maps producers in
+        *earlier* groups to the FD selector their ofmaps were written
+        with.
+        """
+        topo = self.topo
+        n_dram = len(topo.dram_nodes())
+        out = GroupTraffic(
+            traffic=TrafficMap(topo),
+            dram_read=np.zeros(n_dram),
+            dram_write=np.zeros(n_dram),
+            dram_weight_once=np.zeros(n_dram),
+            flows=[] if self.collect_flows else None,
+        )
+        for name in parsed.group.layers:
+            self._layer_inputs(parsed, lms, intra, stored_at, name, out)
+            self._layer_weights(parsed, lms, intra, name, out)
+            self._layer_outputs(parsed, lms, name, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Ifmaps: inter-layer and DRAM flows
+    # ------------------------------------------------------------------
+
+    def _layer_inputs(self, parsed, lms, intra, stored_at, name, out):
+        graph, topo = self.graph, self.topo
+        consumer = graph.layer(name)
+        dest_parts = parsed.layer(name).parts
+        results = intra[name]
+        slices = graph.input_slices(name)
+        is_matmul = consumer.kind is LayerType.MATMUL
+        for op_idx, inp in enumerate(slices):
+            producer = graph.layer(inp.producer) if inp.producer else None
+            in_group = inp.producer in parsed.group if inp.producer else False
+            for dest, res in zip(dest_parts, results):
+                if is_matmul:
+                    need = _matmul_required_region(
+                        consumer, dest.region, op_idx, producer
+                    )
+                else:
+                    c_lo, c_hi = required_channels(consumer, dest.region)
+                    need = _required_region(
+                        consumer, dest.region, c_lo, c_hi,
+                        inp.c_lo, inp.c_hi, producer,
+                    )
+                if need is None or need.is_empty():
+                    continue
+                fetch = res.if_fetches
+                if in_group:
+                    self._from_producer_parts(
+                        parsed, inp.producer, need, dest, fetch, name, out
+                    )
+                else:
+                    volume = need.volume() * consumer.bytes_per_elem * fetch
+                    if inp.producer is None:
+                        fd = lms.scheme(name).fd.ifmap
+                    else:
+                        fd = stored_at.get(inp.producer, INTERLEAVED)
+                    self._from_dram(fd, dest.core, volume, name, out)
+
+    def _from_producer_parts(self, parsed, producer_name, need, dest,
+                             fetch, consumer_name, out):
+        topo = self.topo
+        bytes_per_elem = self.graph.layer(producer_name).bytes_per_elem
+        dst_node = topo.core_node(dest.core)
+        for src in parsed.layer(producer_name).parts:
+            overlap = src.region.intersection_volume(need)
+            if overlap == 0:
+                continue
+            volume = overlap * bytes_per_elem * fetch
+            if src.core == dest.core:
+                continue  # stays inside the core's GLB
+            src_node = topo.core_node(src.core)
+            out.traffic.add_flow(src_node, dst_node, volume)
+            self._record(out, "ifmap", consumer_name, src_node, dst_node,
+                         volume, src_layer=producer_name)
+
+    def _from_dram(self, fd_value, core, volume, layer_name, out):
+        topo = self.topo
+        dst = topo.core_node(core)
+        for dram, share in _dram_targets(topo, fd_value):
+            v = volume * share
+            out.traffic.add_flow(dram, dst, v)
+            out.dram_read[dram[1]] += v
+            self._record(out, "ifmap", layer_name, dram, dst, v)
+
+    # ------------------------------------------------------------------
+    # Weights: deduplicated multicast per K-slice
+    # ------------------------------------------------------------------
+
+    def _layer_weights(self, parsed, lms, intra, name, out):
+        graph, topo = self.graph, self.topo
+        layer = graph.layer(name)
+        if not layer.has_weights:
+            return
+        fd = lms.scheme(name).fd.weight
+        results = intra[name]
+        #: (k_lo, k_hi) -> (bytes incl. refetch, destination cores)
+        by_slice: dict[tuple[int, int], list] = {}
+        for part, res in zip(parsed.layer(name).parts, results):
+            key = (part.region.k_lo, part.region.k_hi)
+            vol = part.workload.weight_bytes() * res.w_fetches
+            entry = by_slice.setdefault(key, [0.0, []])
+            entry[0] = max(entry[0], vol)
+            entry[1].append(part.core)
+        for (volume, cores) in by_slice.values():
+            dsts = [topo.core_node(c) for c in cores]
+            resident = volume <= self.arch.glb_bytes / 2
+            for dram, share in _dram_targets(topo, fd):
+                tree = multicast_tree(topo, dram, dsts)
+                v = volume * share
+                if resident:
+                    # Loaded once per inference, amortized by the caller.
+                    out.dram_weight_once[dram[1]] += v
+                    out.weight_tree_hop_bytes += v * len(tree)
+                else:
+                    out.traffic.add_on_links(tree, v)
+                    out.dram_read[dram[1]] += v
+                self._mcast_counter += 1
+                for dst in dsts:
+                    self._record(out, "weight", name, dram, dst, v,
+                                 multicast_group=self._mcast_counter,
+                                 once=resident)
+
+    # ------------------------------------------------------------------
+    # Ofmaps: explicit DRAM writes
+    # ------------------------------------------------------------------
+
+    def _layer_outputs(self, parsed, lms, name, out):
+        topo = self.topo
+        fd = lms.scheme(name).fd.ofmap
+        if fd < 0:
+            return
+        bytes_per_elem = self.graph.layer(name).bytes_per_elem
+        for part in parsed.layer(name).parts:
+            volume = part.region.volume() * bytes_per_elem
+            src = topo.core_node(part.core)
+            for dram, share in _dram_targets(topo, fd):
+                v = volume * share
+                out.traffic.add_flow(src, dram, v)
+                out.dram_write[dram[1]] += v
+                self._record(out, "ofmap", name, src, dram, v, src_layer=name)

@@ -1,0 +1,12 @@
+"""Instruction generation for the template's statically-scheduled cores."""
+
+from repro.instructions.gen import conservation_check, generate_programs
+from repro.instructions.isa import CoreProgram, Instruction, Opcode
+
+__all__ = [
+    "CoreProgram",
+    "Instruction",
+    "Opcode",
+    "conservation_check",
+    "generate_programs",
+]

@@ -1,0 +1,14 @@
+"""Intra-core exploration engine (NVDLA-style tiling search)."""
+
+from repro.intracore.cache import IntraCoreEngine
+from repro.intracore.dataflow import CoreWorkload, PEArray
+from repro.intracore.result import IntraCoreResult
+from repro.intracore.tiling import schedule_workload
+
+__all__ = [
+    "CoreWorkload",
+    "IntraCoreEngine",
+    "IntraCoreResult",
+    "PEArray",
+    "schedule_workload",
+]

@@ -1,0 +1,48 @@
+"""Memoized front-end of the intra-core exploration engine.
+
+SA iterations repeatedly evaluate the same partitioned-workload shapes
+(layer partitions change one attribute at a time), so caching schedule
+results by the full workload/core signature removes the dominant cost of
+re-evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.arch.energy import EnergyModel
+from repro.arch.params import ArchConfig
+from repro.intracore.dataflow import CoreWorkload
+from repro.intracore.result import IntraCoreResult
+from repro.intracore.tiling import schedule_workload
+
+
+class IntraCoreEngine:
+    """Caching wrapper around :func:`schedule_workload`."""
+
+    def __init__(self, arch: ArchConfig, energy: EnergyModel,
+                 max_entries: int = 200_000):
+        self.arch = arch
+        self.energy = energy
+        self.max_entries = max_entries
+        self._cache: dict[CoreWorkload, IntraCoreResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def schedule(self, wl: CoreWorkload) -> IntraCoreResult:
+        cached = self._cache.get(wl)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = schedule_workload(
+            wl,
+            glb_bytes=self.arch.glb_bytes,
+            macs_per_core=self.arch.macs_per_core,
+            frequency=self.arch.frequency,
+            glb_bytes_per_cycle=self.arch.glb_bytes_per_cycle,
+            vector_lanes=self.arch.vector_lanes,
+            energy=self.energy,
+        )
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()  # simple bound; signatures recur quickly
+        self._cache[wl] = result
+        return result

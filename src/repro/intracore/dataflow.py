@@ -1,0 +1,122 @@
+"""Core-level workload description and the NVDLA-style PE-array model.
+
+The template's computing core (Sec III, Fig 2b) runs GEMM/Conv tiles on a
+PE array with the classic NVDLA dataflow [39], [58] and everything else
+on a vector unit.  :class:`CoreWorkload` is the per-core slice of a layer
+produced by the LP SPM parser; :class:`PEArray` models the array's
+K-lane x C-lane parallelism and the ceil-quantization utilization losses
+different partition shapes incur (one of the hidden optimization
+opportunities of Sec IV-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.layer import LayerType
+
+
+@dataclass(frozen=True)
+class CoreWorkload:
+    """The tile of one layer assigned to one core for one batch unit.
+
+    Output geometry ``(h, w, k)`` and batch ``b`` describe this core's
+    slice of the ofmap cube; ``c`` is the input-channel extent it reads
+    (full layer ``in_c`` for Conv/FC, its own ``k`` for channelwise
+    layers), and ``r, s, stride`` give the receptive-field geometry.
+    """
+
+    kind: LayerType
+    b: int
+    k: int
+    h: int
+    w: int
+    c: int
+    r: int = 1
+    s: int = 1
+    stride: int = 1
+    groups: int = 1
+    bytes_per_elem: int = 1
+
+    @property
+    def in_h(self) -> int:
+        return (self.h - 1) * self.stride + self.r
+
+    @property
+    def in_w(self) -> int:
+        return (self.w - 1) * self.stride + self.s
+
+    @property
+    def c_per_group(self) -> int:
+        return max(1, self.c // self.groups)
+
+    def macs(self) -> int:
+        spatial = self.b * self.h * self.w * self.k
+        if self.kind in (LayerType.CONV, LayerType.FC, LayerType.DWCONV):
+            return spatial * self.c_per_group * self.r * self.s
+        if self.kind is LayerType.MATMUL:
+            return spatial * self.c
+        if self.kind is LayerType.POOL:
+            return spatial * self.r * self.s
+        return spatial
+
+    def is_pe_workload(self) -> bool:
+        return self.kind in (
+            LayerType.CONV,
+            LayerType.FC,
+            LayerType.DWCONV,
+            LayerType.MATMUL,
+        )
+
+    def ofmap_bytes(self) -> int:
+        return self.b * self.h * self.w * self.k * self.bytes_per_elem
+
+    def ifmap_bytes(self) -> int:
+        return self.b * self.in_h * self.in_w * self.c * self.bytes_per_elem
+
+    def weight_bytes(self) -> int:
+        """Bytes of the stationary operand.
+
+        Conv/FC weights are shared across the batch; a MATMUL's second
+        operand is per-sample activation data.
+        """
+        if self.kind in (LayerType.CONV, LayerType.FC, LayerType.DWCONV):
+            return self.k * self.c_per_group * self.r * self.s * self.bytes_per_elem
+        if self.kind is LayerType.MATMUL:
+            return self.b * self.k * self.c * self.bytes_per_elem
+        return 0
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """K-lane x C-lane MAC array (NVDLA-style)."""
+
+    n_macs: int
+
+    @property
+    def lanes_k(self) -> int:
+        """Output-channel lanes: the power of two nearest sqrt(n_macs)."""
+        return 1 << (max(0, self.n_macs.bit_length() - 1) // 2)
+
+    @property
+    def lanes_c(self) -> int:
+        return max(1, self.n_macs // self.lanes_k)
+
+    def cycles(self, wl: CoreWorkload) -> int:
+        """PE-array cycles with ceil quantization on both lane dims."""
+        if not wl.is_pe_workload():
+            return 0
+        reduce_depth = (
+            wl.c if wl.kind is LayerType.MATMUL
+            else wl.c_per_group * wl.r * wl.s
+        )
+        k_steps = math.ceil(wl.k / self.lanes_k)
+        c_steps = math.ceil(reduce_depth / self.lanes_c)
+        return wl.b * wl.h * wl.w * k_steps * c_steps
+
+    def utilization(self, wl: CoreWorkload) -> float:
+        cycles = self.cycles(wl)
+        if cycles == 0:
+            return 0.0
+        return wl.macs() / (cycles * self.n_macs)

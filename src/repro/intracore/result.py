@@ -1,0 +1,40 @@
+"""Result record of the intra-core exploration engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntraCoreResult:
+    """Outcome of scheduling one :class:`CoreWorkload` on one core.
+
+    ``*_fetches`` are the re-fetch multipliers the chosen tiling/loop
+    order implies for externally supplied data: the global evaluator
+    multiplies the base ifmap/weight volumes by them when accounting
+    NoC/DRAM traffic.  ``glb_bytes`` is the total GLB port traffic and
+    ``reg_bytes`` the PE-local register traffic (energy only).
+    """
+
+    cycles: int
+    compute_time: float
+    if_fetches: float
+    w_fetches: float
+    of_writebacks: float
+    glb_bytes: float
+    reg_bytes: float
+    energy: float
+    tiling: tuple[int, int, int]
+    loop_order: str
+    fits: bool
+
+    @property
+    def time(self) -> float:
+        return self.compute_time
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.loop_order} tile={self.tiling} cycles={self.cycles} "
+            f"fetches=({self.if_fetches:.1f},{self.w_fetches:.1f},"
+            f"{self.of_writebacks:.1f})"
+        )

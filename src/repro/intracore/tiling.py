@@ -1,0 +1,172 @@
+"""Exhaustive tiling + loop-order search for one core (Sec V-B1).
+
+"The partitioned workload will be scheduled in [the] intra-core
+exploration engine, which performs exhaustive search optimization for
+tiling and loop reorder like many existing works [29], [41], [53],
+[58]."  We search tile sizes over the output-channel (K), input-channel
+(C) and output-row (H) dimensions and three canonical loop orders, under
+the GLB capacity constraint (double-buffered), and pick the minimum
+energy-delay product.
+
+Re-fetch multipliers per loop order (outer -> inner over tile loops):
+
+==============  ========  ==========  ===========
+order           ifmap     weights     psum passes
+==============  ========  ==========  ===========
+WS (k, c, h)    n_k       1           n_c
+OS (k, h, c)    n_k       n_h         1
+IS (c, h, k)    1         n_h         n_c
+==============  ========  ==========  ===========
+
+where ``n_x`` is the trip count of the ``x`` tile loop (multipliers
+collapse to 1 when a single tile covers the dimension).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.energy import EnergyModel
+from repro.intracore.dataflow import CoreWorkload, PEArray
+from repro.intracore.result import IntraCoreResult
+
+#: Loop orders: name -> (ifmap multiplier, weight multiplier, psum passes)
+#: expressed as functions of the (n_k, n_c, n_h) trip counts.
+_LOOP_ORDERS = {
+    "WS": lambda nk, nc, nh: (nk, 1, nc),
+    "OS": lambda nk, nc, nh: (nk, nh, 1),
+    "IS": lambda nk, nc, nh: (1, nh, nc),
+}
+
+#: Bytes per partial sum held in GLB when accumulation spans C tiles.
+_PSUM_BYTES = 4
+
+
+def _geometric_choices(dim: int, cap: int = 8) -> list[int]:
+    """Candidate tile sizes: powers of two up to dim, plus dim itself."""
+    choices = []
+    t = 1
+    while t < dim and len(choices) < cap - 1:
+        choices.append(t)
+        t *= 2
+    choices.append(dim)
+    return choices
+
+
+def _vector_schedule(
+    wl: CoreWorkload,
+    glb_bytes: int,
+    glb_bw: float,
+    vector_lanes: int,
+    frequency: float,
+    energy: EnergyModel,
+) -> IntraCoreResult:
+    """Vector-unit layers: streaming, no tiling search needed."""
+    ops = wl.macs()
+    if_vol, of_vol = wl.ifmap_bytes(), wl.ofmap_bytes()
+    glb_traffic = if_vol + of_vol
+    compute = ops / (vector_lanes * frequency)
+    time = max(compute, glb_traffic / glb_bw)
+    e = ops * energy.e_vector + glb_traffic * energy.e_glb
+    working_set = if_vol + of_vol
+    return IntraCoreResult(
+        cycles=math.ceil(ops / vector_lanes),
+        compute_time=time,
+        if_fetches=1.0,
+        w_fetches=1.0,
+        of_writebacks=1.0,
+        glb_bytes=glb_traffic,
+        reg_bytes=0.0,
+        energy=e,
+        tiling=(wl.k, wl.c, wl.h),
+        loop_order="VEC",
+        fits=working_set <= glb_bytes,
+    )
+
+
+def schedule_workload(
+    wl: CoreWorkload,
+    glb_bytes: int,
+    macs_per_core: int,
+    frequency: float,
+    glb_bytes_per_cycle: int,
+    vector_lanes: int,
+    energy: EnergyModel,
+) -> IntraCoreResult:
+    """Exhaustively search tilings/loop orders; return the best schedule.
+
+    Always returns a result: when nothing fits within the GLB, the
+    smallest-tile schedule is returned with ``fits=False`` and its spill
+    traffic inflated, which steers the SA search away from such schemes
+    while keeping every encoding evaluable.
+    """
+    glb_bw = glb_bytes_per_cycle * frequency
+    if not wl.is_pe_workload():
+        return _vector_schedule(
+            wl, glb_bytes, glb_bw, vector_lanes, frequency, energy
+        )
+
+    pe = PEArray(macs_per_core)
+    cycles = pe.cycles(wl)
+    macs = wl.macs()
+    bpe = wl.bytes_per_elem
+    if_vol, w_vol, of_vol = wl.ifmap_bytes(), wl.weight_bytes(), wl.ofmap_bytes()
+    budget = glb_bytes / 2  # double buffering
+
+    best: IntraCoreResult | None = None
+    best_cost = math.inf
+    fallback: IntraCoreResult | None = None
+    fallback_set = math.inf
+
+    for tk in _geometric_choices(wl.k):
+        n_k = math.ceil(wl.k / tk)
+        for tc in _geometric_choices(wl.c):
+            n_c = math.ceil(wl.c / tc)
+            w_tile = tk * max(1, math.ceil(tc / wl.groups)) * wl.r * wl.s * bpe
+            if wl.kind.value == "matmul":
+                w_tile = wl.b * tk * tc * bpe
+            for th in _geometric_choices(wl.h):
+                n_h = math.ceil(wl.h / th)
+                in_th = (th - 1) * wl.stride + wl.r
+                if_tile = wl.b * in_th * wl.in_w * tc * bpe
+                psum_width = _PSUM_BYTES if n_c > 1 else bpe
+                of_tile = wl.b * th * wl.w * tk * psum_width
+                working_set = w_tile + if_tile + of_tile
+                fits = working_set <= budget
+                for order, mults in _LOOP_ORDERS.items():
+                    m_if, m_w, m_psum = mults(n_k, n_c, n_h)
+                    fetch_if = if_vol * m_if
+                    fetch_w = w_vol * m_w
+                    psum_glb = of_vol * (2 * m_psum - 1)
+                    read_if = cycles * pe.lanes_c * bpe
+                    glb_traffic = (
+                        fetch_if + 2 * fetch_w + psum_glb + read_if
+                    )
+                    if not fits:
+                        glb_traffic *= 4  # spill penalty
+                    reg = 2 * macs * bpe
+                    e = (
+                        macs * energy.e_mac
+                        + glb_traffic * energy.e_glb
+                        + reg * energy.e_reg
+                    )
+                    time = max(cycles / frequency, glb_traffic / glb_bw)
+                    cost = e * time
+                    result = IntraCoreResult(
+                        cycles=cycles,
+                        compute_time=time,
+                        if_fetches=float(m_if),
+                        w_fetches=float(m_w),
+                        of_writebacks=float(m_psum),
+                        glb_bytes=glb_traffic,
+                        reg_bytes=float(reg),
+                        energy=e,
+                        tiling=(tk, tc, th),
+                        loop_order=order,
+                        fits=fits,
+                    )
+                    if fits and cost < best_cost:
+                        best, best_cost = result, cost
+                    if not fits and working_set < fallback_set:
+                        fallback, fallback_set = result, working_set
+    return best if best is not None else fallback

@@ -1,0 +1,29 @@
+"""Persistence: JSON round-trips for architectures, mappings, results."""
+
+from repro.io.serialization import (
+    SerializationError,
+    arch_from_dict,
+    arch_to_dict,
+    candidate_result_summary,
+    lms_from_dict,
+    lms_to_dict,
+    load_arch,
+    load_mapping,
+    mapping_result_summary,
+    save_arch,
+    save_mapping,
+)
+
+__all__ = [
+    "SerializationError",
+    "arch_from_dict",
+    "arch_to_dict",
+    "candidate_result_summary",
+    "lms_from_dict",
+    "lms_to_dict",
+    "load_arch",
+    "load_mapping",
+    "mapping_result_summary",
+    "save_arch",
+    "save_mapping",
+]

@@ -1,0 +1,140 @@
+"""JSON (de)serialization of architectures, mappings and DSE results.
+
+The paper's artifact persists its DSE winner (``best_arch.txt``) and the
+comparison rows (``compare.csv``); this module provides the equivalent:
+round-trippable dictionaries for :class:`ArchConfig` and
+:class:`LayerGroupMapping`, plus flat summaries of evaluation results
+for CSV/JSON export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.arch.params import ArchConfig
+from repro.core.encoding import (
+    FlowOfData,
+    LayerGroup,
+    LayerGroupMapping,
+    MappingScheme,
+    Partition,
+)
+from repro.errors import ReproError
+
+
+class SerializationError(ReproError):
+    """Malformed persisted data."""
+
+
+# ----------------------------------------------------------------------
+# ArchConfig
+# ----------------------------------------------------------------------
+
+_ARCH_FIELDS = (
+    "cores_x", "cores_y", "xcut", "ycut", "dram_bw", "noc_bw", "d2d_bw",
+    "glb_bytes", "macs_per_core", "frequency", "glb_bytes_per_cycle",
+    "vector_lanes", "logic_overhead", "name",
+)
+
+
+def arch_to_dict(arch: ArchConfig) -> dict:
+    return {f: getattr(arch, f) for f in _ARCH_FIELDS}
+
+
+def arch_from_dict(data: dict) -> ArchConfig:
+    try:
+        return ArchConfig(**{f: data[f] for f in _ARCH_FIELDS if f in data})
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad architecture record: {exc}") from exc
+
+
+def save_arch(arch: ArchConfig, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(arch_to_dict(arch), indent=2))
+
+
+def load_arch(path: str | Path) -> ArchConfig:
+    return arch_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# LayerGroupMapping
+# ----------------------------------------------------------------------
+
+
+def lms_to_dict(lms: LayerGroupMapping) -> dict:
+    return {
+        "layers": list(lms.group.layers),
+        "batch_unit": lms.group.batch_unit,
+        "schemes": {
+            name: {
+                "part": list(s.part.as_tuple()),
+                "core_group": list(s.core_group),
+                "fd": list(s.fd.as_tuple()),
+            }
+            for name, s in lms.schemes.items()
+        },
+    }
+
+
+def lms_from_dict(data: dict) -> LayerGroupMapping:
+    try:
+        group = LayerGroup(tuple(data["layers"]), data["batch_unit"])
+        schemes = {}
+        for name, rec in data["schemes"].items():
+            schemes[name] = MappingScheme(
+                part=Partition(*rec["part"]),
+                core_group=tuple(rec["core_group"]),
+                fd=FlowOfData(*rec["fd"]),
+            )
+        return LayerGroupMapping(group, schemes)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad mapping record: {exc}") from exc
+
+
+def save_mapping(lmss: list[LayerGroupMapping], path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps([lms_to_dict(l) for l in lmss], indent=2)
+    )
+
+
+def load_mapping(path: str | Path) -> list[LayerGroupMapping]:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise SerializationError("mapping file must hold a list of groups")
+    return [lms_from_dict(d) for d in data]
+
+
+# ----------------------------------------------------------------------
+# Result summaries
+# ----------------------------------------------------------------------
+
+
+def mapping_result_summary(result) -> dict:
+    """Flat summary of a :class:`MappingResult` for CSV/JSON export."""
+    e = result.evaluation.energy
+    return {
+        "arch": result.arch.paper_tuple(),
+        "delay_s": result.delay,
+        "energy_j": result.energy,
+        "edp": result.edp,
+        "energy_intra_j": e.intra,
+        "energy_noc_j": e.noc,
+        "energy_d2d_j": e.d2d,
+        "energy_dram_j": e.dram,
+        "n_groups": len(result.groups),
+        "max_group_depth": max(len(g) for g in result.groups),
+    }
+
+
+def candidate_result_summary(result) -> dict:
+    """Flat summary of a DSE :class:`CandidateResult` (result.csv row)."""
+    return {
+        "arch": result.arch.paper_tuple(),
+        "chiplets": result.arch.n_chiplets,
+        "cores": result.arch.n_cores,
+        "mc_usd": result.mc.total,
+        "energy_j": result.energy,
+        "delay_s": result.delay,
+        "score": result.score,
+    }

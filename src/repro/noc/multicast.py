@@ -1,0 +1,35 @@
+"""Multicast trees over deterministic XY routing.
+
+When the same bytes go from one source to several cores (weights shared
+by cores computing different spatial parts of a layer, or interleaved
+DRAM reads with overlapping halos), the NoC carries them once per link of
+the multicast tree rather than once per destination — the "multicast
+capabilities" the paper's partition analysis assumes (Sec IV-C).
+
+With a deterministic routing function, the union of the unicast paths
+from one source is always a tree (every router has a unique path from
+the source), so the tree is simply the set union of per-destination
+routes.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import MeshTopology, NodeId
+
+
+def multicast_tree(
+    topo: MeshTopology, src: NodeId, dsts: list[NodeId]
+) -> frozenset[int]:
+    """Link-index set of the XY multicast tree from src to all dsts."""
+    links: set[int] = set()
+    for dst in dsts:
+        links.update(topo.route(src, dst))
+    return frozenset(links)
+
+
+def multicast_hop_savings(
+    topo: MeshTopology, src: NodeId, dsts: list[NodeId]
+) -> int:
+    """Hops saved vs. unicasting to every destination separately."""
+    unicast = sum(len(topo.route(src, d)) for d in dsts)
+    return unicast - len(multicast_tree(topo, src, dsts))

@@ -1,0 +1,17 @@
+"""Discrete-event round simulator: validates the analytic delay model."""
+
+from repro.sim.events import (
+    RoundSimulator,
+    RoundStats,
+    SimMessage,
+    messages_from_flows,
+    simulate_group_round,
+)
+
+__all__ = [
+    "RoundSimulator",
+    "RoundStats",
+    "SimMessage",
+    "messages_from_flows",
+    "simulate_group_round",
+]

@@ -1,0 +1,51 @@
+"""Physical-unit constants used throughout the framework.
+
+All internal quantities use a consistent base-unit system:
+
+* time        — seconds
+* energy      — joules
+* data volume — bytes
+* bandwidth   — bytes / second
+* area        — mm^2
+* money       — USD
+
+Helper constants below convert the units that appear in the paper
+(GB/s, pJ/bit, TOPS, KB/MB) into the base system so that call sites can
+write, e.g., ``144 * GB`` for a DRAM bandwidth of 144 GB/s.
+"""
+
+# Data volume.
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# Energy.
+PJ = 1e-12
+NJ = 1e-9
+
+#: Joules per bit given an energy quoted in pJ/bit.
+PJ_PER_BIT = PJ
+#: Joules per byte given an energy quoted in pJ/bit.
+PJ_PER_BIT_TO_J_PER_BYTE = 8 * PJ
+
+# Time.
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# Frequency of the hardware template (Sec VI-A1: 1 GHz default).
+GHZ = 1e9
+
+#: Operations per second represented by "1 TOPS" in the paper's
+#: 1024-MAC-centric accounting (36 cores x 1024 MACs @ 1 GHz == "72 TOPs").
+TOPS = 1024 * GHZ
+
+
+def pj_per_bit(value):
+    """Convert an energy quoted in pJ/bit to J/byte."""
+    return value * PJ_PER_BIT_TO_J_PER_BYTE
+
+
+def gbps(value):
+    """Convert a bandwidth quoted in GB/s to bytes/s."""
+    return value * GB

@@ -1,0 +1,6 @@
+"""DNN workload substrate: layers, DAGs, and the model zoo."""
+
+from repro.workloads.graph import DNNGraph, InputSlice
+from repro.workloads.layer import Layer, LayerType
+
+__all__ = ["DNNGraph", "InputSlice", "Layer", "LayerType"]

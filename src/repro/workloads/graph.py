@@ -1,0 +1,230 @@
+"""DNN DAG representation.
+
+The paper views a DNN as a Directed Acyclic Graph whose nodes are layers
+(Sec II-B).  :class:`DNNGraph` stores layers plus typed edges and provides
+the queries the mapping engine needs: topological order, per-layer fan-in
+with channel offsets (for concat fan-in), graph inputs/outputs, and
+aggregate statistics.
+
+Edge semantics
+--------------
+
+Each consumer combines its producers either by channel **concat** (the
+default; producer channel ranges are stacked in edge order) or by
+element-wise **add** (every producer supplies the full channel range, used
+by residual connections feeding ELTWISE layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidWorkloadError
+from repro.workloads.layer import Layer, LayerType
+
+
+@dataclass(frozen=True)
+class InputSlice:
+    """One producer of a layer with its channel placement.
+
+    ``c_lo:c_hi`` is the slice of the *consumer's* ifmap channel range
+    filled by this producer.  ``producer`` is ``None`` when the slice
+    comes from the DNN input activation.
+    """
+
+    producer: str | None
+    c_lo: int
+    c_hi: int
+
+    @property
+    def channels(self) -> int:
+        return self.c_hi - self.c_lo
+
+
+class DNNGraph:
+    """A validated DAG of :class:`Layer` objects.
+
+    Parameters
+    ----------
+    name:
+        Model name (used in reports).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._layers: dict[str, Layer] = {}
+        self._preds: dict[str, list[str]] = {}
+        self._succs: dict[str, list[str]] = {}
+        self._combine: dict[str, str] = {}
+        self._graph_inputs: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_layer(
+        self,
+        layer: Layer,
+        inputs: list[str] | None = None,
+        combine: str = "concat",
+        from_graph_input: bool = False,
+    ) -> Layer:
+        """Add ``layer``, consuming the named producer layers.
+
+        ``inputs`` lists already-added producer layer names.  A layer with
+        no inputs (or ``from_graph_input=True``) reads the DNN input.
+        """
+        if layer.name in self._layers:
+            raise InvalidWorkloadError(f"duplicate layer name {layer.name!r}")
+        inputs = list(inputs or [])
+        for src in inputs:
+            if src not in self._layers:
+                raise InvalidWorkloadError(
+                    f"layer {layer.name!r} consumes unknown layer {src!r}"
+                )
+        if combine not in ("concat", "add"):
+            raise InvalidWorkloadError(f"unknown combine mode {combine!r}")
+        self._check_fanin(layer, inputs, combine)
+        self._layers[layer.name] = layer
+        self._preds[layer.name] = inputs
+        self._succs.setdefault(layer.name, [])
+        self._combine[layer.name] = combine
+        for src in inputs:
+            self._succs[src].append(layer.name)
+        if not inputs or from_graph_input:
+            self._graph_inputs.add(layer.name)
+        return layer
+
+    def _check_fanin(self, layer: Layer, inputs: list[str], combine: str):
+        if not inputs:
+            return
+        if layer.kind is LayerType.MATMUL:
+            # Activation-activation product: operands contract over
+            # different axes, so channel bookkeeping does not apply.
+            if len(inputs) != 2:
+                raise InvalidWorkloadError(
+                    f"layer {layer.name!r}: MATMUL needs exactly two inputs"
+                )
+            return
+        produced = [self._layers[src].out_k for src in inputs]
+        if combine == "concat":
+            total = sum(produced)
+            if total != layer.in_c:
+                raise InvalidWorkloadError(
+                    f"layer {layer.name!r}: concat fan-in supplies {total} "
+                    f"channels but in_c={layer.in_c}"
+                )
+        else:  # add
+            for src, k in zip(inputs, produced):
+                if k != layer.in_c:
+                    raise InvalidWorkloadError(
+                        f"layer {layer.name!r}: add fan-in from {src!r} has "
+                        f"{k} channels, expected {layer.in_c}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def layer(self, name: str) -> Layer:
+        return self._layers[name]
+
+    def layers(self) -> list[Layer]:
+        """All layers in insertion (construction) order."""
+        return list(self._layers.values())
+
+    def layer_names(self) -> list[str]:
+        return list(self._layers)
+
+    def predecessors(self, name: str) -> list[str]:
+        return list(self._preds[name])
+
+    def successors(self, name: str) -> list[str]:
+        return list(self._succs[name])
+
+    def combine_mode(self, name: str) -> str:
+        return self._combine[name]
+
+    def reads_graph_input(self, name: str) -> bool:
+        """True when the layer's ifmap is (part of) the DNN input."""
+        return name in self._graph_inputs
+
+    def input_slices(self, name: str) -> list[InputSlice]:
+        """The channel placement of each producer of ``name``.
+
+        For concat fan-in the producers stack along the channel axis in
+        edge order; for add fan-in every producer covers the full range.
+        """
+        layer = self._layers[name]
+        preds = self._preds[name]
+        if not preds:
+            return [InputSlice(None, 0, layer.in_c)]
+        if layer.kind is LayerType.MATMUL:
+            # Both operands are consumed wholesale along their own axes;
+            # traffic analysis special-cases MATMUL dependencies.
+            return [InputSlice(src, 0, layer.in_c) for src in preds]
+        slices = []
+        if self._combine[name] == "add":
+            for src in preds:
+                slices.append(InputSlice(src, 0, layer.in_c))
+            return slices
+        offset = 0
+        for src in preds:
+            k = self._layers[src].out_k
+            slices.append(InputSlice(src, offset, offset + k))
+            offset += k
+        return slices
+
+    def output_layers(self) -> list[str]:
+        """Layers whose ofmaps are DNN outputs (no successors)."""
+        return [name for name, succ in self._succs.items() if not succ]
+
+    def topological_order(self) -> list[str]:
+        """Kahn topological order, stable w.r.t. insertion order."""
+        indegree = {name: len(p) for name, p in self._preds.items()}
+        ready = [name for name in self._layers if indegree[name] == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in self._succs[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._layers):
+            raise InvalidWorkloadError(f"graph {self.name!r} has a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def total_macs(self, batch: int = 1) -> int:
+        return sum(l.macs(batch) for l in self._layers.values())
+
+    def total_weight_bytes(self) -> int:
+        return sum(l.weight_bytes() for l in self._layers.values())
+
+    def total_ofmap_bytes(self, batch: int = 1) -> int:
+        return sum(l.ofmap_bytes(batch) for l in self._layers.values())
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidWorkloadError` on structural problems."""
+        self.topological_order()
+        for name in self._layers:
+            layer = self._layers[name]
+            slices = self.input_slices(name)
+            covered = sum(s.channels for s in slices)
+            if self._combine[name] == "concat" and covered != layer.in_c:
+                raise InvalidWorkloadError(
+                    f"layer {name!r}: fan-in covers {covered}/{layer.in_c}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DNNGraph({self.name!r}, layers={len(self)})"

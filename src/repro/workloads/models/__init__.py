@@ -1,0 +1,49 @@
+"""DNN model zoo: the five paper workloads plus helpers.
+
+The registry maps the paper's workload abbreviations (Sec VI-A3) to
+builder callables; :func:`build` constructs a fresh graph by name.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models.googlenet import googlenet
+from repro.workloads.models.inception import inception_resnet_v1
+from repro.workloads.models.pnasnet import pnasnet
+from repro.workloads.models.resnet import resnet50, resnext50
+from repro.workloads.models.transformer import transformer, transformer_large
+
+#: Paper abbreviation -> builder.
+MODEL_REGISTRY = {
+    "RN-50": resnet50,
+    "RNX": resnext50,
+    "IRes": inception_resnet_v1,
+    "PNas": pnasnet,
+    "TF": transformer,
+    "TF-Large": transformer_large,
+    "GN": googlenet,
+}
+
+
+def build(name: str) -> DNNGraph:
+    """Build a registered model by its paper abbreviation."""
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "build",
+    "googlenet",
+    "inception_resnet_v1",
+    "pnasnet",
+    "resnet50",
+    "resnext50",
+    "transformer",
+    "transformer_large",
+]

@@ -1,0 +1,230 @@
+"""Builder helpers shared by the DNN model zoo.
+
+:class:`GraphBuilder` tracks the spatial geometry of activations as layers
+are appended so that model definitions read like standard framework code
+(conv / pool / fc / add / concat), while every layer in the resulting
+:class:`~repro.workloads.graph.DNNGraph` carries a consistent
+output-centric description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidWorkloadError
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+def conv_out(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Standard convolution output-size arithmetic."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise InvalidWorkloadError(
+            f"conv geometry underflow: size={size} k={kernel} s={stride} p={pad}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A named activation with its geometry, as tracked by the builder."""
+
+    layer: str
+    h: int
+    w: int
+    k: int
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`DNNGraph` with geometry checking."""
+
+    def __init__(self, name: str, in_h: int, in_w: int, in_k: int, bits: int = 8):
+        self.graph = DNNGraph(name)
+        self.bits = bits
+        self._input = Tensor("", in_h, in_w, in_k)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def _resolve(self, src: Tensor | None) -> Tensor:
+        return self._input if src is None else src
+
+    def _add(self, layer: Layer, srcs: list[Tensor], combine: str) -> Tensor:
+        inputs = [t.layer for t in srcs if t.layer]
+        from_input = any(not t.layer for t in srcs)
+        self.graph.add_layer(
+            layer, inputs=inputs, combine=combine, from_graph_input=from_input
+        )
+        return Tensor(layer.name, layer.out_h, layer.out_w, layer.out_k)
+
+    # ------------------------------------------------------------------
+    # Layer constructors
+    # ------------------------------------------------------------------
+
+    def conv(
+        self,
+        src: Tensor | None,
+        out_k: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1,
+        pad: int | tuple[int, int] | str = "same",
+        groups: int = 1,
+        name: str | None = None,
+    ) -> Tensor:
+        """Append a convolution. ``pad='same'`` keeps spatial size at stride 1."""
+        src = self._resolve(src)
+        kr, ks = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if pad == "same":
+            ph, pw = kr // 2, ks // 2
+        elif isinstance(pad, int):
+            ph = pw = pad
+        else:
+            ph, pw = pad
+        oh = conv_out(src.h, kr, stride, ph)
+        ow = conv_out(src.w, ks, stride, pw)
+        kind = LayerType.DWCONV if groups == src.k == out_k else LayerType.CONV
+        layer = Layer(
+            name=name or self._name("conv"),
+            kind=kind,
+            out_h=oh,
+            out_w=ow,
+            out_k=out_k,
+            in_c=src.k,
+            kernel_r=kr,
+            kernel_s=ks,
+            stride=stride,
+            pad_h=ph,
+            pad_w=pw,
+            groups=groups,
+            bits=self.bits,
+        )
+        return self._add(layer, [src], "concat")
+
+    def pool(
+        self,
+        src: Tensor | None,
+        kernel: int,
+        stride: int | None = None,
+        pad: int = 0,
+        name: str | None = None,
+    ) -> Tensor:
+        src = self._resolve(src)
+        stride = stride or kernel
+        oh = conv_out(src.h, kernel, stride, pad)
+        ow = conv_out(src.w, kernel, stride, pad)
+        layer = Layer(
+            name=name or self._name("pool"),
+            kind=LayerType.POOL,
+            out_h=oh,
+            out_w=ow,
+            out_k=src.k,
+            in_c=src.k,
+            kernel_r=kernel,
+            kernel_s=kernel,
+            stride=stride,
+            pad_h=pad,
+            pad_w=pad,
+            bits=self.bits,
+        )
+        return self._add(layer, [src], "concat")
+
+    def global_pool(self, src: Tensor, name: str | None = None) -> Tensor:
+        return self.pool(src, kernel=src.h, stride=src.h, name=name or self._name("gap"))
+
+    def fc(self, src: Tensor, out_k: int, name: str | None = None) -> Tensor:
+        """Fully connected layer; flattens the source geometry."""
+        layer = Layer(
+            name=name or self._name("fc"),
+            kind=LayerType.FC,
+            out_h=1,
+            out_w=1,
+            out_k=out_k,
+            in_c=src.h * src.w * src.k,
+            bits=self.bits,
+        )
+        return self._add(layer, [src], "concat")
+
+    def add(self, srcs: list[Tensor], name: str | None = None) -> Tensor:
+        """Element-wise residual addition of same-shaped tensors."""
+        first = srcs[0]
+        for t in srcs[1:]:
+            if (t.h, t.w, t.k) != (first.h, first.w, first.k):
+                raise InvalidWorkloadError(
+                    f"add of mismatched shapes {t} vs {first}"
+                )
+        layer = Layer(
+            name=name or self._name("add"),
+            kind=LayerType.ELTWISE,
+            out_h=first.h,
+            out_w=first.w,
+            out_k=first.k,
+            in_c=first.k,
+            bits=self.bits,
+        )
+        return self._add(layer, srcs, "add")
+
+    def concat(self, srcs: list[Tensor], name: str | None = None) -> Tensor:
+        """Channel concat, modeled as a VECTOR pass-through layer."""
+        first = srcs[0]
+        for t in srcs[1:]:
+            if (t.h, t.w) != (first.h, first.w):
+                raise InvalidWorkloadError("concat of mismatched spatial shapes")
+        total_k = sum(t.k for t in srcs)
+        layer = Layer(
+            name=name or self._name("concat"),
+            kind=LayerType.VECTOR,
+            out_h=first.h,
+            out_w=first.w,
+            out_k=total_k,
+            in_c=total_k,
+            bits=self.bits,
+        )
+        return self._add(layer, srcs, "concat")
+
+    def vector(self, src: Tensor, name: str | None = None) -> Tensor:
+        """A vector-unit-only layer (softmax / layernorm / activation)."""
+        layer = Layer(
+            name=name or self._name("vec"),
+            kind=LayerType.VECTOR,
+            out_h=src.h,
+            out_w=src.w,
+            out_k=src.k,
+            in_c=src.k,
+            bits=self.bits,
+        )
+        return self._add(layer, [src], "concat")
+
+    def matmul(
+        self,
+        lhs: Tensor,
+        rhs: Tensor,
+        out_h: int,
+        out_k: int,
+        in_c: int,
+        name: str | None = None,
+    ) -> Tensor:
+        """Activation-activation matmul (attention); no weights."""
+        layer = Layer(
+            name=name or self._name("matmul"),
+            kind=LayerType.MATMUL,
+            out_h=out_h,
+            out_w=1,
+            out_k=out_k,
+            in_c=in_c,
+            bits=self.bits,
+        )
+        return self._add(layer, [lhs, rhs], "add")
+
+    # ------------------------------------------------------------------
+
+    def input_tensor(self) -> Tensor:
+        return self._input
+
+    def build(self) -> DNNGraph:
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,58 @@
+"""GoogLeNet (Inception-v1) layer graph (Szegedy et al., CVPR'15).
+
+The paper's chiplet-reuse study (Fig 8) evaluates on "GN" alongside the
+other workloads.  This is the standard 22-layer-deep Inception-v1 for
+224x224 ImageNet inputs: stem, nine Inception modules across three
+stages with max-pool reductions, global pooling and a 1000-way head.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models.common import GraphBuilder, Tensor
+
+#: Per-module channel plan: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj).
+_INCEPTION_PLAN = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: GraphBuilder, x: Tensor, tag: str) -> Tensor:
+    c1, r3, c3, r5, c5, pp = _INCEPTION_PLAN[tag]
+    br0 = b.conv(x, c1, kernel=1, name=f"i{tag}_1x1")
+    br1 = b.conv(x, r3, kernel=1, name=f"i{tag}_3r")
+    br1 = b.conv(br1, c3, kernel=3, name=f"i{tag}_3x3")
+    br2 = b.conv(x, r5, kernel=1, name=f"i{tag}_5r")
+    br2 = b.conv(br2, c5, kernel=5, name=f"i{tag}_5x5")
+    br3 = b.pool(x, kernel=3, stride=1, pad=1, name=f"i{tag}_pool")
+    br3 = b.conv(br3, pp, kernel=1, name=f"i{tag}_pp")
+    return b.concat([br0, br1, br2, br3], name=f"i{tag}_cat")
+
+
+def googlenet() -> DNNGraph:
+    """GoogLeNet / Inception-v1 (~1.5 GMACs, ~6.8 M parameters)."""
+    b = GraphBuilder("googlenet", in_h=224, in_w=224, in_k=3)
+    x = b.conv(None, 64, kernel=7, stride=2, pad=3, name="conv1")  # 112
+    x = b.pool(x, kernel=3, stride=2, pad=1, name="pool1")         # 56
+    x = b.conv(x, 64, kernel=1, name="conv2r")
+    x = b.conv(x, 192, kernel=3, name="conv2")
+    x = b.pool(x, kernel=3, stride=2, pad=1, name="pool2")         # 28
+    x = _inception(b, x, "3a")
+    x = _inception(b, x, "3b")
+    x = b.pool(x, kernel=3, stride=2, pad=1, name="pool3")         # 14
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception(b, x, tag)
+    x = b.pool(x, kernel=3, stride=2, pad=1, name="pool4")         # 7
+    x = _inception(b, x, "5a")
+    x = _inception(b, x, "5b")
+    x = b.global_pool(x, name="avgpool")
+    b.fc(x, 1000, name="fc1000")
+    return b.build()

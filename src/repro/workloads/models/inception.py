@@ -1,0 +1,104 @@
+"""Inception-ResNet-v1 layer graph (Szegedy et al., AAAI'17).
+
+The paper uses Inception-ResNet to represent DNNs with intricate
+multi-branch dependencies (Sec VI-A3).  We implement the published v1
+topology: stem to 35x35x256, 5x Inception-ResNet-A, Reduction-A to
+17x17x896, 10x Inception-ResNet-B, Reduction-B to 8x8x1792,
+5x Inception-ResNet-C, global pool and classifier.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models.common import GraphBuilder, Tensor
+
+
+def _stem(b: GraphBuilder) -> Tensor:
+    x = b.conv(None, 32, kernel=3, stride=2, pad=0, name="stem_c1")  # 149
+    x = b.conv(x, 32, kernel=3, pad=0, name="stem_c2")  # 147
+    x = b.conv(x, 64, kernel=3, pad=1, name="stem_c3")  # 147
+    x = b.pool(x, kernel=3, stride=2, pad=0, name="stem_pool")  # 73
+    x = b.conv(x, 80, kernel=1, name="stem_c4")
+    x = b.conv(x, 192, kernel=3, pad=0, name="stem_c5")  # 71
+    x = b.conv(x, 256, kernel=3, stride=2, pad=0, name="stem_c6")  # 35
+    return x
+
+
+def _block35(b: GraphBuilder, x: Tensor, idx: int) -> Tensor:
+    """Inception-ResNet-A: three branches re-projected onto 256 channels."""
+    tag = f"a{idx}"
+    br0 = b.conv(x, 32, kernel=1, name=f"{tag}_b0")
+    br1 = b.conv(x, 32, kernel=1, name=f"{tag}_b1a")
+    br1 = b.conv(br1, 32, kernel=3, name=f"{tag}_b1b")
+    br2 = b.conv(x, 32, kernel=1, name=f"{tag}_b2a")
+    br2 = b.conv(br2, 32, kernel=3, name=f"{tag}_b2b")
+    br2 = b.conv(br2, 32, kernel=3, name=f"{tag}_b2c")
+    mixed = b.concat([br0, br1, br2], name=f"{tag}_cat")
+    up = b.conv(mixed, 256, kernel=1, name=f"{tag}_up")
+    return b.add([x, up], name=f"{tag}_add")
+
+
+def _reduction_a(b: GraphBuilder, x: Tensor) -> Tensor:
+    """35x35x256 -> 17x17x896."""
+    br0 = b.pool(x, kernel=3, stride=2, pad=0, name="ra_pool")
+    br1 = b.conv(x, 384, kernel=3, stride=2, pad=0, name="ra_c1")
+    br2 = b.conv(x, 192, kernel=1, name="ra_c2a")
+    br2 = b.conv(br2, 192, kernel=3, name="ra_c2b")
+    br2 = b.conv(br2, 256, kernel=3, stride=2, pad=0, name="ra_c2c")
+    return b.concat([br0, br1, br2], name="ra_cat")
+
+
+def _block17(b: GraphBuilder, x: Tensor, idx: int) -> Tensor:
+    """Inception-ResNet-B with factorized 1x7 / 7x1 convolutions."""
+    tag = f"b{idx}"
+    br0 = b.conv(x, 128, kernel=1, name=f"{tag}_b0")
+    br1 = b.conv(x, 128, kernel=1, name=f"{tag}_b1a")
+    br1 = b.conv(br1, 128, kernel=(1, 7), pad=(0, 3), name=f"{tag}_b1b")
+    br1 = b.conv(br1, 128, kernel=(7, 1), pad=(3, 0), name=f"{tag}_b1c")
+    mixed = b.concat([br0, br1], name=f"{tag}_cat")
+    up = b.conv(mixed, 896, kernel=1, name=f"{tag}_up")
+    return b.add([x, up], name=f"{tag}_add")
+
+
+def _reduction_b(b: GraphBuilder, x: Tensor) -> Tensor:
+    """17x17x896 -> 8x8x1792."""
+    br0 = b.pool(x, kernel=3, stride=2, pad=0, name="rb_pool")
+    br1 = b.conv(x, 256, kernel=1, name="rb_c1a")
+    br1 = b.conv(br1, 384, kernel=3, stride=2, pad=0, name="rb_c1b")
+    br2 = b.conv(x, 256, kernel=1, name="rb_c2a")
+    br2 = b.conv(br2, 256, kernel=3, stride=2, pad=0, name="rb_c2b")
+    br3 = b.conv(x, 256, kernel=1, name="rb_c3a")
+    br3 = b.conv(br3, 256, kernel=3, name="rb_c3b")
+    br3 = b.conv(br3, 256, kernel=3, stride=2, pad=0, name="rb_c3c")
+    return b.concat([br0, br1, br2, br3], name="rb_cat")
+
+
+def _block8(b: GraphBuilder, x: Tensor, idx: int) -> Tensor:
+    """Inception-ResNet-C with factorized 1x3 / 3x1 convolutions."""
+    tag = f"c{idx}"
+    br0 = b.conv(x, 192, kernel=1, name=f"{tag}_b0")
+    br1 = b.conv(x, 192, kernel=1, name=f"{tag}_b1a")
+    br1 = b.conv(br1, 192, kernel=(1, 3), pad=(0, 1), name=f"{tag}_b1b")
+    br1 = b.conv(br1, 192, kernel=(3, 1), pad=(1, 0), name=f"{tag}_b1c")
+    mixed = b.concat([br0, br1], name=f"{tag}_cat")
+    up = b.conv(mixed, 1792, kernel=1, name=f"{tag}_up")
+    return b.add([x, up], name=f"{tag}_add")
+
+
+def inception_resnet_v1(
+    n_a: int = 5, n_b: int = 10, n_c: int = 5
+) -> DNNGraph:
+    """Inception-ResNet-v1 with configurable block repeats."""
+    b = GraphBuilder("inception_resnet_v1", in_h=299, in_w=299, in_k=3)
+    x = _stem(b)
+    for i in range(n_a):
+        x = _block35(b, x, i)
+    x = _reduction_a(b, x)
+    for i in range(n_b):
+        x = _block17(b, x, i)
+    x = _reduction_b(b, x)
+    for i in range(n_c):
+        x = _block8(b, x, i)
+    x = b.global_pool(x, name="avgpool")
+    b.fc(x, 1000, name="fc1000")
+    return b.build()

@@ -1,0 +1,86 @@
+"""PNASNet-like layer graph (Liu et al., ECCV'18).
+
+The paper uses PNASNet to represent NAS-produced DNNs with intricate
+dependencies (Sec VI-A3).  We reproduce the characteristic PNAS cell
+structure — five blocks, each the element-wise sum of two parallel
+operations (separable convolutions of several sizes, max-pooling,
+identity), concatenated into the cell output — with a 1x1 projection
+between cells to keep channel bookkeeping explicit.
+
+Simplification vs. the released PNASNet-5-Large checkpoint: separable
+convolutions are applied once (not twice), and the dual-input (h_{i-1},
+h_{i-2}) skip wiring is folded onto the cell input.  This preserves the
+branch-heavy dependency structure the paper cares about while keeping the
+layer count comparable.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models.common import GraphBuilder, Tensor
+
+
+def _sep_conv(
+    b: GraphBuilder, x: Tensor, out_k: int, kernel: int, stride: int, tag: str
+) -> Tensor:
+    """Depthwise-separable convolution: DW k x k then 1x1 pointwise."""
+    dw = b.conv(x, x.k, kernel=kernel, stride=stride, groups=x.k, name=f"{tag}_dw")
+    return b.conv(dw, out_k, kernel=1, name=f"{tag}_pw")
+
+
+def _pnas_cell(
+    b: GraphBuilder, x: Tensor, filters: int, stride: int, tag: str
+) -> Tensor:
+    """One PNAS cell: five two-op blocks, concat, 1x1 projection."""
+    if stride != 1 or x.k != filters:
+        base = b.conv(x, filters, kernel=1, stride=stride, name=f"{tag}_base")
+    else:
+        base = x
+
+    blocks = []
+    # Block 1: sep5x5 + max3x3.
+    p = _sep_conv(b, x, filters, kernel=5, stride=stride, tag=f"{tag}_s5a")
+    q = b.pool(x, kernel=3, stride=stride, pad=1, name=f"{tag}_mp1")
+    if q.k != filters:
+        q = b.conv(q, filters, kernel=1, name=f"{tag}_mp1p")
+    blocks.append(b.add([p, q], name=f"{tag}_blk1"))
+    # Block 2: sep7x7 + max3x3.
+    p = _sep_conv(b, x, filters, kernel=7, stride=stride, tag=f"{tag}_s7")
+    q = b.pool(x, kernel=3, stride=stride, pad=1, name=f"{tag}_mp2")
+    if q.k != filters:
+        q = b.conv(q, filters, kernel=1, name=f"{tag}_mp2p")
+    blocks.append(b.add([p, q], name=f"{tag}_blk2"))
+    # Block 3: sep5x5 + sep3x3.
+    p = _sep_conv(b, x, filters, kernel=5, stride=stride, tag=f"{tag}_s5b")
+    q = _sep_conv(b, x, filters, kernel=3, stride=stride, tag=f"{tag}_s3a")
+    blocks.append(b.add([p, q], name=f"{tag}_blk3"))
+    # Block 4: sep3x3 + identity (projected base).
+    p = _sep_conv(b, x, filters, kernel=3, stride=stride, tag=f"{tag}_s3b")
+    blocks.append(b.add([p, base], name=f"{tag}_blk4"))
+    # Block 5: identity + max3x3 (projected).
+    q = b.pool(x, kernel=3, stride=stride, pad=1, name=f"{tag}_mp3")
+    if q.k != filters:
+        q = b.conv(q, filters, kernel=1, name=f"{tag}_mp3p")
+    blocks.append(b.add([base, q], name=f"{tag}_blk5"))
+
+    cat = b.concat(blocks, name=f"{tag}_cat")
+    return b.conv(cat, filters, kernel=1, name=f"{tag}_out")
+
+
+def pnasnet(
+    filters: int = 108, cells_per_stage: int = 3, num_stages: int = 3
+) -> DNNGraph:
+    """PNASNet-like network: stem, then stages of cells with reductions."""
+    b = GraphBuilder("pnasnet", in_h=331, in_w=331, in_k=3)
+    x = b.conv(None, 96, kernel=3, stride=2, pad=0, name="stem")
+    x = _pnas_cell(b, x, filters, stride=2, tag="stem_r")
+    f = filters
+    for stage in range(num_stages):
+        for cell in range(cells_per_stage):
+            x = _pnas_cell(b, x, f, stride=1, tag=f"s{stage}c{cell}")
+        if stage != num_stages - 1:
+            f *= 2
+            x = _pnas_cell(b, x, f, stride=2, tag=f"s{stage}r")
+    x = b.global_pool(x, name="avgpool")
+    b.fc(x, 1000, name="fc1000")
+    return b.build()

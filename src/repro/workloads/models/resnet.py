@@ -1,0 +1,74 @@
+"""ResNet-50 and ResNeXt-50 (32x4d) layer graphs.
+
+Both models use the classic residual bottleneck skeleton (He et al.,
+CVPR'16; Xie et al., CVPR'17) that the paper selects precisely because
+residual structures are prevalent (Sec VI-A3).  Geometry follows the
+standard ImageNet configuration (224x224x3 input, 1000-way classifier).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models.common import GraphBuilder, Tensor
+
+#: (blocks, mid-channels, out-channels, first-stride) per stage.
+_RESNET50_STAGES = (
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+#: ResNeXt-50 32x4d widens the grouped 3x3 path: mid = 2x ResNet mid.
+_RESNEXT50_STAGES = (
+    (3, 128, 256, 1),
+    (4, 256, 512, 2),
+    (6, 512, 1024, 2),
+    (3, 1024, 2048, 2),
+)
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: Tensor,
+    mid: int,
+    out: int,
+    stride: int,
+    groups: int,
+    tag: str,
+) -> Tensor:
+    """One (ResNeXt-style when groups > 1) bottleneck residual block."""
+    y = b.conv(x, mid, kernel=1, name=f"{tag}_c1")
+    y = b.conv(y, mid, kernel=3, stride=stride, groups=groups, name=f"{tag}_c2")
+    y = b.conv(y, out, kernel=1, name=f"{tag}_c3")
+    if stride != 1 or x.k != out:
+        shortcut = b.conv(x, out, kernel=1, stride=stride, name=f"{tag}_proj")
+    else:
+        shortcut = x
+    return b.add([y, shortcut], name=f"{tag}_add")
+
+
+def _residual_backbone(
+    name: str, stages, groups: int, batch_norm_free: bool = True
+) -> DNNGraph:
+    b = GraphBuilder(name, in_h=224, in_w=224, in_k=3)
+    x = b.conv(None, 64, kernel=7, stride=2, pad=3, name="conv1")
+    x = b.pool(x, kernel=3, stride=2, pad=1, name="maxpool")
+    for stage_idx, (blocks, mid, out, first_stride) in enumerate(stages, start=1):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            tag = f"s{stage_idx}b{block_idx}"
+            x = _bottleneck(b, x, mid, out, stride, groups, tag)
+    x = b.global_pool(x, name="avgpool")
+    b.fc(x, 1000, name="fc1000")
+    return b.build()
+
+
+def resnet50() -> DNNGraph:
+    """ResNet-50: 16 bottlenecks, ~4.1 GMACs/sample."""
+    return _residual_backbone("resnet50", _RESNET50_STAGES, groups=1)
+
+
+def resnext50() -> DNNGraph:
+    """ResNeXt-50 32x4d: grouped 3x3 convolutions with cardinality 32."""
+    return _residual_backbone("resnext50", _RESNEXT50_STAGES, groups=32)

@@ -1,0 +1,63 @@
+"""Transformer encoder layer graphs (Vaswani et al., NIPS'17).
+
+The paper uses the Transformer as its default DSE workload (Sec VI-A1)
+and "TF-Large" in the chiplet-reuse study (Fig 8).  Activations are
+represented as (seq, 1, d_model) tensors; token-wise GEMMs become 1x1
+convolutions over the sequence axis, and attention score / context
+products become weight-free MATMUL layers.  Multi-head attention is
+folded across heads: the per-head score MACs ``heads * seq^2 * d_head``
+equal the folded ``seq^2 * d_model``, so compute and traffic volumes are
+preserved exactly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models.common import GraphBuilder, Tensor
+
+
+def _encoder_block(b: GraphBuilder, x: Tensor, d_ff: int, tag: str) -> Tensor:
+    seq, d_model = x.h, x.k
+    q = b.conv(x, d_model, kernel=1, name=f"{tag}_q")
+    k = b.conv(x, d_model, kernel=1, name=f"{tag}_k")
+    v = b.conv(x, d_model, kernel=1, name=f"{tag}_v")
+    scores = b.matmul(q, k, out_h=seq, out_k=seq, in_c=d_model, name=f"{tag}_qk")
+    probs = b.vector(scores, name=f"{tag}_softmax")
+    ctx = b.matmul(probs, v, out_h=seq, out_k=d_model, in_c=seq, name=f"{tag}_av")
+    proj = b.conv(ctx, d_model, kernel=1, name=f"{tag}_proj")
+    attn_out = b.add([proj, x], name=f"{tag}_res1")
+    norm1 = b.vector(attn_out, name=f"{tag}_ln1")
+    ff1 = b.conv(norm1, d_ff, kernel=1, name=f"{tag}_ff1")
+    ff2 = b.conv(ff1, d_model, kernel=1, name=f"{tag}_ff2")
+    ff_out = b.add([ff2, norm1], name=f"{tag}_res2")
+    return b.vector(ff_out, name=f"{tag}_ln2")
+
+
+def transformer(
+    seq_len: int = 64,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    n_layers: int = 6,
+    name: str = "transformer",
+) -> DNNGraph:
+    """Transformer-base encoder stack (6 layers, d_model=512)."""
+    b = GraphBuilder(name, in_h=seq_len, in_w=1, in_k=d_model)
+    x = b.input_tensor()
+    out = None
+    for i in range(n_layers):
+        out = _encoder_block(b, out if out is not None else _embed(b, x), d_ff, f"l{i}")
+    return b.build()
+
+
+def _embed(b: GraphBuilder, x: Tensor) -> Tensor:
+    """Input embedding projection (token GEMM on the DNN input)."""
+    return b.conv(None, x.k, kernel=1, name="embed")
+
+
+def transformer_large(
+    seq_len: int = 64, n_layers: int = 12, name: str = "transformer_large"
+) -> DNNGraph:
+    """Transformer-large encoder stack (d_model=1024, d_ff=4096)."""
+    return transformer(
+        seq_len=seq_len, d_model=1024, d_ff=4096, n_layers=n_layers, name=name
+    )

@@ -1,0 +1,202 @@
+"""Unit tests for architecture configuration, topology and routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import (
+    ArchConfig,
+    DEFAULT_AREA,
+    FoldedTorusTopology,
+    MeshTopology,
+    arrange_cores,
+    cores_for_tops,
+    g_arch,
+    s_arch,
+    t_arch,
+)
+from repro.errors import InvalidArchitectureError
+from repro.units import GB, MB
+
+
+def mesh_arch(x=4, y=4, xcut=2, ycut=1, **kw):
+    defaults = dict(
+        cores_x=x, cores_y=y, xcut=xcut, ycut=ycut,
+        dram_bw=64 * GB, noc_bw=32 * GB, d2d_bw=16 * GB,
+        glb_bytes=1 * MB, macs_per_core=1024,
+    )
+    defaults.update(kw)
+    return ArchConfig(**defaults)
+
+
+class TestArrangement:
+    def test_paper_examples(self):
+        assert arrange_cores(36) == (6, 6)
+        assert arrange_cores(18) == (6, 3)
+
+    def test_prime_falls_back_to_strip(self):
+        assert arrange_cores(7) == (7, 1)
+
+    def test_cores_for_tops(self):
+        assert cores_for_tops(72, 1024) == 36
+        assert cores_for_tops(72, 2048) == 18
+        assert cores_for_tops(72, 8192) is None  # 4.5 cores: invalid
+        assert cores_for_tops(512, 8192) == 32
+
+
+class TestArchConfig:
+    def test_chiplet_geometry(self):
+        a = mesh_arch(x=6, y=6, xcut=2, ycut=1)
+        assert a.n_chiplets == 2
+        assert a.cores_per_chiplet == 18
+        assert a.chiplet_of(2, 5) == (0, 0)
+        assert a.chiplet_of(3, 0) == (1, 0)
+
+    def test_tops_accounting(self):
+        assert g_arch().tops == pytest.approx(72.0)
+        assert t_arch().tops == pytest.approx(240.0)
+
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(InvalidArchitectureError):
+            mesh_arch(x=6, xcut=4)
+
+    def test_d2d_cannot_exceed_noc(self):
+        with pytest.raises(InvalidArchitectureError):
+            mesh_arch(d2d_bw=64 * GB, noc_bw=32 * GB)
+
+    def test_monolithic_ignores_d2d(self):
+        a = mesh_arch(xcut=1, ycut=1, d2d_bw=0)
+        assert a.is_monolithic
+
+    def test_dram_units(self):
+        assert mesh_arch(dram_bw=144 * GB).n_dram == 5
+        assert mesh_arch(dram_bw=64 * GB).n_dram == 2
+
+    def test_paper_tuple_format(self):
+        assert g_arch().paper_tuple() == \
+            "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)"
+
+
+class TestMeshTopology:
+    def test_core_indexing_roundtrip(self):
+        topo = MeshTopology(mesh_arch())
+        for i in range(16):
+            assert topo.core_index(topo.core_node(i)) == i
+
+    def test_d2d_links_at_cut(self):
+        topo = MeshTopology(mesh_arch(x=4, y=4, xcut=2, ycut=1))
+        # Links crossing x=1->x=2 are D2D.
+        link = topo.link_between(("core", 1, 0), ("core", 2, 0))
+        assert link.is_d2d
+        link = topo.link_between(("core", 0, 0), ("core", 1, 0))
+        assert not link.is_d2d
+
+    def test_monolithic_has_no_d2d(self):
+        topo = MeshTopology(mesh_arch(xcut=1, ycut=1, d2d_bw=32 * GB))
+        assert topo.d2d_link_indices() == []
+
+    def test_io_links_are_d2d_when_multichiplet(self):
+        topo = MeshTopology(mesh_arch(xcut=2))
+        dram = topo.dram_node(0)
+        router = topo.attach_router(dram)
+        assert topo.link_between(dram, router).is_d2d
+
+    def test_xy_route_length(self):
+        topo = MeshTopology(mesh_arch())
+        route = topo.route(("core", 0, 0), ("core", 3, 2))
+        assert len(route) == 5  # 3 hops in X + 2 in Y
+
+    def test_route_is_xy_ordered(self):
+        topo = MeshTopology(mesh_arch())
+        route = topo.route(("core", 0, 0), ("core", 2, 2))
+        links = [topo.links[i] for i in route]
+        # X movement first, then Y.
+        xs = [l.dst[1] for l in links]
+        assert xs == [1, 2, 2, 2]
+
+    def test_route_to_dram_ends_with_io_link(self):
+        topo = MeshTopology(mesh_arch())
+        route = topo.route(("core", 2, 2), topo.dram_node(0))
+        assert topo.links[route[-1]].is_io
+
+    def test_route_from_dram_starts_with_io_link(self):
+        topo = MeshTopology(mesh_arch())
+        route = topo.route(topo.dram_node(0), ("core", 2, 2))
+        assert topo.links[route[0]].is_io
+
+    def test_self_route_empty(self):
+        topo = MeshTopology(mesh_arch())
+        assert topo.route(("core", 1, 1), ("core", 1, 1)) == ()
+
+    def test_d2d_bandwidth_applied(self):
+        arch = mesh_arch(noc_bw=32 * GB, d2d_bw=8 * GB)
+        topo = MeshTopology(arch)
+        for link in topo.links:
+            assert link.bandwidth == (8 * GB if link.is_d2d else 32 * GB)
+
+
+class TestFoldedTorus:
+    def test_has_wrap_links(self):
+        topo = FoldedTorusTopology(mesh_arch(xcut=1, ycut=1))
+        assert (("core", 3, 0), ("core", 0, 0)) in topo._by_endpoints
+
+    def test_wrap_routing_is_shorter(self):
+        arch = mesh_arch(x=8, y=1, xcut=1, ycut=1)
+        mesh = MeshTopology(arch)
+        torus = FoldedTorusTopology(arch)
+        src, dst = ("core", 0, 0), ("core", 7, 0)
+        assert len(mesh.route(src, dst)) == 7
+        assert len(torus.route(src, dst)) == 1
+
+    def test_route_terminates_everywhere(self):
+        topo = FoldedTorusTopology(mesh_arch(x=5, y=3, xcut=1, ycut=1))
+        for i in range(15):
+            for j in range(15):
+                route = topo.route(topo.core_node(i), topo.core_node(j))
+                assert len(route) <= 5 + 3
+
+
+class TestAreaModel:
+    def test_simba_like_d2d_fraction(self):
+        frac = DEFAULT_AREA.d2d_area_fraction(s_arch())
+        assert 0.30 < frac < 0.45  # paper: "nearly 40%"
+
+    def test_g_arch_d2d_fraction_small(self):
+        assert DEFAULT_AREA.d2d_area_fraction(g_arch()) < 0.20
+
+    def test_monolithic_single_die(self):
+        dies = DEFAULT_AREA.die_areas(mesh_arch(xcut=1, ycut=1))
+        assert len(dies) == 1
+
+    def test_chiplet_die_count(self):
+        dies = DEFAULT_AREA.die_areas(mesh_arch(xcut=2, ycut=2))
+        assert len(dies) == 4 + 2  # computing + two IO dies
+
+    def test_area_monotone_in_glb(self):
+        small = DEFAULT_AREA.total_area(mesh_arch(glb_bytes=1 * MB))
+        large = DEFAULT_AREA.total_area(mesh_arch(glb_bytes=4 * MB))
+        assert large > small
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(2, 8),
+    y=st.integers(2, 8),
+    src=st.integers(0, 63),
+    dst=st.integers(0, 63),
+)
+def test_mesh_route_property(x, y, src, dst):
+    """XY routes exist, are minimal, and traverse valid links."""
+    arch = mesh_arch(x=x, y=y, xcut=1, ycut=1)
+    topo = MeshTopology(arch)
+    n = x * y
+    a, b = topo.core_node(src % n), topo.core_node(dst % n)
+    route = topo.route(a, b)
+    manhattan = abs(a[1] - b[1]) + abs(a[2] - b[2])
+    assert len(route) == manhattan
+    # Route is connected: each link starts where the previous ended.
+    prev = a
+    for idx in route:
+        link = topo.links[idx]
+        assert link.src == prev
+        prev = link.dst
+    assert prev == b

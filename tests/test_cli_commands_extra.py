@@ -1,0 +1,71 @@
+"""Heavier CLI command tests (small budgets) and operator reachability."""
+
+import random
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.cli import main
+from repro.core import LayerGroup
+from repro.core.initial import initial_lms
+from repro.core.operators import op5_change_flow
+from repro.units import GB, MB
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+class TestCliHeatmap:
+    def test_heatmap_command_renders_both_schemes(self, capsys):
+        code = main([
+            "heatmap", "--model", "TF", "--arch", "g-arch",
+            "--batch", "8", "--iters", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tangram SPM" in out
+        assert "Gemini SPM" in out
+        assert "total_hop_bytes" in out
+
+
+class TestCliDse:
+    def test_dse_writes_results(self, tmp_path, capsys):
+        # The quick 72-TOPs grid with a minimal SA budget.
+        code = main([
+            "dse", "--tops", "72", "--models", "TF", "--batch", "4",
+            "--iters", "2", "--out", str(tmp_path / "log"),
+        ])
+        assert code == 0
+        assert (tmp_path / "log" / "result.csv").exists()
+        assert (tmp_path / "log" / "best_arch.json").exists()
+        out = capsys.readouterr().out
+        assert "best architecture:" in out
+
+
+class TestOp5Reachability:
+    """OP5 can reach every FD value in [0, D] for every explicit slot."""
+
+    def test_all_fd_values_reachable(self):
+        g = DNNGraph("g")
+        g.add_layer(Layer("a", LayerType.CONV, out_h=8, out_w=8,
+                          out_k=8, in_c=3))
+        group = LayerGroup(("a",), batch_unit=1)
+        arch = ArchConfig(
+            cores_x=2, cores_y=2, xcut=1, ycut=1, dram_bw=96 * GB,
+            noc_bw=32 * GB, d2d_bw=32 * GB, glb_bytes=1 * MB,
+            macs_per_core=1024,
+        )
+        lms = initial_lms(g, group, arch)
+        rng = random.Random(0)
+        seen = {"ifmap": set(), "weight": set(), "ofmap": set()}
+        current = lms
+        for _ in range(300):
+            out = op5_change_flow(g, current, rng, n_dram=arch.n_dram)
+            if out is not None:
+                current = out
+            fd = current.scheme("a").fd
+            for field in seen:
+                value = getattr(fd, field)
+                if value >= 0:
+                    seen[field].add(value)
+        for field, values in seen.items():
+            assert values == set(range(arch.n_dram + 1)), field

@@ -1,0 +1,197 @@
+"""Unit tests for the LP SPM encoding (Sec IV-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import (
+    IMPLICIT,
+    INTERLEAVED,
+    FlowOfData,
+    LayerGroup,
+    LayerGroupMapping,
+    MappingScheme,
+    Partition,
+    fd_requirements,
+    split_range,
+    validate_lms,
+)
+from repro.errors import InvalidMappingError
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+def two_conv_graph():
+    """The paper's Fig 3 example: a two-Conv chain."""
+    g = DNNGraph("fig3")
+    g.add_layer(Layer("L1", LayerType.CONV, out_h=6, out_w=6, out_k=8, in_c=3,
+                      kernel_r=3, kernel_s=3, pad_h=1, pad_w=1))
+    g.add_layer(Layer("L2", LayerType.CONV, out_h=6, out_w=6, out_k=4, in_c=8,
+                      kernel_r=3, kernel_s=3, pad_h=1, pad_w=1), inputs=["L1"])
+    return g
+
+
+def fig3_lms(g):
+    """LMS mirroring Fig 3: Part1=(1,1,2,2) CG1=(2,1,5,4); Part2=(1,1,2,1)
+    CG2=(3,6); FD1=(1,1,-1); FD2=(-1,2,2) — 0-based cores here."""
+    group = LayerGroup(("L1", "L2"), batch_unit=2)
+    ms1 = MappingScheme(
+        Partition(1, 1, 2, 2), (1, 0, 4, 3), FlowOfData(1, 1, IMPLICIT)
+    )
+    ms2 = MappingScheme(
+        Partition(1, 1, 2, 1), (2, 5), FlowOfData(IMPLICIT, 2, 2)
+    )
+    return LayerGroupMapping(group, {"L1": ms1, "L2": ms2})
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        assert split_range(8, 2, 0) == (0, 4)
+        assert split_range(8, 2, 1) == (4, 8)
+
+    def test_uneven_split_covers_total(self):
+        pieces = [split_range(7, 3, i) for i in range(3)]
+        assert pieces[0][0] == 0
+        assert pieces[-1][1] == 7
+        for (a, b), (c, d) in zip(pieces, pieces[1:]):
+            assert b == c
+
+    @given(total=st.integers(1, 1000), parts=st.integers(1, 50))
+    def test_split_partition_property(self, total, parts):
+        parts = min(parts, total)
+        sizes = [split_range(total, parts, i) for i in range(parts)]
+        assert sum(b - a for a, b in sizes) == total
+        assert all(b > a for a, b in sizes)
+        # Near-equal: sizes differ by at most 1.
+        widths = [b - a for a, b in sizes]
+        assert max(widths) - min(widths) <= 1
+
+
+class TestPartition:
+    def test_numerical_id_order(self):
+        p = Partition(1, 1, 2, 2)
+        ids = list(p.ids())
+        assert ids == [(0, 0, 0, 0), (0, 0, 0, 1), (0, 0, 1, 0), (0, 0, 1, 1)]
+        assert [p.numerical_id(*i) for i in ids] == [0, 1, 2, 3]
+
+    def test_fig3_correspondence(self):
+        g = two_conv_graph()
+        lms = fig3_lms(g)
+        ms1 = lms.scheme("L1")
+        # NID 0 -> first core of CG1 (paper maps workload 1-0 to core C2,
+        # 0-based index 1).
+        assert ms1.core_of(0, 0, 0, 0) == 1
+        assert ms1.core_of(0, 0, 1, 1) == 3
+
+    def test_feasibility(self):
+        g = two_conv_graph()
+        layer = g.layer("L1")
+        assert Partition(1, 1, 2, 2).feasible_for(layer, batch_unit=2)
+        assert not Partition(1, 1, 4, 1).feasible_for(layer, batch_unit=2)
+        assert not Partition(7, 1, 1, 1).feasible_for(layer, batch_unit=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidMappingError):
+            Partition(0, 1, 1, 1)
+
+
+class TestMappingScheme:
+    def test_core_count_must_match_parts(self):
+        with pytest.raises(InvalidMappingError):
+            MappingScheme(Partition(1, 1, 2, 2), (0, 1, 2),
+                          FlowOfData(0, 0, 0))
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(InvalidMappingError):
+            MappingScheme(Partition(1, 1, 1, 2), (3, 3),
+                          FlowOfData(0, 0, 0))
+
+    def test_core_groups_are_ordered(self):
+        a = MappingScheme(Partition(1, 1, 1, 2), (0, 1), FlowOfData(0, 0, 0))
+        b = MappingScheme(Partition(1, 1, 1, 2), (1, 0), FlowOfData(0, 0, 0))
+        assert a.core_group != b.core_group
+        assert a.core_of(0, 0, 0, 0) != b.core_of(0, 0, 0, 0)
+
+
+class TestFdRules:
+    def test_fig3_requirements(self):
+        g = two_conv_graph()
+        group = LayerGroup(("L1", "L2"), batch_unit=2)
+        r1 = fd_requirements(g, group, "L1")
+        # L1 reads the DNN input and has weights; its consumer is in
+        # the group, so OF is implicit.
+        assert (r1.ifmap, r1.weight, r1.ofmap) == (True, True, False)
+        r2 = fd_requirements(g, group, "L2")
+        # L2's ifmap comes from L1 (in group); it is the DNN output.
+        assert (r2.ifmap, r2.weight, r2.ofmap) == (False, True, True)
+
+    def test_cross_group_producer_is_implicit_ifmap(self):
+        g = two_conv_graph()
+        group = LayerGroup(("L2",), batch_unit=2)
+        r2 = fd_requirements(g, group, "L2")
+        assert not r2.ifmap  # fetched from wherever L1 stored its ofmaps
+
+    def test_pool_has_no_weight_flow(self):
+        g = DNNGraph("p")
+        g.add_layer(Layer("p1", LayerType.POOL, out_h=2, out_w=2, out_k=4,
+                          in_c=4, kernel_r=2, kernel_s=2, stride=2))
+        group = LayerGroup(("p1",), batch_unit=1)
+        assert not fd_requirements(g, group, "p1").weight
+
+
+class TestValidateLms:
+    def test_fig3_scheme_is_valid(self):
+        g = two_conv_graph()
+        validate_lms(g, fig3_lms(g), n_cores=6, n_dram=2)
+
+    def test_core_out_of_range(self):
+        g = two_conv_graph()
+        lms = fig3_lms(g)
+        with pytest.raises(InvalidMappingError):
+            validate_lms(g, lms, n_cores=4, n_dram=2)
+
+    def test_core_reuse_across_layers_rejected(self):
+        g = two_conv_graph()
+        group = LayerGroup(("L1", "L2"), batch_unit=2)
+        ms1 = MappingScheme(Partition(1, 1, 2, 2), (0, 1, 2, 3),
+                            FlowOfData(0, 0, IMPLICIT))
+        ms2 = MappingScheme(Partition(1, 1, 2, 1), (3, 4),
+                            FlowOfData(IMPLICIT, 0, 0))
+        lms = LayerGroupMapping(group, {"L1": ms1, "L2": ms2})
+        with pytest.raises(InvalidMappingError):
+            validate_lms(g, lms, n_cores=6, n_dram=2)
+
+    def test_explicit_fd_where_implicit_required(self):
+        g = two_conv_graph()
+        group = LayerGroup(("L1", "L2"), batch_unit=2)
+        ms1 = MappingScheme(Partition(1, 1, 2, 2), (0, 1, 2, 3),
+                            FlowOfData(0, 0, 1))  # OF must be implicit
+        ms2 = MappingScheme(Partition(1, 1, 2, 1), (4, 5),
+                            FlowOfData(IMPLICIT, 0, 0))
+        lms = LayerGroupMapping(group, {"L1": ms1, "L2": ms2})
+        with pytest.raises(InvalidMappingError):
+            validate_lms(g, lms, n_cores=6, n_dram=2)
+
+    def test_fd_value_above_dram_count(self):
+        g = two_conv_graph()
+        lms = fig3_lms(g)
+        with pytest.raises(InvalidMappingError):
+            validate_lms(g, lms, n_cores=6, n_dram=1)
+
+    def test_oversized_partition_rejected(self):
+        g = two_conv_graph()
+        group = LayerGroup(("L1", "L2"), batch_unit=1)  # B part 2 > unit 1
+        ms1 = MappingScheme(Partition(1, 1, 2, 2), (0, 1, 2, 3),
+                            FlowOfData(0, 0, IMPLICIT))
+        ms2 = MappingScheme(Partition(1, 1, 1, 1), (4,),
+                            FlowOfData(IMPLICIT, 0, 0))
+        lms = LayerGroupMapping(group, {"L1": ms1, "L2": ms2})
+        with pytest.raises(InvalidMappingError):
+            validate_lms(g, lms, n_cores=6, n_dram=2)
+
+    def test_lms_must_cover_group(self):
+        g = two_conv_graph()
+        group = LayerGroup(("L1", "L2"), batch_unit=2)
+        ms1 = MappingScheme(Partition(1, 1, 2, 2), (0, 1, 2, 3),
+                            FlowOfData(0, 0, IMPLICIT))
+        with pytest.raises(InvalidMappingError):
+            LayerGroupMapping(group, {"L1": ms1})

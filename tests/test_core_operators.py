@@ -1,0 +1,225 @@
+"""Unit tests for the five SA operators and the initial scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchConfig
+from repro.core.encoding import LayerGroup, validate_lms
+from repro.core.initial import (
+    allocate_cores,
+    factor_partition,
+    initial_lms,
+    largest_feasible_partition,
+    prime_factors,
+    snake_order,
+)
+from repro.core.operators import (
+    OPERATORS,
+    op1_change_partition,
+    op2_swap_within_layer,
+    op3_swap_between_layers,
+    op4_move_core,
+    op5_change_flow,
+)
+from repro.units import GB, MB
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+def arch6x6():
+    return ArchConfig(
+        cores_x=6, cores_y=6, xcut=2, ycut=1, dram_bw=64 * GB,
+        noc_bw=32 * GB, d2d_bw=16 * GB, glb_bytes=1 * MB, macs_per_core=1024,
+    )
+
+
+def chain_graph(n=4):
+    g = DNNGraph("chain")
+    prev = None
+    for i in range(n):
+        g.add_layer(
+            Layer(f"l{i}", LayerType.CONV, out_h=16, out_w=16, out_k=32,
+                  in_c=3 if prev is None else 32, kernel_r=3, kernel_s=3,
+                  pad_h=1, pad_w=1),
+            inputs=[prev] if prev else None,
+        )
+        prev = f"l{i}"
+    return g
+
+
+@pytest.fixture
+def setup():
+    g = chain_graph()
+    arch = arch6x6()
+    group = LayerGroup(tuple(g.layer_names()), batch_unit=2)
+    lms = initial_lms(g, group, arch)
+    return g, arch, lms
+
+
+class TestInitialHelpers:
+    def test_prime_factors(self):
+        assert prime_factors(12) == [3, 2, 2]
+        assert prime_factors(7) == [7]
+        assert prime_factors(1) == []
+
+    def test_factor_partition_product(self):
+        layer = chain_graph().layer("l0")
+        part = factor_partition(layer, 12, batch_unit=2)
+        assert part is not None
+        assert part.n_parts == 12
+        assert part.feasible_for(layer, 2)
+
+    def test_factor_partition_infeasible(self):
+        layer = Layer("t", LayerType.FC, out_h=1, out_w=1, out_k=2, in_c=8)
+        # 16 cores cannot split a (1,1,1,2) cube with batch unit 1.
+        assert factor_partition(layer, 16, batch_unit=1) is None
+
+    def test_largest_feasible_partition_falls_back(self):
+        layer = Layer("t", LayerType.FC, out_h=1, out_w=1, out_k=3, in_c=8)
+        part, used = largest_feasible_partition(layer, 16, batch_unit=1)
+        assert used <= 3
+        assert part.n_parts == used
+
+    def test_snake_order_is_permutation(self):
+        order = snake_order(6, 6)
+        assert sorted(order) == list(range(36))
+        # Consecutive entries are mesh neighbors.
+        for a, b in zip(order, order[1:]):
+            ax, ay = a % 6, a // 6
+            bx, by = b % 6, b // 6
+            assert abs(ax - bx) + abs(ay - by) == 1
+
+    def test_allocate_cores_sums_to_total(self):
+        shares = allocate_cores([10.0, 1.0, 1.0], 12)
+        assert sum(shares) == 12
+        assert min(shares) >= 1
+        assert shares[0] > shares[1]
+
+
+class TestInitialLms:
+    def test_is_valid(self, setup):
+        g, arch, lms = setup
+        validate_lms(g, lms, arch.n_cores, arch.n_dram)
+
+    def test_uses_most_cores(self, setup):
+        g, arch, lms = setup
+        # Equal layers: each should get ~9 of 36 cores.
+        assert lms.total_cores() >= arch.n_cores * 0.75
+
+    def test_allocation_tracks_compute(self):
+        g = DNNGraph("uneven")
+        g.add_layer(Layer("big", LayerType.CONV, out_h=32, out_w=32,
+                          out_k=64, in_c=64, kernel_r=3, kernel_s=3,
+                          pad_h=1, pad_w=1))
+        g.add_layer(Layer("small", LayerType.CONV, out_h=32, out_w=32,
+                          out_k=4, in_c=64), inputs=["big"])
+        arch = arch6x6()
+        group = LayerGroup(("big", "small"), batch_unit=1)
+        lms = initial_lms(g, group, arch)
+        assert lms.scheme("big").n_cores > lms.scheme("small").n_cores
+
+
+class TestOperators:
+    def test_op1_changes_partition_only(self, setup):
+        g, arch, lms = setup
+        rng = random.Random(0)
+        for _ in range(20):
+            out = op1_change_partition(g, lms, rng)
+            if out is not None:
+                changed = [
+                    n for n in lms.group.layers
+                    if out.scheme(n).part != lms.scheme(n).part
+                ]
+                assert len(changed) == 1
+                name = changed[0]
+                assert out.scheme(name).core_group == \
+                    lms.scheme(name).core_group
+                validate_lms(g, out, arch.n_cores, arch.n_dram)
+                return
+        pytest.fail("OP1 never produced a move")
+
+    def test_op2_preserves_core_set(self, setup):
+        g, arch, lms = setup
+        rng = random.Random(1)
+        out = op2_swap_within_layer(g, lms, rng)
+        assert out is not None
+        for n in lms.group.layers:
+            assert set(out.scheme(n).core_group) == \
+                set(lms.scheme(n).core_group)
+        validate_lms(g, out, arch.n_cores, arch.n_dram)
+
+    def test_op3_exchanges_between_layers(self, setup):
+        g, arch, lms = setup
+        rng = random.Random(2)
+        out = op3_swap_between_layers(g, lms, rng)
+        assert out is not None
+        validate_lms(g, out, arch.n_cores, arch.n_dram)
+        sizes_before = [lms.scheme(n).n_cores for n in lms.group.layers]
+        sizes_after = [out.scheme(n).n_cores for n in out.group.layers]
+        assert sizes_before == sizes_after
+
+    def test_op4_moves_a_core(self, setup):
+        g, arch, lms = setup
+        rng = random.Random(3)
+        for _ in range(30):
+            out = op4_move_core(g, lms, rng)
+            if out is not None:
+                validate_lms(g, out, arch.n_cores, arch.n_dram)
+                total_before = lms.total_cores()
+                assert out.total_cores() == total_before
+                sizes = sorted(
+                    out.scheme(n).n_cores - lms.scheme(n).n_cores
+                    for n in lms.group.layers
+                )
+                assert sizes.count(-1) == 1 and sizes.count(1) == 1
+                return
+        pytest.fail("OP4 never produced a move")
+
+    def test_op4_can_reach_any_cg_size(self, setup):
+        """Paper: repeated OP4 reaches any CG size (reachability)."""
+        g, arch, lms = setup
+        rng = random.Random(4)
+        sizes_seen = {lms.scheme("l0").n_cores}
+        current = lms
+        for _ in range(300):
+            out = op4_move_core(g, current, rng)
+            if out is not None:
+                current = out
+                sizes_seen.add(current.scheme("l0").n_cores)
+        assert len(sizes_seen) >= 5
+
+    def test_op5_changes_explicit_fd(self, setup):
+        g, arch, lms = setup
+        rng = random.Random(5)
+        for _ in range(30):
+            out = op5_change_flow(g, lms, rng, n_dram=arch.n_dram)
+            if out is not None:
+                validate_lms(g, out, arch.n_cores, arch.n_dram)
+                return
+        pytest.fail("OP5 never produced a move")
+
+    def test_operator_registry_order(self):
+        assert [name for name, _ in OPERATORS] == \
+            ["OP1", "OP2", "OP3", "OP4", "OP5"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_operator_chains_stay_valid(seed):
+    """Any operator sequence preserves encoding validity."""
+    g = chain_graph(3)
+    arch = arch6x6()
+    group = LayerGroup(tuple(g.layer_names()), batch_unit=2)
+    lms = initial_lms(g, group, arch)
+    rng = random.Random(seed)
+    for _ in range(25):
+        name, op = OPERATORS[rng.randrange(len(OPERATORS))]
+        if op is op5_change_flow:
+            out = op(g, lms, rng, n_dram=arch.n_dram)
+        else:
+            out = op(g, lms, rng)
+        if out is not None:
+            lms = out
+    validate_lms(g, lms, arch.n_cores, arch.n_dram)

@@ -1,0 +1,186 @@
+"""Unit tests for LMS parsing (Fig 3) and receptive-field arithmetic."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import (
+    IMPLICIT,
+    FlowOfData,
+    LayerGroup,
+    LayerGroupMapping,
+    MappingScheme,
+    Partition,
+)
+from repro.core.parser import (
+    Region,
+    parse_lms,
+    parse_scheme,
+    required_channels,
+    required_input_box,
+)
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+def conv_layer(**kw):
+    defaults = dict(
+        name="L", kind=LayerType.CONV, out_h=8, out_w=8, out_k=16, in_c=4,
+        kernel_r=3, kernel_s=3, stride=1, pad_h=1, pad_w=1,
+    )
+    defaults.update(kw)
+    return Layer(**defaults)
+
+
+class TestRegion:
+    def test_volume(self):
+        r = Region(0, 2, 0, 3, 0, 1, 0, 4)
+        assert r.volume() == 2 * 3 * 1 * 4
+
+    def test_intersection(self):
+        a = Region(0, 4, 0, 4, 0, 1, 0, 8)
+        b = Region(2, 6, 1, 3, 0, 1, 4, 12)
+        assert a.intersection_volume(b) == 2 * 2 * 1 * 4
+
+    def test_disjoint_intersection_zero(self):
+        a = Region(0, 2, 0, 2, 0, 1, 0, 4)
+        b = Region(2, 4, 0, 2, 0, 1, 0, 4)
+        assert a.intersection_volume(b) == 0
+
+
+class TestParseScheme:
+    def test_parts_tile_the_ofmap(self):
+        layer = conv_layer()
+        scheme = MappingScheme(
+            Partition(2, 2, 1, 2), tuple(range(8)), FlowOfData(0, 0, 0)
+        )
+        parts = parse_scheme(layer, scheme, batch_unit=1)
+        assert len(parts) == 8
+        total = sum(p.region.volume() for p in parts)
+        assert total == layer.ofmap_elems(1)
+        # Pairwise disjoint.
+        for a, b in itertools.combinations(parts, 2):
+            assert a.region.intersection_volume(b.region) == 0
+
+    def test_each_part_on_distinct_core(self):
+        layer = conv_layer()
+        scheme = MappingScheme(
+            Partition(1, 1, 1, 4), (5, 2, 7, 0), FlowOfData(0, 0, 0)
+        )
+        parts = parse_scheme(layer, scheme, batch_unit=1)
+        assert [p.core for p in parts] == [5, 2, 7, 0]
+
+    def test_workload_matches_region(self):
+        layer = conv_layer(out_k=16, in_c=4)
+        scheme = MappingScheme(
+            Partition(2, 1, 1, 2), (0, 1, 2, 3), FlowOfData(0, 0, 0)
+        )
+        parts = parse_scheme(layer, scheme, batch_unit=1)
+        wl = parts[0].workload
+        assert wl.h == 4 and wl.k == 8
+        assert wl.c == 4  # conv needs all input channels
+
+    def test_channelwise_workload_reads_own_slice(self):
+        layer = Layer("p", LayerType.POOL, out_h=8, out_w=8, out_k=16,
+                      in_c=16, kernel_r=2, kernel_s=2, stride=2)
+        scheme = MappingScheme(
+            Partition(1, 1, 1, 4), (0, 1, 2, 3), FlowOfData(IMPLICIT, IMPLICIT, 0)
+        )
+        parts = parse_scheme(layer, scheme, batch_unit=1)
+        assert parts[0].workload.c == 4
+
+    def test_grouped_conv_channel_slice(self):
+        layer = conv_layer(out_k=32, in_c=32, groups=4)
+        scheme = MappingScheme(
+            Partition(1, 1, 1, 4), (0, 1, 2, 3), FlowOfData(0, 0, 0)
+        )
+        parts = parse_scheme(layer, scheme, batch_unit=1)
+        # Each part covers exactly one group: 8 input channels.
+        assert parts[0].workload.c == 8
+        assert parts[0].workload.groups == 1
+
+    def test_macs_conserved_under_k_partition(self):
+        layer = conv_layer()
+        whole = MappingScheme(Partition(1, 1, 1, 1), (0,), FlowOfData(0, 0, 0))
+        split = MappingScheme(
+            Partition(1, 1, 1, 4), (0, 1, 2, 3), FlowOfData(0, 0, 0)
+        )
+        m_whole = sum(
+            p.workload.macs() for p in parse_scheme(layer, whole, 1)
+        )
+        m_split = sum(
+            p.workload.macs() for p in parse_scheme(layer, split, 1)
+        )
+        assert m_whole == m_split
+
+
+class TestReceptiveField:
+    def test_same_conv_interior(self):
+        layer = conv_layer()
+        region = Region(2, 4, 2, 4, 0, 1, 0, 16)
+        ih_lo, ih_hi, iw_lo, iw_hi = required_input_box(layer, region)
+        assert (ih_lo, ih_hi) == (1, 5)  # 2*1-1 .. 3*1-1+3
+        assert (iw_lo, iw_hi) == (1, 5)
+
+    def test_edge_clipping(self):
+        layer = conv_layer()
+        region = Region(0, 2, 0, 2, 0, 1, 0, 16)
+        ih_lo, ih_hi, _, _ = required_input_box(layer, region)
+        assert ih_lo == 0  # padding clipped away
+
+    def test_strided(self):
+        layer = conv_layer(out_h=4, out_w=4, stride=2, pad_h=0, pad_w=0)
+        region = Region(1, 2, 0, 4, 0, 1, 0, 16)
+        ih_lo, ih_hi, _, _ = required_input_box(layer, region)
+        assert (ih_lo, ih_hi) == (2, 5)
+
+    def test_channels_conv_needs_all(self):
+        layer = conv_layer()
+        region = Region(0, 4, 0, 4, 0, 1, 0, 8)
+        assert required_channels(layer, region) == (0, 4)
+
+    def test_channels_pool_needs_slice(self):
+        layer = Layer("p", LayerType.POOL, out_h=8, out_w=8, out_k=16,
+                      in_c=16, kernel_r=2, kernel_s=2, stride=2)
+        region = Region(0, 8, 0, 8, 0, 1, 4, 8)
+        assert required_channels(layer, region) == (4, 8)
+
+    def test_channels_grouped(self):
+        layer = conv_layer(out_k=32, in_c=32, groups=4)
+        region = Region(0, 8, 0, 8, 0, 1, 8, 16)  # group 1 exactly
+        assert required_channels(layer, region) == (8, 16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ph=st.integers(1, 4), pw=st.integers(1, 4),
+    pb=st.integers(1, 2), pk=st.integers(1, 4),
+)
+def test_parse_tiles_exactly(ph, pw, pb, pk):
+    """Any feasible partition tiles the ofmap cube exactly."""
+    layer = conv_layer(out_h=8, out_w=8, out_k=16)
+    n = ph * pw * pb * pk
+    scheme = MappingScheme(
+        Partition(ph, pw, pb, pk), tuple(range(n)), FlowOfData(0, 0, 0)
+    )
+    parts = parse_scheme(layer, scheme, batch_unit=2)
+    volumes = sum(p.region.volume() for p in parts)
+    assert volumes == layer.ofmap_elems(2)
+    assert len({p.core for p in parts}) == n
+
+
+def test_parse_lms_whole_group():
+    g = DNNGraph("g")
+    g.add_layer(conv_layer(name="a", out_k=8, in_c=3))
+    g.add_layer(conv_layer(name="b", out_k=4, in_c=8), inputs=["a"])
+    group = LayerGroup(("a", "b"), batch_unit=1)
+    lms = LayerGroupMapping(group, {
+        "a": MappingScheme(Partition(1, 1, 1, 2), (0, 1),
+                           FlowOfData(0, 0, IMPLICIT)),
+        "b": MappingScheme(Partition(2, 1, 1, 1), (2, 3),
+                           FlowOfData(IMPLICIT, 0, 0)),
+    })
+    parsed = parse_lms(g, lms)
+    assert set(parsed.layers) == {"a", "b"}
+    assert len(parsed.layer("a").parts) == 2

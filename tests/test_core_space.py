@@ -1,0 +1,108 @@
+"""Unit tests for optimization-space size calculations (Sec IV-B)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.space import (
+    compositions,
+    gemini_space_size,
+    log10_size,
+    partition_count,
+    space_table,
+    tangram_space_size,
+)
+
+
+class TestPartitionCount:
+    def test_known_values(self):
+        # OEIS A000041.
+        known = [1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42]
+        for m, p in enumerate(known):
+            assert partition_count(m) == p
+
+    def test_larger_value(self):
+        assert partition_count(36) == 17977
+        assert partition_count(100) == 190569292
+
+    def test_brute_force_agreement(self):
+        def brute(m, largest=None):
+            if m == 0:
+                return 1
+            largest = largest or m
+            return sum(
+                brute(m - k, min(k, m - k)) for k in range(min(largest, m), 0, -1)
+            )
+        for m in range(1, 12):
+            assert partition_count(m) == brute(m)
+
+
+class TestGeminiSpace:
+    def test_formula_terms(self):
+        # M=6, N=2: M! * [C(2,0)C(3,1)4^2 + C(2,1)C(3,0)4^1].
+        expected = math.factorial(6) * (1 * 3 * 16 + 2 * 1 * 4)
+        assert gemini_space_size(6, 2) == expected
+
+    def test_single_layer(self):
+        # N=1: M! * C(1,0)*C(M-2,0)*4.
+        assert gemini_space_size(6, 1) == math.factorial(6) * 4
+
+    def test_zero_when_more_layers_than_cores(self):
+        assert gemini_space_size(3, 5) == 0
+
+    def test_monotone_in_cores(self):
+        sizes = [gemini_space_size(m, 4) for m in range(8, 40, 4)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_gemini_dwarfs_tangram(self):
+        """The paper's central claim about the space (Sec IV-B)."""
+        for m, n in [(16, 4), (36, 8), (64, 10), (144, 12)]:
+            assert gemini_space_size(m, n) > 1000 * tangram_space_size(m, n)
+
+    def test_paper_scale_is_astronomical(self):
+        # 36 cores, 8 layers: far beyond exhaustive enumeration.
+        assert log10_size(gemini_space_size(36, 8)) > 40
+
+
+class TestTangramSpace:
+    def test_formula(self):
+        assert tangram_space_size(36, 5) == 5 * partition_count(36)
+
+    def test_zero_cases(self):
+        assert tangram_space_size(0, 3) == 0
+        assert tangram_space_size(5, 0) == 0
+
+
+class TestHelpers:
+    def test_compositions(self):
+        assert compositions(5, 2) == 4
+        assert compositions(3, 3) == 1
+        assert compositions(2, 3) == 0
+
+    def test_log10_of_huge_int(self):
+        v = 10 ** 500
+        assert log10_size(v) == pytest.approx(500.0, abs=1e-6)
+
+    def test_log10_matches_math_for_small(self):
+        assert log10_size(12345) == pytest.approx(math.log10(12345))
+
+    def test_space_table_shape(self):
+        table = space_table([8, 16], [2, 4])
+        assert set(table) == {(8, 2), (8, 4), (16, 2), (16, 4)}
+        g, t = table[(16, 4)]
+        assert g > t
+
+
+@settings(max_examples=30)
+@given(m=st.integers(2, 60), n=st.integers(1, 10))
+def test_space_positive_and_ordered(m, n):
+    if n > m:
+        assert gemini_space_size(m, n) == 0
+        return
+    g = gemini_space_size(m, n)
+    t = tangram_space_size(m, n)
+    assert g > 0
+    assert t > 0
+    if n >= 2 and m >= 2 * n:
+        assert g > t

@@ -1,0 +1,134 @@
+"""Unit tests for the Monetary Cost Evaluator (Sec V-C)."""
+
+import math
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchConfig, g_arch, s_arch, t_arch, g_arch_120
+from repro.cost import (
+    DEFAULT_MC,
+    DramCostModel,
+    MCEvaluator,
+    PackagingModel,
+    SiliconCostModel,
+    YieldModel,
+)
+from repro.units import GB, MB
+
+
+def arch_with_cuts(xcut, ycut, d2d=16 * GB):
+    return ArchConfig(
+        cores_x=8, cores_y=8, xcut=xcut, ycut=ycut, dram_bw=128 * GB,
+        noc_bw=32 * GB, d2d_bw=d2d, glb_bytes=1 * MB, macs_per_core=1024,
+    )
+
+
+class TestYield:
+    def test_paper_reference_points(self):
+        """Yield at the unit area equals Yield_unit exactly."""
+        y = YieldModel()
+        assert y.die_yield(40.0) == pytest.approx(0.9)
+        assert y.die_yield(80.0) == pytest.approx(0.81)
+
+    def test_large_die_yield_collapses(self):
+        """Echo of the 800 mm^2 vs 200 mm^2 motivation [13]."""
+        y = YieldModel(yield_unit=0.9, area_unit_mm2=40.0)
+        assert y.die_yield(800.0) < 0.15
+        assert y.die_yield(200.0) > 0.5
+
+    def test_zero_area(self):
+        assert YieldModel().die_yield(0.0) == 1.0
+
+    @given(a=st.floats(1.0, 500.0), b=st.floats(1.0, 500.0))
+    def test_monotone_decreasing(self, a, b):
+        y = YieldModel()
+        lo, hi = sorted((a, b))
+        assert y.die_yield(lo) >= y.die_yield(hi)
+
+
+class TestDramCost:
+    def test_paper_constants(self):
+        m = DramCostModel()
+        assert m.cost(144 * GB) == pytest.approx(5 * 3.5)
+        assert m.n_dies(32 * GB) == 1
+
+    def test_ceil_behavior(self):
+        m = DramCostModel()
+        assert m.n_dies(33 * GB) == 2
+
+
+class TestPackaging:
+    def test_monolithic_uses_fanout_price(self):
+        p = PackagingModel()
+        assert p.unit_price(300.0, n_dies=1) == p.c_fanout
+
+    def test_chiplet_tiers_increase(self):
+        p = PackagingModel()
+        assert p.unit_price(400.0, 4) < p.unit_price(1500.0, 4) \
+            < p.unit_price(3000.0, 4)
+
+    def test_yield_degrades_with_die_count(self):
+        p = PackagingModel()
+        assert p.package_yield(2) > p.package_yield(10)
+
+    def test_cost_scales_with_area(self):
+        p = PackagingModel()
+        assert p.cost(200.0, 4) < p.cost(400.0, 4)
+
+
+class TestMCEvaluator:
+    def test_report_components_positive(self):
+        r = DEFAULT_MC.evaluate(g_arch())
+        assert r.silicon > 0 and r.dram > 0 and r.packaging > 0
+        assert r.total == pytest.approx(r.silicon + r.dram + r.packaging)
+
+    def test_paper_g_vs_s_delta(self):
+        """Sec VI-B1: G-Arch costs ~14.3% more than S-Arch."""
+        s = DEFAULT_MC.evaluate(s_arch()).total
+        g = DEFAULT_MC.evaluate(g_arch()).total
+        assert 1.08 < g / s < 1.22
+
+    def test_paper_tarch_delta(self):
+        """Sec VI-B2: the Gemini torus design reduces MC by ~40%."""
+        t = DEFAULT_MC.evaluate(t_arch()).total
+        g = DEFAULT_MC.evaluate(g_arch_120()).total
+        assert 0.48 < g / t < 0.72
+
+    def test_more_chiplets_cheaper_silicon_pricier_packaging(self):
+        mono = DEFAULT_MC.evaluate(arch_with_cuts(1, 1))
+        fine = DEFAULT_MC.evaluate(arch_with_cuts(4, 4))
+        # Finer partition: better yield on compute silicon...
+        per_mm2_mono = mono.silicon / mono.total_silicon_area_mm2
+        per_mm2_fine = fine.silicon / fine.total_silicon_area_mm2
+        assert per_mm2_fine < per_mm2_mono
+        # ...but costlier substrate.
+        assert fine.packaging > mono.packaging
+
+    def test_excessive_partitioning_raises_total_mc(self):
+        """Sec VII-A1: overly fine chiplet granularity hurts MC."""
+        moderate = DEFAULT_MC.evaluate(arch_with_cuts(2, 1)).total
+        excessive = DEFAULT_MC.evaluate(arch_with_cuts(8, 8)).total
+        assert excessive > moderate
+
+    def test_mc_independent_of_mapping_inputs(self):
+        # Same arch evaluated twice gives identical results (pure).
+        a = arch_with_cuts(2, 2)
+        assert DEFAULT_MC.evaluate(a) == DEFAULT_MC.evaluate(a)
+
+    def test_die_count(self):
+        r = DEFAULT_MC.evaluate(arch_with_cuts(2, 2))
+        assert len(r.die_areas_mm2) == 4 + 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(glb_mb=st.integers(1, 8), macs=st.sampled_from([512, 1024, 2048]))
+def test_mc_monotone_in_resources(glb_mb, macs):
+    base = ArchConfig(
+        cores_x=4, cores_y=4, xcut=2, ycut=1, dram_bw=64 * GB,
+        noc_bw=32 * GB, d2d_bw=16 * GB, glb_bytes=glb_mb * MB,
+        macs_per_core=macs,
+    )
+    richer = replace(base, glb_bytes=(glb_mb + 1) * MB)
+    assert DEFAULT_MC.evaluate(richer).total > DEFAULT_MC.evaluate(base).total

@@ -1,0 +1,184 @@
+"""Tests for the DSE driver, candidate grid and chiplet reuse."""
+
+import pytest
+
+from repro.arch import ArchConfig, arrange_cores, g_arch, s_arch
+from repro.core.sa import SASettings
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseGrid,
+    JointExplorer,
+    OBJECTIVE_DELAY,
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_MC,
+    OBJECTIVE_MCED,
+    Objective,
+    Workload,
+    candidate_from,
+    enumerate_candidates,
+    geomean,
+    scale_with_chiplets,
+)
+from repro.units import GB, KB, MB
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+def tiny_graph(n=3):
+    g = DNNGraph("tiny")
+    prev = None
+    for i in range(n):
+        g.add_layer(
+            Layer(f"l{i}", LayerType.CONV, out_h=8, out_w=8, out_k=32,
+                  in_c=3 if prev is None else 32, kernel_r=3, kernel_s=3,
+                  pad_h=1, pad_w=1),
+            inputs=[prev] if prev else None,
+        )
+        prev = f"l{i}"
+    return g
+
+
+class TestCandidates:
+    def test_paper_72tops_grid_includes_g_arch_shape(self):
+        grid = DseGrid.paper_grid(72)
+        candidates = enumerate_candidates(grid)
+        target = g_arch()
+        found = [
+            c for c in candidates
+            if (c.n_chiplets, c.n_cores, c.glb_bytes, c.macs_per_core) ==
+               (2, 36, target.glb_bytes, 1024)
+            and c.noc_bw == target.noc_bw and c.d2d_bw == target.d2d_bw
+            and c.dram_bw == target.dram_bw
+        ]
+        assert found
+
+    def test_invalid_mac_choice_skipped(self):
+        # 72 TOPs with 8192 MACs/core would need 4.5 cores.
+        assert candidate_from(72, 8192, 1, 1, 1.0, 32, 1.0, 1024) is None
+
+    def test_cut_must_divide_edge(self):
+        # 36 cores arrange 6x6; XCut=4 does not divide 6.
+        assert candidate_from(72, 1024, 4, 1, 1.0, 32, 1.0, 1024) is None
+
+    def test_monolithic_candidates_deduplicated(self):
+        grid = DseGrid(
+            tops=72, cuts=(1,), dram_bw_per_tops=(1.0,), noc_bw_gbps=(32,),
+            d2d_ratio=(0.25, 0.5, 1.0), glb_kb=(1024,), macs_per_core=(1024,),
+        )
+        assert len(enumerate_candidates(grid)) == 1
+
+    def test_grid_counts_are_plausible(self):
+        grid = DseGrid.paper_grid(72)
+        candidates = enumerate_candidates(grid)
+        assert len(candidates) > 500
+        tops = {round(c.tops) for c in candidates}
+        assert tops == {72}
+
+    def test_128_tops_grid_uses_power_of_two_cuts(self):
+        grid = DseGrid.paper_grid(128)
+        assert grid.cuts == (1, 2, 4, 8)
+
+
+class TestObjective:
+    def test_score_shapes(self):
+        assert OBJECTIVE_ENERGY.score(5.0, 2.0, 3.0) == 2.0
+        assert OBJECTIVE_DELAY.score(5.0, 2.0, 3.0) == 3.0
+        assert OBJECTIVE_MC.score(5.0, 2.0, 3.0) == 5.0
+        assert OBJECTIVE_MCED.score(5.0, 2.0, 3.0) == 30.0
+
+    def test_custom_exponents(self):
+        obj = Objective(alpha=0.0, beta=2.0, gamma=1.0)
+        assert obj.score(7.0, 2.0, 3.0) == pytest.approx(12.0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+
+class TestExplorer:
+    def make_candidates(self):
+        grid = DseGrid(
+            tops=8, cuts=(1, 2), dram_bw_per_tops=(1.0,), noc_bw_gbps=(32,),
+            d2d_ratio=(0.5,), glb_kb=(512, 1024), macs_per_core=(1024,),
+        )
+        return enumerate_candidates(grid)
+
+    def test_explore_ranks_by_score(self):
+        candidates = self.make_candidates()
+        explorer = DesignSpaceExplorer(
+            [Workload(tiny_graph(), batch=2)],
+            sa_settings=SASettings(iterations=0),
+        )
+        report = explorer.explore(candidates)
+        assert report.best.score == min(r.score for r in report.results)
+        assert len(report.results) == len(candidates)
+
+    def test_per_workload_records(self):
+        explorer = DesignSpaceExplorer(
+            [Workload(tiny_graph(), batch=2), Workload(tiny_graph(2), batch=1)],
+            sa_settings=SASettings(iterations=0),
+        )
+        result = explorer.evaluate_candidate(self.make_candidates()[0])
+        assert len(result.per_workload) == 2
+        assert result.energy > 0 and result.delay > 0
+
+    def test_grouping_helpers(self):
+        explorer = DesignSpaceExplorer(
+            [Workload(tiny_graph(), batch=1)],
+            sa_settings=SASettings(iterations=0),
+        )
+        report = explorer.explore(self.make_candidates())
+        by_chiplets = report.by_chiplet_count()
+        assert set(by_chiplets) >= {1, 2}
+
+    def test_requires_workloads(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer([])
+
+
+class TestChipletReuse:
+    def test_scale_up_doubles_chiplets(self):
+        base = g_arch()  # 2 chiplets, 72 TOPs
+        scaled = scale_with_chiplets(base, 144)
+        assert scaled is not None
+        assert scaled.n_chiplets == 4
+        assert scaled.tops == pytest.approx(144)
+        assert scaled.cores_per_chiplet == base.cores_per_chiplet
+        assert scaled.glb_bytes == base.glb_bytes
+
+    def test_scale_down_to_single_chiplet(self):
+        base = g_arch()
+        scaled = scale_with_chiplets(base, 36)
+        assert scaled is not None
+        assert scaled.n_chiplets == 1
+
+    def test_non_integer_ratio_rejected(self):
+        assert scale_with_chiplets(g_arch(), 100) is None
+
+    def test_dram_scales_with_tops(self):
+        base = g_arch()
+        scaled = scale_with_chiplets(base, 144)
+        assert scaled.dram_bw == pytest.approx(2 * base.dram_bw)
+
+    def test_simba_chiplet_scales(self):
+        # Simba: 36 single-core chiplets of 2 TOPs each.
+        scaled = scale_with_chiplets(s_arch(), 128)
+        assert scaled is not None
+        assert scaled.n_chiplets == 64
+
+    def test_joint_explorer_prefers_valid_base(self):
+        base = ArchConfig(
+            cores_x=2, cores_y=2, xcut=2, ycut=1, dram_bw=8 * GB,
+            noc_bw=32 * GB, d2d_bw=16 * GB, glb_bytes=512 * KB,
+            macs_per_core=1024,
+        )  # 8 TOPs, 2 chiplets of 4 TOPs
+        wl = [Workload(tiny_graph(2), batch=1)]
+        explorer = JointExplorer(
+            {8.0: wl, 16.0: wl},
+            sa_settings=SASettings(iterations=0),
+        )
+        report = explorer.explore([base])
+        assert report.best.base == base
+        assert set(report.best.per_level) == {8.0, 16.0}
+        for level, result in report.best.per_level.items():
+            assert result.arch.tops == pytest.approx(level)

@@ -1,0 +1,94 @@
+"""Tests for Pareto-front utilities over DSE results."""
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.cost import DEFAULT_MC
+from repro.dse import (
+    CandidateResult,
+    category_bests,
+    dominates,
+    pareto_front,
+    top_fraction,
+)
+from repro.units import GB, MB
+
+
+def make_result(mc_scale, energy, delay, chiplets=1):
+    arch = ArchConfig(
+        cores_x=4, cores_y=4, xcut=chiplets, ycut=1,
+        dram_bw=64 * GB, noc_bw=32 * GB, d2d_bw=16 * GB,
+        glb_bytes=int(mc_scale * MB), macs_per_core=1024,
+    )
+    mc = DEFAULT_MC.evaluate(arch)
+    return CandidateResult(
+        arch=arch, mc=mc, energy=energy, delay=delay,
+        score=mc.total * energy * delay,
+    )
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self):
+        good = make_result(1, energy=1.0, delay=1.0)
+        bad = make_result(1, energy=2.0, delay=2.0)
+        front = pareto_front([good, bad], axes=("energy", "delay"))
+        assert front == [good]
+
+    def test_tradeoffs_all_kept(self):
+        a = make_result(1, energy=1.0, delay=3.0)
+        b = make_result(1, energy=3.0, delay=1.0)
+        front = pareto_front([a, b], axes=("energy", "delay"))
+        assert set(id(r) for r in front) == {id(a), id(b)}
+
+    def test_three_axis_front(self):
+        rs = [
+            make_result(1, 1.0, 3.0),
+            make_result(2, 3.0, 1.0),
+            make_result(4, 3.0, 3.0),
+        ]
+        front = pareto_front(rs, axes=("mc", "energy", "delay"))
+        assert rs[0] in front and rs[1] in front
+        # The third has the worst energy and delay AND the biggest GLB
+        # (highest MC), so it is dominated.
+        assert rs[2] not in front
+
+
+class TestTopFraction:
+    def test_keeps_best_half(self):
+        rs = [make_result(1, float(i), 1.0) for i in range(1, 11)]
+        kept = top_fraction(rs, 0.5, axis="energy")
+        assert len(kept) == 5
+        assert max(r.energy for r in kept) <= 5.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            top_fraction([], 0.0)
+
+    def test_always_keeps_one(self):
+        rs = [make_result(1, 1.0, 1.0)]
+        assert len(top_fraction(rs, 0.01)) == 1
+
+
+class TestCategoryBests:
+    def test_best_per_chiplet_count(self):
+        rs = [
+            make_result(1, 2.0, 2.0, chiplets=1),
+            make_result(1, 1.0, 1.0, chiplets=1),
+            make_result(1, 5.0, 5.0, chiplets=2),
+        ]
+        best = category_bests(rs, category=lambda r: r.arch.n_chiplets,
+                              axis="edp")
+        assert best[1].energy == 1.0
+        assert best[2].energy == 5.0

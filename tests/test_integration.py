@@ -1,0 +1,136 @@
+"""Cross-module integration tests: full pipelines and invariants."""
+
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    FoldedTorusTopology,
+    g_arch,
+    s_arch,
+)
+from repro.baselines import tangram_map
+from repro.core import (
+    MappingEngine,
+    MappingEngineSettings,
+    SASettings,
+    validate_lms,
+)
+from repro.cost import DEFAULT_MC
+from repro.evalmodel import Evaluator
+from repro.io import load_mapping, save_mapping
+from repro.units import GB, MB
+from repro.workloads.models import MODEL_REGISTRY, build
+
+
+def small_engine(arch, iterations=0, **kw):
+    return MappingEngine(
+        arch,
+        settings=MappingEngineSettings(
+            sa=SASettings(iterations=iterations), **kw
+        ),
+    )
+
+
+class TestFullPipelinePerModel:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_every_model_maps_on_g_arch(self, name):
+        graph = build(name)
+        result = small_engine(g_arch()).map(graph, batch=2)
+        assert result.delay > 0
+        assert result.energy > 0
+        for lms in result.lmss:
+            validate_lms(graph, lms, 36, 5)
+
+    def test_layers_covered_exactly_once(self):
+        graph = build("GN")
+        result = small_engine(g_arch()).map(graph, batch=2)
+        mapped = [n for lms in result.lmss for n in lms.group.layers]
+        assert sorted(mapped) == sorted(graph.layer_names())
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        graph = build("TF")
+        a = small_engine(g_arch(), iterations=60).map(graph, batch=8)
+        b = small_engine(g_arch(), iterations=60).map(graph, batch=8)
+        assert a.delay == pytest.approx(b.delay)
+        assert a.energy == pytest.approx(b.energy)
+
+    def test_reeval_of_saved_mapping_matches(self, tmp_path):
+        graph = build("TF")
+        arch = g_arch()
+        result = small_engine(arch, iterations=40).map(graph, batch=8)
+        path = tmp_path / "m.json"
+        save_mapping(result.lmss, path)
+        loaded = load_mapping(path)
+        re_eval = Evaluator(arch).evaluate_mapping(graph, loaded, batch=8)
+        assert re_eval.delay == pytest.approx(result.delay)
+        assert re_eval.energy.total == pytest.approx(result.energy)
+
+
+class TestRestarts:
+    def test_restarts_never_hurt(self):
+        graph = build("TF")
+        one = small_engine(g_arch(), iterations=40).map(graph, batch=8)
+        multi = small_engine(
+            g_arch(), iterations=40, restarts=3
+        ).map(graph, batch=8)
+        # Multi-restart includes the single run's seed, so it can only
+        # match or beat it on the SA's own cost surface.
+        assert multi.edp <= one.edp * 1.01
+
+
+class TestTopologyGenerality:
+    def test_engine_runs_on_folded_torus(self):
+        graph = build("TF")
+        arch = g_arch()
+        mesh = small_engine(arch).map(graph, batch=4)
+        torus_engine = MappingEngine(
+            arch,
+            topo=FoldedTorusTopology(arch),
+            settings=MappingEngineSettings(sa=SASettings(iterations=0)),
+        )
+        torus = torus_engine.map(graph, batch=4)
+        # Wraparound shortcuts can only reduce hop distances, so network
+        # energy under the same scheme family cannot explode.
+        assert torus.delay > 0
+        assert torus.evaluation.energy.network <= \
+            mesh.evaluation.energy.network * 1.5
+
+
+class TestBaselineRelationships:
+    def test_tangram_equals_engine_without_sa(self):
+        graph = build("TF")
+        arch = s_arch()
+        a = tangram_map(graph, arch, batch=4)
+        b = small_engine(arch, iterations=0).map(graph, batch=4)
+        assert a.delay == pytest.approx(b.delay)
+        assert a.energy == pytest.approx(b.energy)
+
+    def test_mc_is_mapping_independent(self):
+        arch = g_arch()
+        mc1 = DEFAULT_MC.evaluate(arch)
+        _ = small_engine(arch, iterations=20).map(build("TF"), batch=4)
+        mc2 = DEFAULT_MC.evaluate(arch)
+        assert mc1 == mc2
+
+
+class TestBatchScaling:
+    def test_throughput_mode_amortizes_fill_drain(self):
+        """Per-sample delay at batch 64 is below per-sample at batch 1."""
+        graph = build("TF")
+        arch = g_arch()
+        b1 = small_engine(arch, iterations=0).map(graph, batch=1)
+        b64 = small_engine(arch, iterations=0).map(graph, batch=64)
+        assert b64.delay / 64 < b1.delay
+
+    def test_energy_roughly_linear_in_batch(self):
+        """Once the graph partition stabilizes (same groups at batch 16
+        and 32), doubling the batch roughly doubles energy; at small
+        batches the DP re-partitions and weight amortization makes
+        energy sub-linear."""
+        graph = build("TF")
+        arch = g_arch()
+        e16 = small_engine(arch, iterations=0).map(graph, batch=16).energy
+        e32 = small_engine(arch, iterations=0).map(graph, batch=32).energy
+        assert 1.5 < e32 / e16 < 2.5

@@ -1,0 +1,158 @@
+"""Unit tests for the intra-core exploration engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchConfig, DEFAULT_ENERGY
+from repro.intracore import (
+    CoreWorkload,
+    IntraCoreEngine,
+    PEArray,
+    schedule_workload,
+)
+from repro.units import GB, KB, MB
+from repro.workloads.layer import LayerType
+
+
+def conv_wl(**kw):
+    defaults = dict(
+        kind=LayerType.CONV, b=1, k=64, h=28, w=28, c=64, r=3, s=3, stride=1
+    )
+    defaults.update(kw)
+    return CoreWorkload(**defaults)
+
+
+def schedule(wl, glb=1 * MB, macs=1024):
+    return schedule_workload(
+        wl,
+        glb_bytes=glb,
+        macs_per_core=macs,
+        frequency=1e9,
+        glb_bytes_per_cycle=64,
+        vector_lanes=64,
+        energy=DEFAULT_ENERGY,
+    )
+
+
+class TestPEArray:
+    def test_lane_split_is_power_of_two(self):
+        pe = PEArray(1024)
+        assert pe.lanes_k * pe.lanes_c == 1024
+        assert pe.lanes_k == 32
+
+    def test_full_utilization_on_aligned_shape(self):
+        pe = PEArray(1024)
+        wl = conv_wl(k=64, c=64)
+        assert pe.utilization(wl) == pytest.approx(1.0)
+
+    def test_small_k_underutilizes(self):
+        pe = PEArray(1024)
+        wl = conv_wl(k=4)  # far below 32 K-lanes
+        assert pe.utilization(wl) < 0.2
+
+    def test_cycles_scale_with_batch(self):
+        pe = PEArray(1024)
+        assert pe.cycles(conv_wl(b=4)) == 4 * pe.cycles(conv_wl(b=1))
+
+    def test_vector_layer_needs_no_pe(self):
+        pe = PEArray(1024)
+        wl = CoreWorkload(kind=LayerType.ELTWISE, b=1, k=64, h=28, w=28, c=64)
+        assert pe.cycles(wl) == 0
+
+
+class TestCoreWorkload:
+    def test_conv_macs(self):
+        wl = conv_wl()
+        assert wl.macs() == 28 * 28 * 64 * 64 * 9
+
+    def test_matmul_second_operand_is_per_sample(self):
+        wl = CoreWorkload(kind=LayerType.MATMUL, b=2, k=64, h=64, w=1, c=512)
+        assert wl.weight_bytes() == 2 * 64 * 512
+
+    def test_receptive_field(self):
+        wl = conv_wl(h=28, r=3, stride=2)
+        assert wl.in_h == 27 * 2 + 3
+
+    def test_grouped_weights(self):
+        dense = conv_wl()
+        grouped = conv_wl(groups=32)
+        assert grouped.weight_bytes() == dense.weight_bytes() // 32
+
+
+class TestSchedule:
+    def test_result_fits_in_large_glb(self):
+        res = schedule(conv_wl(), glb=8 * MB)
+        assert res.fits
+        assert res.compute_time > 0
+        assert res.energy > 0
+
+    def test_small_glb_increases_fetches_or_fails_fit(self):
+        big = schedule(conv_wl(k=512, c=512), glb=8 * MB)
+        small = schedule(conv_wl(k=512, c=512), glb=256 * KB)
+        refetch_big = big.if_fetches * big.w_fetches * big.of_writebacks
+        refetch_small = (
+            small.if_fetches * small.w_fetches * small.of_writebacks
+        )
+        assert (not small.fits) or refetch_small >= refetch_big
+
+    def test_compute_bound_time_matches_cycles(self):
+        res = schedule(conv_wl(), glb=8 * MB)
+        assert res.compute_time >= res.cycles / 1e9
+
+    def test_vector_layer_scheduled_on_vector_unit(self):
+        wl = CoreWorkload(kind=LayerType.POOL, b=1, k=64, h=28, w=28, c=64,
+                          r=2, s=2, stride=2)
+        res = schedule(wl)
+        assert res.loop_order == "VEC"
+        assert res.fits
+
+    def test_multiplier_semantics(self):
+        res = schedule(conv_wl(), glb=8 * MB)
+        assert res.if_fetches >= 1
+        assert res.w_fetches >= 1
+        assert res.of_writebacks >= 1
+
+    def test_whole_layer_resident_needs_single_fetch(self):
+        # Tiny workload: everything fits, so all multipliers must be 1.
+        res = schedule(conv_wl(k=16, c=16, h=8, w=8), glb=4 * MB)
+        assert (res.if_fetches, res.w_fetches, res.of_writebacks) == (1, 1, 1)
+
+    def test_always_returns_something(self):
+        # Pathological: even the smallest tile (one output row, one
+        # channel) exceeds the budget because the row itself is huge.
+        res = schedule(conv_wl(b=8, k=64, c=64, h=64, w=4096), glb=4 * KB)
+        assert res is not None
+        assert not res.fits
+
+
+class TestEngineCache:
+    def test_cache_hit_on_repeat(self):
+        arch = ArchConfig(
+            cores_x=2, cores_y=2, xcut=1, ycut=1, dram_bw=64 * GB,
+            noc_bw=32 * GB, d2d_bw=32 * GB, glb_bytes=1 * MB,
+            macs_per_core=1024,
+        )
+        eng = IntraCoreEngine(arch, DEFAULT_ENERGY)
+        wl = conv_wl()
+        r1 = eng.schedule(wl)
+        r2 = eng.schedule(wl)
+        assert r1 is r2
+        assert eng.hits == 1
+        assert eng.misses == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(1, 256),
+    c=st.integers(1, 256),
+    h=st.integers(1, 56),
+    b=st.integers(1, 4),
+)
+def test_schedule_invariants(k, c, h, b):
+    wl = conv_wl(k=k, c=c, h=h, b=b, w=7)
+    res = schedule(wl, glb=2 * MB)
+    assert res.compute_time > 0
+    assert res.energy > 0
+    assert res.glb_bytes >= wl.ofmap_bytes()
+    # Energy must be at least the pure MAC energy.
+    assert res.energy >= wl.macs() * DEFAULT_ENERGY.e_mac

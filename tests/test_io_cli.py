@@ -1,0 +1,144 @@
+"""Tests for serialization round-trips and the CLI."""
+
+import json
+
+import pytest
+
+from repro.arch import ArchConfig, g_arch, s_arch, t_arch
+from repro.cli import build_parser, main
+from repro.core import LayerGroup, MappingEngine, MappingEngineSettings, SASettings
+from repro.core.graphpart import partition_graph
+from repro.core.initial import initial_lms
+from repro.io import (
+    SerializationError,
+    arch_from_dict,
+    arch_to_dict,
+    candidate_result_summary,
+    lms_from_dict,
+    lms_to_dict,
+    load_arch,
+    load_mapping,
+    mapping_result_summary,
+    save_arch,
+    save_mapping,
+)
+from repro.units import GB, MB
+from repro.workloads.models import build
+
+
+class TestArchSerialization:
+    @pytest.mark.parametrize("preset", [s_arch, g_arch, t_arch])
+    def test_roundtrip(self, preset):
+        arch = preset()
+        assert arch_from_dict(arch_to_dict(arch)) == arch
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "arch.json"
+        save_arch(g_arch(), path)
+        assert load_arch(path) == g_arch()
+
+    def test_logic_overhead_preserved(self):
+        data = arch_to_dict(t_arch())
+        assert data["logic_overhead"] == 2.5
+        assert arch_from_dict(data).logic_overhead == 2.5
+
+    def test_bad_record_raises(self):
+        with pytest.raises(SerializationError):
+            arch_from_dict({"cores_x": 4})
+
+
+class TestMappingSerialization:
+    def make_lmss(self):
+        graph = build("TF")
+        arch = g_arch()
+        groups = partition_graph(graph, arch, batch=8)
+        return graph, arch, [initial_lms(graph, g, arch) for g in groups[:3]]
+
+    def test_lms_roundtrip(self):
+        _, _, lmss = self.make_lmss()
+        for lms in lmss:
+            back = lms_from_dict(lms_to_dict(lms))
+            assert back.group == lms.group
+            for name in lms.group.layers:
+                assert back.scheme(name) == lms.scheme(name)
+
+    def test_file_roundtrip(self, tmp_path):
+        _, _, lmss = self.make_lmss()
+        path = tmp_path / "mapping.json"
+        save_mapping(lmss, path)
+        loaded = load_mapping(path)
+        assert len(loaded) == len(lmss)
+        assert loaded[0].group == lmss[0].group
+
+    def test_loaded_mapping_is_evaluable(self, tmp_path):
+        graph, arch, lmss = self.make_lmss()
+        path = tmp_path / "mapping.json"
+        save_mapping(lmss, path)
+        loaded = load_mapping(path)
+        from repro.evalmodel import Evaluator
+        ev = Evaluator(arch).evaluate_mapping(graph, loaded, batch=8)
+        assert ev.delay > 0
+
+    def test_bad_mapping_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(SerializationError):
+            load_mapping(path)
+
+
+class TestSummaries:
+    def test_mapping_result_summary_keys(self):
+        graph = build("TF")
+        result = MappingEngine(
+            g_arch(),
+            settings=MappingEngineSettings(sa=SASettings(iterations=0)),
+        ).map(graph, batch=4)
+        summary = mapping_result_summary(result)
+        assert summary["delay_s"] == result.delay
+        assert summary["n_groups"] == len(result.groups)
+        total = (
+            summary["energy_intra_j"] + summary["energy_noc_j"]
+            + summary["energy_d2d_j"] + summary["energy_dram_j"]
+        )
+        assert total == pytest.approx(summary["energy_j"])
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        for cmd in ("dse", "map", "compare", "heatmap", "space", "mc"):
+            args = parser.parse_args([cmd] if cmd in ("space",) else
+                                     [cmd, "--arch", "g-arch"]
+                                     if cmd in ("mc", "heatmap", "map",
+                                                "compare") else [cmd])
+            assert args.command == cmd
+
+    def test_space_command(self, capsys):
+        assert main(["space", "--cores", "16", "--layers", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "log10 Gemini" in out
+
+    def test_mc_command(self, capsys):
+        assert main(["mc", "--arch", "s-arch"]) == 0
+        out = capsys.readouterr().out
+        assert "MC $" in out
+
+    def test_mc_with_json_arch(self, tmp_path, capsys):
+        path = tmp_path / "a.json"
+        save_arch(g_arch(), path)
+        assert main(["mc", "--arch", str(path)]) == 0
+        assert "MC $" in capsys.readouterr().out
+
+    def test_unknown_arch_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["mc", "--arch", "nope-arch"])
+
+    def test_map_command_writes_mapping(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        code = main([
+            "map", "--model", "TF", "--arch", "g-arch", "--batch", "4",
+            "--iters", "5", "--save-mapping", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert load_mapping(out)

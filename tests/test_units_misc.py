@@ -1,0 +1,141 @@
+"""Tests for units, errors, graph-partition internals and presets."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.arch import ArchConfig, g_arch, g_arch_120, s_arch, t_arch
+from repro.core.graphpart import (
+    GroupEstimate,
+    _candidate_units,
+    estimate_group_cost,
+    partition_graph,
+)
+from repro.errors import (
+    CapacityError,
+    InvalidArchitectureError,
+    InvalidMappingError,
+    InvalidWorkloadError,
+    ReproError,
+    SearchError,
+)
+from repro.units import GB, KB, MB, gbps, pj_per_bit
+from repro.workloads.models import build
+
+
+class TestUnits:
+    def test_byte_prefixes(self):
+        assert KB == 1024
+        assert MB == 1024 ** 2
+        assert GB == 1024 ** 3
+
+    def test_pj_per_bit(self):
+        # 1 pJ/bit == 8 pJ/byte.
+        assert pj_per_bit(1.0) == pytest.approx(8e-12)
+
+    def test_gbps(self):
+        assert gbps(32) == 32 * GB
+
+    def test_tops_accounting_constant(self):
+        # "1 TOPS" == 1024 G-ops at 1 GHz in the paper's accounting.
+        assert units.TOPS == 1024 * 1e9
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        InvalidArchitectureError, InvalidMappingError,
+        InvalidWorkloadError, CapacityError, SearchError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestPresets:
+    def test_s_arch_is_simba_shaped(self):
+        s = s_arch()
+        assert s.n_chiplets == 36
+        assert s.cores_per_chiplet == 1
+        assert round(s.tops) == 72
+
+    def test_g_arch_matches_paper_tuple(self):
+        assert g_arch().paper_tuple() == \
+            "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)"
+
+    def test_g_arch_120_matches_paper_tuple(self):
+        assert g_arch_120().paper_tuple() == \
+            "(6, 60, 480GB/s, 64GB/s, 32GB/s, 2MB, 2048)"
+
+    def test_t_arch_is_monolithic_240tops(self):
+        t = t_arch()
+        assert t.is_monolithic
+        assert round(t.tops) == 240
+        assert t.n_cores == 120
+
+
+class TestGraphPartitionInternals:
+    def test_candidate_units_bounded_by_batch(self):
+        assert _candidate_units(1) == [1]
+        assert _candidate_units(8) == [1, 2, 4, 8]
+        assert max(_candidate_units(64)) == 64
+
+    def test_estimate_has_positive_fields(self):
+        g = build("TF")
+        est = estimate_group_cost(g, g.topological_order()[:4], g_arch(), 8)
+        assert est.delay > 0
+        assert est.energy > 0
+        assert est.batch_unit >= 1
+
+    def test_cost_linearization(self):
+        est = GroupEstimate(delay=2.0, energy=3.0, batch_unit=1,
+                            ref_power=5.0)
+        assert est.cost == pytest.approx(3.0 + 5.0 * 2.0)
+
+    def test_partition_respects_core_limit(self):
+        g = build("TF")
+        tiny = ArchConfig(
+            cores_x=2, cores_y=2, xcut=1, ycut=1, dram_bw=32 * GB,
+            noc_bw=32 * GB, d2d_bw=32 * GB, glb_bytes=1 * MB,
+            macs_per_core=1024,
+        )
+        groups = partition_graph(g, tiny, batch=4, max_group_layers=16)
+        # A group can never hold more layers than cores.
+        assert max(len(grp) for grp in groups) <= 4
+
+    def test_larger_batch_does_not_break_units(self):
+        g = build("TF")
+        for batch in (1, 2, 64):
+            for grp in partition_graph(g, g_arch(), batch=batch):
+                assert grp.batch_unit <= max(batch, 1)
+
+
+class TestArchConfigEdgeCases:
+    def test_single_core(self):
+        a = ArchConfig(
+            cores_x=1, cores_y=1, xcut=1, ycut=1, dram_bw=32 * GB,
+            noc_bw=32 * GB, d2d_bw=32 * GB, glb_bytes=1 * MB,
+            macs_per_core=1024,
+        )
+        assert a.n_cores == 1
+        assert a.cores_per_chiplet == 1
+
+    def test_monolithic_with_zero_d2d_rejected_when_cut(self):
+        with pytest.raises(InvalidArchitectureError):
+            ArchConfig(
+                cores_x=4, cores_y=4, xcut=2, ycut=1, dram_bw=32 * GB,
+                noc_bw=32 * GB, d2d_bw=0, glb_bytes=1 * MB,
+                macs_per_core=1024,
+            )
+
+    def test_with_name(self):
+        assert g_arch().with_name("X").name == "X"
+
+    def test_frequency_scales_tops(self):
+        a = ArchConfig(
+            cores_x=6, cores_y=6, xcut=1, ycut=1, dram_bw=32 * GB,
+            noc_bw=32 * GB, d2d_bw=32 * GB, glb_bytes=1 * MB,
+            macs_per_core=1024, frequency=2e9,
+        )
+        assert a.tops == pytest.approx(144.0)

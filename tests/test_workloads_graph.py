@@ -1,0 +1,129 @@
+"""Unit tests for DNNGraph and the model zoo."""
+
+import pytest
+
+from repro.errors import InvalidWorkloadError
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+from repro.workloads.models import MODEL_REGISTRY, build
+
+
+def small_chain():
+    g = DNNGraph("chain")
+    g.add_layer(Layer("a", LayerType.CONV, out_h=8, out_w=8, out_k=16, in_c=3,
+                      kernel_r=3, kernel_s=3, pad_h=1, pad_w=1))
+    g.add_layer(Layer("b", LayerType.CONV, out_h=8, out_w=8, out_k=32, in_c=16,
+                      kernel_r=3, kernel_s=3, pad_h=1, pad_w=1), inputs=["a"])
+    g.add_layer(Layer("c", LayerType.POOL, out_h=4, out_w=4, out_k=32, in_c=32,
+                      kernel_r=2, kernel_s=2, stride=2), inputs=["b"])
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        g = small_chain()
+        with pytest.raises(InvalidWorkloadError):
+            g.add_layer(Layer("a", LayerType.FC, out_h=1, out_w=1,
+                              out_k=10, in_c=512))
+
+    def test_unknown_input_rejected(self):
+        g = DNNGraph("g")
+        with pytest.raises(InvalidWorkloadError):
+            g.add_layer(Layer("x", LayerType.FC, out_h=1, out_w=1,
+                              out_k=10, in_c=512), inputs=["ghost"])
+
+    def test_concat_channel_mismatch_rejected(self):
+        g = small_chain()
+        with pytest.raises(InvalidWorkloadError):
+            g.add_layer(
+                Layer("bad", LayerType.CONV, out_h=4, out_w=4, out_k=8, in_c=99),
+                inputs=["c"],
+            )
+
+    def test_add_channel_mismatch_rejected(self):
+        g = small_chain()
+        with pytest.raises(InvalidWorkloadError):
+            g.add_layer(
+                Layer("bad", LayerType.ELTWISE, out_h=8, out_w=8,
+                      out_k=16, in_c=16),
+                inputs=["a", "b"],
+                combine="add",
+            )
+
+
+class TestQueries:
+    def test_topological_order_is_valid(self):
+        g = small_chain()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_input_layer_detection(self):
+        g = small_chain()
+        assert g.reads_graph_input("a")
+        assert not g.reads_graph_input("b")
+
+    def test_output_layers(self):
+        g = small_chain()
+        assert g.output_layers() == ["c"]
+
+    def test_input_slices_concat(self):
+        g = DNNGraph("g")
+        g.add_layer(Layer("p1", LayerType.CONV, out_h=4, out_w=4, out_k=8, in_c=3))
+        g.add_layer(Layer("p2", LayerType.CONV, out_h=4, out_w=4, out_k=24, in_c=3))
+        g.add_layer(
+            Layer("cat", LayerType.VECTOR, out_h=4, out_w=4, out_k=32, in_c=32),
+            inputs=["p1", "p2"],
+        )
+        slices = g.input_slices("cat")
+        assert [(s.producer, s.c_lo, s.c_hi) for s in slices] == [
+            ("p1", 0, 8),
+            ("p2", 8, 32),
+        ]
+
+    def test_input_slices_add_covers_full_range(self):
+        g = DNNGraph("g")
+        g.add_layer(Layer("p1", LayerType.CONV, out_h=4, out_w=4, out_k=8, in_c=3))
+        g.add_layer(Layer("p2", LayerType.CONV, out_h=4, out_w=4, out_k=8, in_c=3))
+        g.add_layer(
+            Layer("sum", LayerType.ELTWISE, out_h=4, out_w=4, out_k=8, in_c=8),
+            inputs=["p1", "p2"],
+            combine="add",
+        )
+        for s in g.input_slices("sum"):
+            assert (s.c_lo, s.c_hi) == (0, 8)
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_models_build_and_validate(self, name):
+        g = build(name)
+        g.validate()
+        assert len(g) > 10
+        assert g.total_macs(1) > 0
+
+    def test_resnet50_known_stats(self):
+        g = build("RN-50")
+        # ~4.1 GMACs and ~25.5 M parameters for ImageNet ResNet-50.
+        assert 3.8e9 < g.total_macs(1) < 4.4e9
+        assert 24e6 < g.total_weight_bytes() < 27e6
+
+    def test_resnext_cheaper_3x3_but_similar_total(self):
+        rn, rnx = build("RN-50"), build("RNX")
+        assert abs(rnx.total_macs(1) - rn.total_macs(1)) / rn.total_macs(1) < 0.2
+
+    def test_transformer_macs_formula(self):
+        g = build("TF")
+        seq, d, dff, n = 64, 512, 2048, 6
+        per_layer = 4 * seq * d * d + 2 * seq * seq * d + 2 * seq * d * dff
+        expected = n * per_layer + seq * d * d  # + embedding projection
+        # VECTOR/ELTWISE layers add only elementwise ops (<1% here).
+        assert abs(g.total_macs(1) - expected) / expected < 0.01
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build("nope")
+
+    def test_models_are_dags(self):
+        for name in MODEL_REGISTRY:
+            g = build(name)
+            assert len(g.topological_order()) == len(g)

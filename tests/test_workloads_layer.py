@@ -1,0 +1,129 @@
+"""Unit tests for the Layer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidWorkloadError
+from repro.workloads.layer import Layer, LayerType
+
+
+def make_conv(**kw):
+    defaults = dict(
+        name="c",
+        kind=LayerType.CONV,
+        out_h=56,
+        out_w=56,
+        out_k=64,
+        in_c=64,
+        kernel_r=3,
+        kernel_s=3,
+        stride=1,
+        pad_h=1,
+        pad_w=1,
+    )
+    defaults.update(kw)
+    return Layer(**defaults)
+
+
+class TestGeometry:
+    def test_same_padding_preserves_size(self):
+        layer = make_conv()
+        assert layer.in_h == 56
+        assert layer.in_w == 56
+
+    def test_strided_conv_input_size(self):
+        layer = make_conv(out_h=112, out_w=112, kernel_r=7, kernel_s=7,
+                          stride=2, pad_h=3, pad_w=3, in_c=3)
+        assert layer.in_h == (112 - 1) * 2 + 7 - 6  # 223 -> padded to 224+pad
+        assert layer.in_h == 223
+
+    def test_asymmetric_kernel(self):
+        layer = make_conv(kernel_r=1, kernel_s=7, pad_h=0, pad_w=3)
+        assert layer.in_h == 56
+        assert layer.in_w == 56
+
+    def test_fc_geometry(self):
+        layer = Layer("fc", LayerType.FC, out_h=1, out_w=1, out_k=1000, in_c=2048)
+        assert layer.in_h == 1
+        assert layer.in_w == 1
+
+
+class TestVolumes:
+    def test_conv_macs(self):
+        layer = make_conv()
+        assert layer.macs(1) == 56 * 56 * 64 * 64 * 9
+
+    def test_macs_scale_with_batch(self):
+        layer = make_conv()
+        assert layer.macs(8) == 8 * layer.macs(1)
+
+    def test_grouped_conv_macs(self):
+        dense = make_conv()
+        grouped = make_conv(groups=32)
+        assert grouped.macs(1) == dense.macs(1) // 32
+
+    def test_dwconv_weights(self):
+        layer = make_conv(kind=LayerType.DWCONV, groups=64)
+        assert layer.weight_elems() == 64 * 1 * 9
+
+    def test_pool_has_no_weights(self):
+        layer = make_conv(kind=LayerType.POOL)
+        assert layer.weight_elems() == 0
+        assert not layer.has_weights
+
+    def test_eltwise_macs_is_elementcount(self):
+        layer = Layer("e", LayerType.ELTWISE, out_h=7, out_w=7, out_k=512, in_c=512)
+        assert layer.macs(1) == 7 * 7 * 512
+
+    def test_matmul_macs(self):
+        layer = Layer("m", LayerType.MATMUL, out_h=64, out_w=1, out_k=64, in_c=512)
+        assert layer.macs(1) == 64 * 64 * 512
+
+    def test_ofmap_bytes_uses_precision(self):
+        l8 = make_conv(bits=8)
+        l16 = make_conv(bits=16)
+        assert l16.ofmap_bytes(1) == 2 * l8.ofmap_bytes(1)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(InvalidWorkloadError):
+            make_conv(out_h=0)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(InvalidWorkloadError):
+            make_conv(pad_h=-1)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(InvalidWorkloadError):
+            make_conv(groups=7)
+
+    def test_rejects_non_byte_bits(self):
+        with pytest.raises(InvalidWorkloadError):
+            make_conv(bits=12)
+
+
+class TestChannelwise:
+    @pytest.mark.parametrize("kind", [LayerType.POOL, LayerType.ELTWISE,
+                                      LayerType.VECTOR])
+    def test_channelwise_kinds(self, kind):
+        layer = Layer("x", kind, out_h=4, out_w=4, out_k=8, in_c=8,
+                      kernel_r=1, kernel_s=1)
+        assert layer.is_channelwise
+
+    def test_conv_not_channelwise(self):
+        assert not make_conv().is_channelwise
+
+
+@given(
+    h=st.integers(1, 64),
+    w=st.integers(1, 64),
+    k=st.integers(1, 256),
+    c=st.integers(1, 256),
+    batch=st.integers(1, 16),
+)
+def test_volume_identities(h, w, k, c, batch):
+    layer = Layer("p", LayerType.CONV, out_h=h, out_w=w, out_k=k, in_c=c)
+    assert layer.ofmap_elems(batch) == batch * h * w * k
+    assert layer.weight_elems() == k * c
+    assert layer.macs(batch) == layer.ofmap_elems(batch) * c
