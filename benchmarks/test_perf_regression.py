@@ -1,0 +1,179 @@
+"""SA-loop throughput guard and incremental-evaluation equivalence.
+
+The incremental evaluation path (parse/intra/traffic-block/GroupEval
+caches) must (a) return *identical* results to the full path and (b)
+keep the SA hot loop fast.  This bench measures iterations/sec on the
+Fig 5 workloads with caching off and on, asserts a conservative
+speedup floor (the measured factor is recorded, not asserted, so CI
+noise cannot flake the suite), and writes everything to
+``BENCH_perf.json``.
+
+``seed_reference_iters_per_sec`` are the throughputs of the pre-refactor
+seed evaluator measured on the development machine (single-CPU
+container, best of 3); they anchor the recorded ``speedup_vs_seed``
+ratios.  On other machines the cached/uncached ratio is the robust
+number — both sides run in the same process seconds apart.
+"""
+
+import os
+import time
+
+from conftest import print_banner, sa_settings
+
+from repro.arch import g_arch
+from repro.core import SAController
+from repro.core.graphpart import partition_graph
+from repro.core.initial import initial_lms
+from repro.core.sa import SASettings
+from repro.dse import DesignSpaceExplorer, DseGrid, Workload, enumerate_candidates
+from repro.evalmodel import Evaluator
+from repro.perf import emit_bench
+from repro.reporting import format_table
+
+#: Seed-evaluator throughput (iterations/sec) on the dev container,
+#: Fig 5 models at batch 64, g-arch, SASettings(iterations=400, seed=3).
+SEED_REFERENCE_ITERS_PER_SEC = {"RN-50": 341, "TF": 620, "IRes": 334}
+
+#: Conservative floor for cached-vs-uncached speedup asserted in CI.
+MIN_CACHED_SPEEDUP = 1.3
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
+
+
+def _sa_run(graph, arch, lmss, batch, iterations, cache):
+    evaluator = Evaluator(arch, cache=cache)
+    controller = SAController(
+        graph, evaluator, list(lmss), batch,
+        SASettings(iterations=iterations, seed=3),
+    )
+    controller.run()
+    return controller
+
+
+def test_sa_throughput_and_equivalence(models, benchmark):
+    arch = g_arch()
+    iterations = max(50, int(sa_settings(300).iterations))
+    batch = 64
+
+    def run():
+        rows, record = [], {}
+        for name in ("RN-50", "TF", "IRes"):
+            graph = models[name]
+            groups = partition_graph(graph, arch, batch=batch)
+            lmss = [initial_lms(graph, g, arch) for g in groups]
+            # Warm-up parse/graph state so both timed runs start equal.
+            best = {False: 0.0, True: 0.0}
+            ctls = {}
+            for _ in range(2):
+                for cache in (False, True):
+                    ctl = _sa_run(graph, arch, lmss, batch, iterations, cache)
+                    ctls[cache] = ctl
+                    best[cache] = max(best[cache], ctl.stats.iters_per_sec)
+            # Incremental path == full path, bit for bit.
+            assert ctls[True].best_costs == ctls[False].best_costs
+            assert ctls[True].stats.final_cost == ctls[False].stats.final_cost
+            assert ctls[True].stats.accepted == ctls[False].stats.accepted
+            seed_ref = SEED_REFERENCE_ITERS_PER_SEC[name]
+            record[name] = {
+                "uncached_iters_per_sec": best[False],
+                "cached_iters_per_sec": best[True],
+                "speedup_cached_vs_uncached": best[True] / best[False],
+                "seed_reference_iters_per_sec": seed_ref,
+                "speedup_vs_seed": best[True] / seed_ref,
+            }
+            rows.append([
+                name, f"{best[False]:.0f}", f"{best[True]:.0f}",
+                f"{best[True] / best[False]:.2f}x",
+                f"{best[True] / seed_ref:.2f}x",
+            ])
+        return rows, record
+
+    rows, record = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("SA-loop throughput: incremental vs full evaluation")
+    print(format_table(
+        ["model", "full it/s", "incremental it/s", "speedup", "vs seed ref"],
+        rows,
+    ))
+    emit_bench("sa_throughput", {
+        "iterations": iterations,
+        "batch": batch,
+        "arch": "g-arch",
+        "models": record,
+    }, BENCH_PATH)
+    for name, rec in record.items():
+        assert rec["speedup_cached_vs_uncached"] >= MIN_CACHED_SPEEDUP, (
+            f"{name}: cached SA loop only "
+            f"{rec['speedup_cached_vs_uncached']:.2f}x faster than uncached"
+        )
+
+
+def test_group_eval_identity_on_seeded_run(tf_model):
+    """Every group eval of an annealed state matches the full path."""
+    arch = g_arch()
+    graph = tf_model
+    groups = partition_graph(graph, arch, batch=16)
+    lmss = [initial_lms(graph, g, arch) for g in groups]
+    cached_ev = Evaluator(arch, cache=True)
+    controller = SAController(
+        graph, cached_ev, lmss, 16,
+        SASettings(iterations=max(20, int(sa_settings(60).iterations)), seed=5),
+    )
+    annealed = controller.run()
+    uncached_ev = Evaluator(arch, cache=False)
+    stored = {}
+    for lms in annealed:
+        a = cached_ev.evaluate_group(graph, lms, 16, stored)
+        b = uncached_ev.evaluate_group(graph, lms, 16, stored)
+        assert a.delay == b.delay
+        assert a.energy.total == b.energy.total
+        assert a.energy.noc == b.energy.noc
+        assert a.energy.d2d == b.energy.d2d
+        assert a.energy.dram == b.energy.dram
+        assert a.stage_time == b.stage_time
+        assert a.compute_time == b.compute_time
+        assert a.network_time == b.network_time
+        assert a.dram_time == b.dram_time
+        assert tuple(a.dram_round_bytes) == tuple(b.dram_round_bytes)
+        assert a.fits == b.fits
+        for name in lms.group.layers:
+            of = lms.scheme(name).fd.ofmap
+            if of >= 0:
+                stored[name] = of
+
+
+def test_dse_worker_scaling(tf_model, benchmark):
+    """Parallel DSE equivalence + recorded (not asserted) scaling."""
+    grid = DseGrid(
+        tops=72, cuts=(1, 2), dram_bw_per_tops=(2.0,), noc_bw_gbps=(32,),
+        d2d_ratio=(0.5,), glb_kb=(2048,), macs_per_core=(2048,),
+    )
+    candidates = enumerate_candidates(grid)
+    explorer = DesignSpaceExplorer(
+        [Workload(tf_model, batch=8)], sa_settings=sa_settings(30),
+    )
+
+    def run():
+        times = {}
+        reports = {}
+        for workers in (1, 2, 4):
+            t0 = time.perf_counter()
+            reports[workers] = explorer.explore(candidates, workers=workers)
+            times[workers] = time.perf_counter() - t0
+        return times, reports
+
+    times, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    for workers in (2, 4):
+        assert [r.score for r in reports[workers].results] == \
+            [r.score for r in reports[1].results]
+        assert reports[workers].best.arch == reports[1].best.arch
+    print_banner("DSE worker scaling (bounded by available CPUs)")
+    rows = [[w, f"{t:.2f}s", f"{times[1] / t:.2f}x"]
+            for w, t in sorted(times.items())]
+    print(format_table(["workers", "wall", "speedup"], rows))
+    print(f"cpus available: {os.cpu_count()}")
+    emit_bench("dse_worker_scaling", {
+        "cpus": os.cpu_count(),
+        "candidates": len(candidates),
+        "wall_time_s": {str(w): t for w, t in times.items()},
+        "speedup_vs_serial": {str(w): times[1] / t for w, t in times.items()},
+    }, BENCH_PATH)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.arch.params import ArchConfig
 
 NodeId = tuple
@@ -43,8 +45,16 @@ class MeshTopology:
         self._by_endpoints: dict[tuple[NodeId, NodeId], Link] = {}
         self._dram_attach: dict[NodeId, NodeId] = {}
         self._route_cache: dict[tuple[NodeId, NodeId], tuple[int, ...]] = {}
+        self._route_array_cache: dict[tuple[NodeId, NodeId], np.ndarray] = {}
+        self._link_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._core_route_table: tuple[np.ndarray, np.ndarray] | None = None
+        self._dram_route_tables: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
         self._build_drams()
         self._build_links()
+        self._core_node_list = tuple(
+            ("core", i % arch.cores_x, i // arch.cores_x)
+            for i in range(arch.n_cores)
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,9 +121,7 @@ class MeshTopology:
 
     def core_node(self, index: int) -> NodeId:
         """Core node for a row-major core index (0-based)."""
-        x = index % self.arch.cores_x
-        y = index // self.arch.cores_x
-        return ("core", x, y)
+        return self._core_node_list[index]
 
     def core_index(self, node: NodeId) -> int:
         _, x, y = node
@@ -136,6 +144,21 @@ class MeshTopology:
 
     def d2d_link_indices(self) -> list[int]:
         return [l.index for l in self._links if l.is_d2d]
+
+    def link_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared per-link (bandwidth, is_d2d, is_io) arrays.
+
+        Built once per topology; :class:`~repro.noc.traffic.TrafficMap`
+        instances alias them read-only, so constructing a map per layer
+        block costs only one ``np.zeros``.
+        """
+        if self._link_arrays is None:
+            self._link_arrays = (
+                np.array([l.bandwidth for l in self._links], dtype=np.float64),
+                np.array([l.is_d2d for l in self._links], dtype=bool),
+                np.array([l.is_io for l in self._links], dtype=bool),
+            )
+        return self._link_arrays
 
     # ------------------------------------------------------------------
     # Routing (deterministic XY, Sec VII-C assumes XY routing)
@@ -183,6 +206,67 @@ class MeshTopology:
         result = tuple(hops)
         self._route_cache[key] = result
         return result
+
+    def route_array(self, src: NodeId, dst: NodeId) -> np.ndarray:
+        """The route as a cached int index array (hot-path accounting).
+
+        XY routes never revisit a link, so the array can be used for
+        fancy-index accumulation (``volumes[arr] += v``) directly.
+        """
+        key = (src, dst)
+        cached = self._route_array_cache.get(key)
+        if cached is None:
+            cached = np.asarray(self.route(src, dst), dtype=np.intp)
+            self._route_array_cache[key] = cached
+        return cached
+
+    def _build_route_table(self, pairs) -> tuple[np.ndarray, np.ndarray]:
+        """``(padded[len(pairs), max_hops], lens)`` for node pairs.
+
+        Each row holds the directed link indices of the XY route,
+        right-padded with ``-1``.  Traffic analysis uses the tables to
+        scatter-add many flows in one vector operation.
+        """
+        routes = [self.route_array(s, d) for s, d in pairs]
+        lens = np.array([len(r) for r in routes], dtype=np.intp)
+        width = int(lens.max()) if len(lens) else 0
+        table = np.full((len(routes), width), -1, dtype=np.intp)
+        for i, r in enumerate(routes):
+            table[i, : len(r)] = r
+        return table, lens
+
+    def core_route_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Core-to-core route table; row ``src * n_cores + dst``."""
+        if self._core_route_table is None:
+            n = self.arch.n_cores
+            self._core_route_table = self._build_route_table([
+                (self.core_node(s), self.core_node(d))
+                for s in range(n) for d in range(n)
+            ])
+        return self._core_route_table
+
+    def dram_route_tables(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Padded core<->DRAM route tables.
+
+        Returns ``(to_dram, to_lens, from_dram, from_lens)``; row
+        ``core * n_dram + dram`` of ``to_dram`` holds the route
+        core -> DRAM (``from_dram`` the reverse).
+        """
+        if self._dram_route_tables is None:
+            n = self.arch.n_cores
+            n_dram = len(self._dram_nodes)
+            to_dram = self._build_route_table([
+                (self.core_node(c), self._dram_nodes[d])
+                for c in range(n) for d in range(n_dram)
+            ])
+            from_dram = self._build_route_table([
+                (self._dram_nodes[d], self.core_node(c))
+                for c in range(n) for d in range(n_dram)
+            ])
+            self._dram_route_tables = (*to_dram, *from_dram)
+        return self._dram_route_tables
 
     def hop_count(self, src: NodeId, dst: NodeId) -> int:
         return len(self.route(src, dst))

@@ -78,6 +78,21 @@ def engine_for(arch: ArchConfig, iterations: int, seed: int = 0) -> MappingEngin
 # ----------------------------------------------------------------------
 
 
+def profile_report(args, extra: dict | None = None) -> None:
+    """``--profile``: print the perf counters and write BENCH_perf.json."""
+    from repro.perf import PERF, emit_bench
+
+    snap = PERF.snapshot()
+    rows = PERF.rows()
+    if rows:
+        print()
+        print(format_table(["kind", "name", "value"], rows))
+    payload = dict(extra or {})
+    payload["perf"] = snap
+    path = emit_bench(f"cli.{args.command}", payload)
+    print(f"wrote profile to {path}")
+
+
 def cmd_dse(args) -> int:
     if args.full:
         grid = DseGrid.paper_grid(args.tops)
@@ -90,12 +105,12 @@ def cmd_dse(args) -> int:
         )
     candidates = enumerate_candidates(grid)
     print(f"exploring {len(candidates)} candidates at {args.tops} TOPs "
-          f"(SA x{args.iters})")
+          f"(SA x{args.iters}, {args.workers or 'all'} worker(s))")
     explorer = DesignSpaceExplorer(
         [Workload(build(m), args.batch) for m in args.models],
         sa_settings=SASettings(iterations=args.iters),
     )
-    report = explorer.explore(candidates)
+    report = explorer.explore(candidates, workers=args.workers or None)
     outdir = Path(args.out)
     outdir.mkdir(parents=True, exist_ok=True)
     rows = [list(candidate_result_summary(r).values())
@@ -106,6 +121,12 @@ def cmd_dse(args) -> int:
     print(format_table(headers, rows[:10]))
     print(f"\nbest architecture: {report.best.arch.paper_tuple()}")
     print(f"wrote {outdir / 'result.csv'} and {outdir / 'best_arch.json'}")
+    if args.profile:
+        profile_report(args, {
+            "candidates": len(candidates),
+            "workers": args.workers,
+            "wall_time_s": report.wall_time_s,
+        })
     return 0
 
 
@@ -120,6 +141,14 @@ def cmd_map(args) -> int:
     if args.save_mapping:
         save_mapping(result.lmss, args.save_mapping)
         print(f"wrote {args.save_mapping}")
+    if args.profile:
+        stats = result.sa_stats
+        extra = {"model": args.model, "batch": args.batch}
+        if stats is not None:
+            extra["sa_iters_per_sec"] = stats.iters_per_sec
+            extra["sa_wall_time_s"] = stats.wall_time_s
+            print(f"\nSA throughput: {stats.iters_per_sec:.0f} iterations/s")
+        profile_report(args, extra)
     return 0
 
 
@@ -229,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="use the full Table-I grid (slow)")
     p.add_argument("--out", default="dse_log")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel candidate evaluators (0 = all CPUs); "
+                        "results are identical for any worker count")
+    p.add_argument("--profile", action="store_true",
+                   help="print perf counters and write BENCH_perf.json")
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("map", help="map one model onto one architecture")
@@ -237,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=200)
     p.add_argument("--save-mapping")
+    p.add_argument("--profile", action="store_true",
+                   help="print SA throughput / perf counters and write "
+                        "BENCH_perf.json")
     p.set_defaults(func=cmd_map)
 
     p = sub.add_parser("compare", help="reproduce the Fig 5 comparison")

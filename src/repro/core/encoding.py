@@ -97,13 +97,22 @@ class FlowOfData:
         return replace(self, **kw)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class MappingScheme:
     """``MS_i``: one layer's Partition, Core Group and Flow of Data."""
 
     part: Partition
     core_group: tuple[int, ...]
     fd: FlowOfData
+
+    def __hash__(self) -> int:
+        # Schemes key every evaluation cache and core groups can be
+        # dozens of entries long — memoize the (immutable) hash.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.part, self.core_group, self.fd))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __post_init__(self):
         if self.part.n_parts != len(self.core_group):
@@ -137,7 +146,11 @@ class LayerGroup:
             raise InvalidMappingError("empty layer group")
 
     def __contains__(self, name: str) -> bool:
-        return name in self.layers
+        members = self.__dict__.get("_member_set")
+        if members is None:
+            members = frozenset(self.layers)
+            object.__setattr__(self, "_member_set", members)
+        return name in members
 
     def __len__(self) -> int:
         return len(self.layers)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.encoding import (
     LayerGroup,
     LayerGroupMapping,
@@ -85,6 +87,41 @@ class ParsedLayer:
     scheme: MappingScheme
     parts: tuple[PlacedPart, ...]
 
+    def part_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(regions[n, 8], cores[n])`` arrays over the parts.
+
+        Region rows hold ``(h_lo, h_hi, w_lo, w_hi, b_lo, b_hi, k_lo,
+        k_hi)``.  Memoized on the (immutable) record so traffic analysis
+        can intersect a consumer's requirement against every producer
+        part in one vector operation.
+        """
+        cached = getattr(self, "_part_arrays", None)
+        if cached is None:
+            regions = np.array(
+                [
+                    [p.region.h_lo, p.region.h_hi, p.region.w_lo,
+                     p.region.w_hi, p.region.b_lo, p.region.b_hi,
+                     p.region.k_lo, p.region.k_hi]
+                    for p in self.parts
+                ],
+                dtype=np.int64,
+            )
+            cores = np.array([p.core for p in self.parts], dtype=np.int64)
+            cached = (regions, cores)
+            object.__setattr__(self, "_part_arrays", cached)
+        return cached
+
+    def weight_bytes_array(self) -> np.ndarray:
+        """Per-part stationary-operand bytes (lazy, memoized)."""
+        cached = getattr(self, "_weight_bytes", None)
+        if cached is None:
+            cached = np.array(
+                [p.workload.weight_bytes() for p in self.parts],
+                dtype=np.float64,
+            )
+            object.__setattr__(self, "_weight_bytes", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class ParsedGroup:
@@ -146,30 +183,70 @@ def parse_scheme(
     layer: Layer, scheme: MappingScheme, batch_unit: int
 ) -> tuple[PlacedPart, ...]:
     """Apply the Correspondence Rule to place every part on its core."""
+    part = scheme.part
+    # Near-equal split intervals per dimension, computed once instead
+    # of per part (ids() is numerical-ID order, so the running index
+    # matches the Correspondence Rule's core assignment).
+    hs = [split_range(layer.out_h, part.h, i) for i in range(part.h)]
+    ws = [split_range(layer.out_w, part.w, i) for i in range(part.w)]
+    bs = [split_range(batch_unit, part.b, i) for i in range(part.b)]
+    ks = [split_range(layer.out_k, part.k, i) for i in range(part.k)]
+    core_group = scheme.core_group
     parts = []
-    for (h, w, b, k) in scheme.part.ids():
-        region = part_region(layer, scheme, batch_unit, h, w, b, k)
-        if region.is_empty():
+    nid = 0
+    for (h, w, b, k) in part.ids():
+        (h_lo, h_hi), (w_lo, w_hi) = hs[h], ws[w]
+        (b_lo, b_hi), (k_lo, k_hi) = bs[b], ks[k]
+        if h_hi <= h_lo or w_hi <= w_lo or b_hi <= b_lo or k_hi <= k_lo:
             raise InvalidMappingError(
                 f"{layer.name}: partition produced an empty part "
                 f"{(h, w, b, k)} — partition counts exceed extents"
             )
-        core = scheme.core_of(h, w, b, k)
+        region = Region(h_lo, h_hi, w_lo, w_hi, b_lo, b_hi, k_lo, k_hi)
         parts.append(
-            PlacedPart(core, (h, w, b, k), region, _workload_for(layer, region))
+            PlacedPart(core_group[nid], (h, w, b, k), region,
+                       _workload_for(layer, region))
         )
+        nid += 1
     return tuple(parts)
 
 
-def parse_lms(graph: DNNGraph, lms: LayerGroupMapping) -> ParsedGroup:
-    """Parse a full LMS into concrete per-core workloads."""
+def parse_lms(
+    graph: DNNGraph, lms: LayerGroupMapping, cache: dict | None = None
+) -> ParsedGroup:
+    """Parse a full LMS into concrete per-core workloads.
+
+    ``cache`` memoizes :class:`ParsedLayer` records per
+    ``(layer, scheme, batch_unit)``: SA moves mutate one layer's scheme
+    at a time, so every other layer of the group parses to an identical
+    (immutable) record that can be reused.  A plain dict works; an
+    :class:`~repro.perf.LruDict` additionally bounds the memo.  The
+    cache must be scoped to one graph — schemes say nothing about layer
+    shapes.
+    """
     layers = {}
+    batch_unit = lms.group.batch_unit
+    if cache is None:
+        for name in lms.group.layers:
+            scheme = lms.scheme(name)
+            layers[name] = ParsedLayer(
+                name, scheme,
+                parse_scheme(graph.layer(name), scheme, batch_unit),
+            )
+        return ParsedGroup(lms.group, layers)
+    lookup = getattr(cache, "get_lru", cache.get)
+    store = getattr(cache, "put", cache.__setitem__)
     for name in lms.group.layers:
-        layer = graph.layer(name)
         scheme = lms.scheme(name)
-        layers[name] = ParsedLayer(
-            name, scheme, parse_scheme(layer, scheme, lms.group.batch_unit)
-        )
+        key = (name, scheme, batch_unit)
+        parsed_layer = lookup(key)
+        if parsed_layer is None:
+            parsed_layer = ParsedLayer(
+                name, scheme,
+                parse_scheme(graph.layer(name), scheme, batch_unit),
+            )
+            store(key, parsed_layer)
+        layers[name] = parsed_layer
     return ParsedGroup(lms.group, layers)
 
 

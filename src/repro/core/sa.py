@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.core.encoding import LayerGroupMapping
@@ -53,10 +54,18 @@ class SAStats:
     operator_uses: dict[str, int] = field(default_factory=dict)
     initial_cost: float = 0.0
     final_cost: float = 0.0
+    wall_time_s: float = 0.0
 
     @property
     def acceptance_rate(self) -> float:
         return self.accepted / self.proposed if self.proposed else 0.0
+
+    @property
+    def iters_per_sec(self) -> float:
+        """SA-loop throughput of the run (annealing loop only)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.iterations / self.wall_time_s
 
     @property
     def improvement(self) -> float:
@@ -86,6 +95,9 @@ class SAController:
         self.rng = random.Random(self.settings.seed)
         self.current = list(lmss)
         self.best = list(lmss)
+        # The SA loop revisits the same routes and layer shapes over and
+        # over — warm the evaluator's route cache before the first step.
+        evaluator.warm()
         self._group_weights = self._space_weights()
         self._stored_at = self._stored_at_map(self.current)
         self.current_costs = [self._cost(lms) for lms in self.current]
@@ -110,6 +122,20 @@ class SAController:
                 if of >= 0:
                     stored[name] = of
         return stored
+
+    def _update_stored_at(self, lms: LayerGroupMapping) -> None:
+        """Refresh ``_stored_at`` for one group's layers only.
+
+        Groups partition the graph's layers, so replacing the mutated
+        group's entries is exactly equivalent to rebuilding the map over
+        every group (the entry is dropped when OF became implicit).
+        """
+        for name in lms.group.layers:
+            of = lms.scheme(name).fd.ofmap
+            if of >= 0:
+                self._stored_at[name] = of
+            else:
+                self._stored_at.pop(name, None)
 
     def _cost(self, lms: LayerGroupMapping) -> float:
         ev = self.evaluator.evaluate_group(
@@ -166,7 +192,7 @@ class SAController:
         self.stats.accepted += 1
         self.current[gi] = candidate
         self.current_costs[gi] = new_cost
-        self._stored_at = self._stored_at_map(self.current)
+        self._update_stored_at(candidate)
         if new_cost < self.best_costs[gi]:
             self.best[gi] = candidate
             self.best_costs[gi] = new_cost
@@ -174,8 +200,10 @@ class SAController:
         return True
 
     def run(self) -> list[LayerGroupMapping]:
+        t0 = time.perf_counter()
         for i in range(self.settings.iterations):
             self.stats.iterations += 1
             self.step(i)
+        self.stats.wall_time_s += time.perf_counter() - t0
         self.stats.final_cost = sum(self.best_costs)
         return list(self.best)

@@ -5,12 +5,20 @@ Mapping Engine optimizes every input DNN (``E_i``, ``D_i``), the overall
 energy and delay are the geometric means across DNNs, the MC Evaluator
 prices the architecture, and the objective ``MC^a x E^b x D^g`` ranks
 the candidate.
+
+Candidates are independent, so :meth:`DesignSpaceExplorer.explore` can
+fan them out over a process pool (``workers=N``) — the paper's artifact
+runs its DSE "on 80-100 threads" (Sec VI-A2).  Every candidate's SA is
+seeded deterministically from the candidate's position in the list, so
+``workers=4`` returns bit-identical reports to ``workers=1``.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.arch.params import ArchConfig
@@ -18,6 +26,7 @@ from repro.core.engine import MappingEngine, MappingEngineSettings
 from repro.core.sa import SASettings
 from repro.cost.mc import DEFAULT_MC, MCEvaluator, MCReport
 from repro.dse.objective import OBJECTIVE_MCED, Objective
+from repro.perf import PERF
 from repro.workloads.graph import DNNGraph
 
 
@@ -81,8 +90,35 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+#: Worker-process state: the explorer shipped once via the pool
+#: initializer instead of once per submitted candidate.
+_WORKER_EXPLORER: "DesignSpaceExplorer | None" = None
+
+
+def _init_worker(explorer: "DesignSpaceExplorer") -> None:
+    global _WORKER_EXPLORER
+    _WORKER_EXPLORER = explorer
+
+
+def _evaluate_in_worker(
+    args: tuple[int, ArchConfig]
+) -> tuple[CandidateResult, dict]:
+    index, arch = args
+    PERF.reset()  # process-local; each candidate ships its own delta
+    result = _WORKER_EXPLORER.evaluate_candidate(arch, index=index)
+    return result, PERF.snapshot()
+
+
 class DesignSpaceExplorer:
-    """Exhaustive co-exploration of architecture and mapping."""
+    """Exhaustive co-exploration of architecture and mapping.
+
+    ``seed_stride`` decorrelates the SA seeds of successive candidates
+    (candidate *i* anneals with ``seed + i * seed_stride``); the default
+    of 0 gives every candidate the same schedule, matching the original
+    serial driver.  Either way the seed depends only on the candidate's
+    index, never on scheduling, so parallel and serial exploration are
+    bit-identical.
+    """
 
     def __init__(
         self,
@@ -91,6 +127,7 @@ class DesignSpaceExplorer:
         mc_evaluator: MCEvaluator = DEFAULT_MC,
         sa_settings: SASettings | None = None,
         max_group_layers: int = 10,
+        seed_stride: int = 0,
     ):
         if not workloads:
             raise ValueError("DSE needs at least one workload")
@@ -99,15 +136,27 @@ class DesignSpaceExplorer:
         self.mc_evaluator = mc_evaluator
         self.sa_settings = sa_settings or SASettings(iterations=100)
         self.max_group_layers = max_group_layers
+        self.seed_stride = seed_stride
 
     # ------------------------------------------------------------------
 
-    def evaluate_candidate(self, arch: ArchConfig) -> CandidateResult:
+    def _candidate_settings(self, index: int) -> SASettings:
+        if index == 0 or self.seed_stride == 0:
+            return self.sa_settings
+        from dataclasses import replace
+        return replace(
+            self.sa_settings,
+            seed=self.sa_settings.seed + index * self.seed_stride,
+        )
+
+    def evaluate_candidate(
+        self, arch: ArchConfig, index: int = 0
+    ) -> CandidateResult:
         t0 = time.perf_counter()
         engine = MappingEngine(
             arch,
             settings=MappingEngineSettings(
-                sa=self.sa_settings,
+                sa=self._candidate_settings(index),
                 max_group_layers=self.max_group_layers,
             ),
         )
@@ -121,6 +170,7 @@ class DesignSpaceExplorer:
         mc = self.mc_evaluator.evaluate(arch)
         energy = geomean(energies)
         delay = geomean(delays)
+        PERF.add("dse.candidates")
         return CandidateResult(
             arch=arch,
             mc=mc,
@@ -131,11 +181,51 @@ class DesignSpaceExplorer:
             wall_time_s=time.perf_counter() - t0,
         )
 
-    def explore(self, candidates: list[ArchConfig]) -> DseReport:
+    # ------------------------------------------------------------------
+
+    def _explore_serial(self, candidates) -> list[CandidateResult]:
+        return [
+            self.evaluate_candidate(a, index=i)
+            for i, a in enumerate(candidates)
+        ]
+
+    def _explore_parallel(self, candidates, workers: int) -> list[CandidateResult]:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self,),
+        ) as pool:
+            outcomes = list(
+                pool.map(
+                    _evaluate_in_worker,
+                    list(enumerate(candidates)),
+                    chunksize=max(1, len(candidates) // (workers * 4)),
+                )
+            )
+        for _, snapshot in outcomes:
+            PERF.merge(snapshot)
+        return [result for result, _ in outcomes]
+
+    def explore(
+        self, candidates: list[ArchConfig], workers: int | None = 1
+    ) -> DseReport:
+        """Explore every candidate; ``workers`` > 1 uses a process pool.
+
+        ``workers=None`` uses every available CPU.  Results (order,
+        scores, winning candidate) are identical for any worker count;
+        only ``wall_time_s`` depends on the machine.
+        """
         if not candidates:
             raise ValueError("no candidates to explore")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(candidates))
         t0 = time.perf_counter()
-        results = [self.evaluate_candidate(a) for a in candidates]
+        with PERF.time("dse.explore"):
+            if workers > 1:
+                results = self._explore_parallel(candidates, workers)
+            else:
+                results = self._explore_serial(candidates)
         best = min(results, key=lambda r: r.score)
         return DseReport(
             best=best,

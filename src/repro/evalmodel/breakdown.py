@@ -58,7 +58,8 @@ class GroupEval:
     network_time: float
     dram_time: float
     traffic: TrafficMap | None = None
-    dram_round_bytes: list[float] = field(default_factory=list)
+    #: Immutable so cached evaluations can be returned without copying.
+    dram_round_bytes: tuple[float, ...] = ()
     fits: bool = True
 
     @property

@@ -52,6 +52,19 @@ def stage_times(
     for results in intra.values():
         for res in results:
             compute = max(compute, res.compute_time)
+    return stage_times_from_compute(arch, compute, group_traffic)
+
+
+def stage_times_from_compute(
+    arch: ArchConfig,
+    compute: float,
+    group_traffic: GroupTraffic,
+) -> StageTimes:
+    """Stage times given a precomputed slowest-core compute time.
+
+    The evaluator caches the max compute time per layer, so the SA loop
+    can skip re-scanning every intra-core result on each evaluation.
+    """
     network = group_traffic.traffic.serialization_time()
     bw = per_dram_bandwidth(arch)
     round_bytes = group_traffic.dram_round_bytes

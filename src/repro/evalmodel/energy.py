@@ -52,6 +52,26 @@ def group_energy(
     n_d2d_interfaces: int,
 ) -> EnergyBreakdown:
     """Total energy of one layer group over a full inference."""
+    return group_energy_from_intra(
+        arch, energy, intra_energy(intra), traffic, rounds,
+        stage_time, n_d2d_interfaces,
+    )
+
+
+def group_energy_from_intra(
+    arch: ArchConfig,
+    energy: EnergyModel,
+    intra_j: float,
+    traffic: GroupTraffic,
+    rounds: int,
+    stage_time: float,
+    n_d2d_interfaces: int,
+) -> EnergyBreakdown:
+    """Group energy given a precomputed intra-tile joule total.
+
+    The evaluator caches per-layer intra-core energy sums so the SA loop
+    does not re-sum every part on every evaluation.
+    """
     noc_j, d2d_j = network_energy(
         traffic, energy, arch, stage_time, n_d2d_interfaces
     )
@@ -59,7 +79,7 @@ def group_energy(
     once_dram_j = once_bytes * energy.e_dram
     once_noc_j = traffic.weight_tree_hop_bytes * energy.e_noc_hop
     return EnergyBreakdown(
-        intra=intra_energy(intra) * rounds,
+        intra=intra_j * rounds,
         noc=noc_j * rounds + once_noc_j,
         d2d=d2d_j * rounds,
         dram=dram_energy(traffic, energy) * rounds + once_dram_j,

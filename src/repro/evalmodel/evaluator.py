@@ -5,24 +5,61 @@ analyzer and the delay/energy models into the two interfaces the paper
 describes: per-group evaluation (called inside the SA loop) and
 whole-mapping evaluation (chaining groups, propagating where each
 group's ofmaps were stored so later groups fetch from the right DRAM).
+
+The evaluator layers four caches over the pipeline (all per graph, all
+enabled by default, all disabled with ``cache=False``):
+
+1. parsed-layer records per ``(layer, scheme, batch_unit)``;
+2. intra-core result lists per parsed layer;
+3. per-layer traffic blocks (see ``traffic_analysis``);
+4. whole :class:`GroupEval` records keyed by the LMS digest, the batch
+   and the DRAM placement of the group's cross-group inputs.
+
+Every cache memoizes an immutable value of the same computation the
+uncached path runs, so cached and uncached evaluations are identical —
+the SA loop gets its speed from reuse, not from approximation.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
 from repro.arch.params import ArchConfig
 from repro.arch.topology import MeshTopology
-from repro.core.encoding import LayerGroupMapping
+from repro.core.encoding import INTERLEAVED, LayerGroupMapping
 from repro.core.parser import parse_lms
 from repro.evalmodel.breakdown import EnergyBreakdown, GroupEval, MappingEval
-from repro.evalmodel.delay import group_delay, stage_times
-from repro.evalmodel.energy import group_energy
-from repro.evalmodel.traffic_analysis import GroupTraffic, GroupTrafficAnalyzer
+from repro.evalmodel.delay import group_delay, stage_times_from_compute
+from repro.evalmodel.energy import group_energy_from_intra
+from repro.evalmodel.traffic_analysis import GroupTrafficAnalyzer
 from repro.intracore.cache import IntraCoreEngine
 from repro.intracore.result import IntraCoreResult
+from repro.perf import PERF, LruDict
 from repro.workloads.graph import DNNGraph
+
+
+@dataclass
+class _GraphCaches:
+    """Evaluation caches scoped to one (graph, evaluator) pair."""
+
+    parse: LruDict = field(default_factory=lambda: LruDict(32768))
+    intra: LruDict = field(default_factory=lambda: LruDict(32768))
+    traffic: LruDict = field(default_factory=lambda: LruDict(16384))
+    group: LruDict = field(default_factory=lambda: LruDict(8192))
+    #: layer-group layers tuple -> sorted cross-group producer names
+    ext_producers: dict = field(default_factory=dict)
+
+
+def lms_digest(lms: LayerGroupMapping) -> tuple:
+    """A hashable digest of every scheme choice an LMS encodes."""
+    return (
+        lms.group.layers,
+        lms.group.batch_unit,
+        tuple(lms.scheme(name) for name in lms.group.layers),
+    )
 
 
 class Evaluator:
@@ -33,6 +70,10 @@ class Evaluator:
     or ``"maxmin"`` (max–min-fair flow simulation of the round's
     transfers — slower, upper-bounds the analytic estimate, useful for
     validating schemes the search has already picked).
+
+    ``cache=False`` turns off all evaluation caches (the behaviour of
+    the original single-shot pipeline); results are identical either
+    way.
     """
 
     def __init__(
@@ -41,6 +82,7 @@ class Evaluator:
         topo: MeshTopology | None = None,
         energy: EnergyModel = DEFAULT_ENERGY,
         network_model: str = "bound",
+        cache: bool = True,
     ):
         if network_model not in ("bound", "maxmin"):
             raise ValueError(f"unknown network model {network_model!r}")
@@ -48,9 +90,28 @@ class Evaluator:
         self.topo = topo if topo is not None else MeshTopology(arch)
         self.energy = energy
         self.network_model = network_model
+        self.cache_enabled = cache
         self.intracore = IntraCoreEngine(arch, energy)
+        self._caches: WeakKeyDictionary[DNNGraph, _GraphCaches] = (
+            WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------
+
+    def warm(self) -> None:
+        """Precompute the topology's XY route tables (SA hot-loop prep)."""
+        if self.cache_enabled:
+            self.topo.core_route_table()
+            self.topo.dram_route_tables()
+
+    def _graph_caches(self, graph: DNNGraph) -> _GraphCaches | None:
+        if not self.cache_enabled:
+            return None
+        caches = self._caches.get(graph)
+        if caches is None:
+            caches = _GraphCaches()
+            self._caches[graph] = caches
+        return caches
 
     def _n_d2d_interfaces(self) -> int:
         arch = self.arch
@@ -60,16 +121,80 @@ class Evaluator:
             arch.chiplet_cores_x + arch.chiplet_cores_y
         )
 
-    def _intra_results(self, parsed) -> dict[str, list[IntraCoreResult]]:
+    def _intra_results(
+        self, parsed, cache: dict | None = None
+    ) -> dict[str, list[IntraCoreResult]]:
+        return self._intra_aggregate(parsed, cache)[0]
+
+    def _intra_aggregate(
+        self, parsed, cache: dict | None = None
+    ) -> tuple[dict[str, list[IntraCoreResult]], float, float, bool]:
+        """Per-layer intra-core results plus the group-level aggregates.
+
+        Returns ``(results, compute_max, intra_joules, fits)``.  The
+        per-layer (results, max compute time, energy sum, fits) tuples
+        are memoized so repeated evaluations of unchanged layers reduce
+        to three scalar folds.
+        """
         results: dict[str, list[IntraCoreResult]] = {}
+        batch_unit = parsed.group.batch_unit
+        compute = 0.0
+        intra_j = 0.0
+        fits = True
+        lookup = store = None
+        if cache is not None:
+            lookup = getattr(cache, "get_lru", cache.get)
+            store = getattr(cache, "put", cache.__setitem__)
         for name, parsed_layer in parsed.layers.items():
-            results[name] = [
-                self.intracore.schedule(part.workload)
-                for part in parsed_layer.parts
-            ]
-        return results
+            entry = None
+            key = None
+            if cache is not None:
+                key = (name, parsed_layer.scheme, batch_unit)
+                entry = lookup(key)
+            if entry is None:
+                per_layer = [
+                    self.intracore.schedule(part.workload)
+                    for part in parsed_layer.parts
+                ]
+                layer_compute = 0.0
+                layer_j = 0.0
+                layer_fits = True
+                for res in per_layer:
+                    if res.compute_time > layer_compute:
+                        layer_compute = res.compute_time
+                    layer_j += res.energy
+                    layer_fits = layer_fits and res.fits
+                entry = (per_layer, layer_compute, layer_j, layer_fits)
+                if cache is not None:
+                    store(key, entry)
+            per_layer, layer_compute, layer_j, layer_fits = entry
+            results[name] = per_layer
+            if layer_compute > compute:
+                compute = layer_compute
+            intra_j += layer_j
+            fits = fits and layer_fits
+        return results, compute, intra_j, fits
 
     # ------------------------------------------------------------------
+
+    def _stored_slice(
+        self, graph: DNNGraph, lms: LayerGroupMapping,
+        stored_at: dict[str, int], caches: _GraphCaches | None,
+    ) -> tuple:
+        """The part of ``stored_at`` this group's evaluation reads."""
+        group = lms.group
+        ext = None if caches is None else caches.ext_producers.get(group.layers)
+        if ext is None:
+            names: set[str] = set()
+            for name in group.layers:
+                for inp in graph.input_slices(name):
+                    p = inp.producer
+                    if p is not None and p not in group:
+                        names.add(p)
+            ext = tuple(sorted(names))
+            if caches is not None:
+                caches.ext_producers[group.layers] = ext
+        return tuple(stored_at.get(p, INTERLEAVED) for p in ext)
 
     def evaluate_group(
         self,
@@ -81,24 +206,52 @@ class Evaluator:
     ) -> GroupEval:
         """Evaluate one layer group for a full inference of ``batch``."""
         stored_at = stored_at or {}
-        parsed = parse_lms(graph, lms)
-        intra = self._intra_results(parsed)
+        caches = self._graph_caches(graph)
+        key = None
+        if caches is not None and not keep_traffic:
+            key = (
+                lms_digest(lms), batch,
+                self._stored_slice(graph, lms, stored_at, caches),
+            )
+            hit = caches.group.get_lru(key)
+            if hit is not None:
+                PERF.add("evaluator.group.hits")
+                return hit
+            PERF.add("evaluator.group.misses")
+        ev = self._evaluate_group_uncached(
+            graph, lms, batch, stored_at, keep_traffic, caches
+        )
+        if key is not None:
+            caches.group.put(key, ev)
+        return ev
+
+    def _evaluate_group_uncached(
+        self, graph, lms, batch, stored_at, keep_traffic, caches
+    ) -> GroupEval:
+        parsed = parse_lms(
+            graph, lms, cache=None if caches is None else caches.parse
+        )
+        intra, compute_max, intra_j, fits = self._intra_aggregate(
+            parsed, cache=None if caches is None else caches.intra
+        )
         analyzer = GroupTrafficAnalyzer(
             graph, self.arch, self.topo,
             collect_flows=self.network_model == "maxmin",
         )
-        traffic = analyzer.analyze(parsed, lms, intra, stored_at)
+        traffic = analyzer.analyze(
+            parsed, lms, intra, stored_at,
+            cache=None if caches is None else caches.traffic,
+        )
         rounds = math.ceil(batch / lms.group.batch_unit)
         depth = len(lms.group)
-        times = stage_times(self.arch, intra, traffic)
+        times = stage_times_from_compute(self.arch, compute_max, traffic)
         if self.network_model == "maxmin":
             times = self._refine_network_time(traffic, times)
         delay = group_delay(times, rounds, depth)
-        energy = group_energy(
-            self.arch, self.energy, intra, traffic, rounds,
+        energy = group_energy_from_intra(
+            self.arch, self.energy, intra_j, traffic, rounds,
             times.stage, self._n_d2d_interfaces(),
         )
-        fits = all(r.fits for results in intra.values() for r in results)
         return GroupEval(
             delay=delay,
             energy=energy,
@@ -108,7 +261,7 @@ class Evaluator:
             network_time=times.network,
             dram_time=times.dram,
             traffic=traffic.traffic if keep_traffic else None,
-            dram_round_bytes=list(traffic.dram_round_bytes),
+            dram_round_bytes=tuple(traffic.dram_round_bytes),
             fits=fits,
         )
 
@@ -119,8 +272,6 @@ class Evaluator:
         (slightly conservative); the simulated time can never be below
         the analytic bound.
         """
-        from dataclasses import replace
-
         from repro.evalmodel.delay import StageTimes
         from repro.evalmodel.traffic_analysis import round_flows
         from repro.noc.flowsim import Flow, simulate_completion_time

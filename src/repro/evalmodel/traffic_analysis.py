@@ -21,6 +21,15 @@ MATMUL layers are special-cased: the first operand is consumed row-wise
 (its H range follows the consumer's), the second operand either row-wise
 by the consumer's K range (score products) or channel-wise (context
 products), detected from the contraction geometry.
+
+The analyzer computes traffic one layer at a time into
+:class:`LayerTrafficBlock` records and merges them.  A block depends
+only on the layer's scheme, its in-group producers' schemes, the DRAM
+placement of its cross-group inputs and the group's batch unit — so an
+SA move that mutates one layer's scheme invalidates only that layer's
+block and the blocks of its in-group consumers.  Passing a ``cache``
+dict memoizes blocks under exactly that key, which is what makes the
+SA loop's incremental evaluation path fast.
 """
 
 from __future__ import annotations
@@ -32,16 +41,11 @@ import numpy as np
 from repro.arch.params import ArchConfig
 from repro.arch.topology import MeshTopology, NodeId
 from repro.core.encoding import INTERLEAVED, LayerGroupMapping
-from repro.core.parser import (
-    ParsedGroup,
-    PlacedPart,
-    Region,
-    required_channels,
-    required_input_box,
-)
+from repro.core.parser import ParsedGroup
 from repro.intracore.result import IntraCoreResult
 from repro.noc.multicast import multicast_tree
 from repro.noc.traffic import TrafficMap
+from repro.perf import PERF
 from repro.workloads.graph import DNNGraph
 from repro.workloads.layer import Layer, LayerType
 
@@ -87,6 +91,24 @@ class GroupTraffic:
         return self.dram_read + self.dram_write
 
 
+@dataclass(frozen=True)
+class LayerTrafficBlock:
+    """One layer's contribution to the group traffic.
+
+    Blocks are immutable once built, so they can be memoized and merged
+    into any number of :class:`GroupTraffic` results; arrays must not be
+    mutated in place.  All-zero DRAM components are stored as ``None``
+    so the merge loop can skip them.
+    """
+
+    volumes: np.ndarray
+    dram_read: np.ndarray | None
+    dram_write: np.ndarray | None
+    dram_weight_once: np.ndarray | None
+    weight_tree_hop_bytes: float
+    flows: tuple[FlowRecord, ...] | None
+
+
 def round_flows(flows, topo) -> list["FlowRecord"]:
     """Steady-state per-round flows for simulators.
 
@@ -110,61 +132,106 @@ def round_flows(flows, topo) -> list["FlowRecord"]:
     return kept
 
 
+_DRAM_TARGET_CACHE: "WeakKeyDictionary[MeshTopology, dict]" = None
+
+
 def _dram_targets(
     topo: MeshTopology, fd_value: int
-) -> list[tuple[NodeId, float]]:
-    """(dram node, share) pairs for an FD selector."""
-    drams = topo.dram_nodes()
-    if fd_value == INTERLEAVED:
-        share = 1.0 / len(drams)
-        return [(d, share) for d in drams]
-    return [(drams[fd_value - 1], 1.0)]
+) -> tuple[tuple[NodeId, float], ...]:
+    """(dram node, share) pairs for an FD selector (memoized per topo)."""
+    global _DRAM_TARGET_CACHE
+    if _DRAM_TARGET_CACHE is None:
+        from weakref import WeakKeyDictionary
+        _DRAM_TARGET_CACHE = WeakKeyDictionary()
+    per_topo = _DRAM_TARGET_CACHE.get(topo)
+    if per_topo is None:
+        per_topo = {}
+        _DRAM_TARGET_CACHE[topo] = per_topo
+    targets = per_topo.get(fd_value)
+    if targets is None:
+        drams = topo.dram_nodes()
+        if fd_value == INTERLEAVED:
+            share = 1.0 / len(drams)
+            targets = tuple((d, share) for d in drams)
+        else:
+            targets = ((drams[fd_value - 1], 1.0),)
+        per_topo[fd_value] = targets
+    return targets
 
 
-def _required_region(
-    consumer: Layer, dest: Region, c_lo: int, c_hi: int,
-    slice_lo: int, slice_hi: int, producer: Layer | None,
-) -> Region | None:
-    """Producer-coordinate region the consumer part needs from a slice.
+def _conv_needs(
+    consumer: Layer, dest_regions: np.ndarray, slice_lo: int, slice_hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Producer-coordinate requirement regions for every consumer part.
 
-    ``(c_lo, c_hi)`` is the consumer-ifmap channel requirement and
-    ``(slice_lo, slice_hi)`` the producer's channel placement; their
-    overlap maps onto producer output channels.
+    Vectorized combination of the receptive-field box (halo-aware,
+    clipped to the valid ifmap extent) with the channel overlap between
+    the consumer's requirement and the producer slice ``(slice_lo,
+    slice_hi)``; channel bounds are rebased to slice coordinates.
+    Returns ``(needs[n, 8], valid[n])``; rows with ``valid`` False have
+    no overlap with this slice.
     """
-    lo = max(c_lo, slice_lo)
-    hi = min(c_hi, slice_hi)
-    if hi <= lo:
-        return None
-    ih_lo, ih_hi, iw_lo, iw_hi = required_input_box(consumer, dest)
-    return Region(
-        ih_lo, ih_hi, iw_lo, iw_hi,
-        dest.b_lo, dest.b_hi,
-        lo - slice_lo, hi - slice_lo,
+    n = len(dest_regions)
+    h_lo, h_hi = dest_regions[:, 0], dest_regions[:, 1]
+    w_lo, w_hi = dest_regions[:, 2], dest_regions[:, 3]
+    if consumer.is_channelwise:
+        c_lo, c_hi = dest_regions[:, 6], dest_regions[:, 7]
+    elif consumer.groups > 1:
+        k_per_group = consumer.out_k // consumer.groups
+        c_per_group = consumer.in_c // consumer.groups
+        c_lo = dest_regions[:, 6] // k_per_group * c_per_group
+        c_hi = ((dest_regions[:, 7] - 1) // k_per_group + 1) * c_per_group
+    else:
+        c_lo = np.zeros(n, dtype=np.int64)
+        c_hi = np.full(n, consumer.in_c, dtype=np.int64)
+    lo = np.maximum(c_lo, slice_lo)
+    hi = np.minimum(c_hi, slice_hi)
+    ih_lo = np.maximum(0, h_lo * consumer.stride - consumer.pad_h)
+    ih_hi = np.minimum(
+        consumer.in_h,
+        (h_hi - 1) * consumer.stride - consumer.pad_h + consumer.kernel_r,
     )
+    ih_hi = np.maximum(ih_lo, ih_hi)
+    iw_lo = np.maximum(0, w_lo * consumer.stride - consumer.pad_w)
+    iw_hi = np.minimum(
+        consumer.in_w,
+        (w_hi - 1) * consumer.stride - consumer.pad_w + consumer.kernel_s,
+    )
+    iw_hi = np.maximum(iw_lo, iw_hi)
+    needs = np.empty((n, 8), dtype=np.int64)
+    needs[:, 0], needs[:, 1] = ih_lo, ih_hi
+    needs[:, 2], needs[:, 3] = iw_lo, iw_hi
+    needs[:, 4], needs[:, 5] = dest_regions[:, 4], dest_regions[:, 5]
+    needs[:, 6], needs[:, 7] = lo - slice_lo, hi - slice_lo
+    ext = needs[:, 1::2] - needs[:, 0::2]
+    return needs, (ext > 0).all(axis=1)
 
 
-def _matmul_required_region(
-    consumer: Layer, dest: Region, operand: int, producer: Layer
-) -> Region:
-    """Producer region a MATMUL consumer part needs (see module doc)."""
+def _matmul_needs(
+    consumer: Layer, dest_regions: np.ndarray, operand: int, producer: Layer
+) -> tuple[np.ndarray, np.ndarray]:
+    """Producer regions MATMUL consumer parts need (see module doc)."""
+    n = len(dest_regions)
+    needs = np.empty((n, 8), dtype=np.int64)
+    needs[:, 4], needs[:, 5] = dest_regions[:, 4], dest_regions[:, 5]
     if operand == 0:
         # First operand: rows follow the consumer's H range.
-        return Region(
-            dest.h_lo, dest.h_hi, 0, producer.out_w,
-            dest.b_lo, dest.b_hi, 0, producer.out_k,
-        )
-    if producer.out_k == consumer.in_c and producer.out_h != consumer.in_c:
+        needs[:, 0], needs[:, 1] = dest_regions[:, 0], dest_regions[:, 1]
+        needs[:, 2], needs[:, 3] = 0, producer.out_w
+        needs[:, 6], needs[:, 7] = 0, producer.out_k
+    elif producer.out_k == consumer.in_c and producer.out_h != consumer.in_c:
         # Score product (Q @ K^T): row j of the operand feeds output
         # column j.
-        return Region(
-            dest.k_lo, dest.k_hi, 0, producer.out_w,
-            dest.b_lo, dest.b_hi, 0, producer.out_k,
-        )
-    # Context product (P @ V): column k feeds output channel k; all rows.
-    return Region(
-        0, producer.out_h, 0, producer.out_w,
-        dest.b_lo, dest.b_hi, dest.k_lo, dest.k_hi,
-    )
+        needs[:, 0], needs[:, 1] = dest_regions[:, 6], dest_regions[:, 7]
+        needs[:, 2], needs[:, 3] = 0, producer.out_w
+        needs[:, 6], needs[:, 7] = 0, producer.out_k
+    else:
+        # Context product (P @ V): column k feeds output channel k.
+        needs[:, 0], needs[:, 1] = 0, producer.out_h
+        needs[:, 2], needs[:, 3] = 0, producer.out_w
+        needs[:, 6], needs[:, 7] = dest_regions[:, 6], dest_regions[:, 7]
+    ext = needs[:, 1::2] - needs[:, 0::2]
+    return needs, (ext > 0).all(axis=1)
 
 
 class GroupTrafficAnalyzer:
@@ -199,13 +266,17 @@ class GroupTrafficAnalyzer:
         lms: LayerGroupMapping,
         intra: dict[str, list[IntraCoreResult]],
         stored_at: dict[str, int],
+        cache=None,
     ) -> GroupTraffic:
         """Per-round traffic for the group.
 
         ``intra`` maps layer name -> per-part intra-core results (same
         order as the parsed parts); ``stored_at`` maps producers in
         *earlier* groups to the FD selector their ofmaps were written
-        with.
+        with.  ``cache`` (an :class:`~repro.perf.LruDict`) memoizes the
+        per-layer traffic blocks; the merged result is identical with or
+        without it because the uncached path runs the very same per-layer
+        computation.
         """
         topo = self.topo
         n_dram = len(topo.dram_nodes())
@@ -216,65 +287,246 @@ class GroupTrafficAnalyzer:
             dram_weight_once=np.zeros(n_dram),
             flows=[] if self.collect_flows else None,
         )
+        blocks = []
         for name in parsed.group.layers:
-            self._layer_inputs(parsed, lms, intra, stored_at, name, out)
-            self._layer_weights(parsed, lms, intra, name, out)
-            self._layer_outputs(parsed, lms, name, out)
+            blocks.append(
+                self._inputs_block(parsed, lms, intra, stored_at, name, cache)
+            )
+            blocks.append(self._self_block(parsed, lms, intra, name, cache))
+        # One stacked fold over all link-volume arrays (sequential along
+        # axis 0, so per-link sums match the += loop exactly).
+        out.traffic.volumes += np.add.reduce(
+            np.stack([b.volumes for b in blocks]), axis=0
+        )
+        for block in blocks:
+            if block.dram_read is not None:
+                out.dram_read += block.dram_read
+            if block.dram_write is not None:
+                out.dram_write += block.dram_write
+            if block.dram_weight_once is not None:
+                out.dram_weight_once += block.dram_weight_once
+            out.weight_tree_hop_bytes += block.weight_tree_hop_bytes
+            if out.flows is not None and block.flows:
+                out.flows.extend(block.flows)
         return out
+
+    def _inputs_key(self, parsed, lms, stored_at, name):
+        """Everything a layer's ifmap traffic depends on (see module doc)."""
+        deps = []
+        for inp in self.graph.input_slices(name):
+            p = inp.producer
+            if p is None:
+                continue  # the DRAM selector is in the layer's own scheme
+            if p in parsed.group:
+                deps.append((p, lms.scheme(p)))
+            else:
+                deps.append((p, stored_at.get(p, INTERLEAVED)))
+        return (name, lms.scheme(name), parsed.group.batch_unit, tuple(deps))
+
+    def _fresh_accumulator(self) -> GroupTraffic:
+        n_dram = len(self.topo.dram_nodes())
+        return GroupTraffic(
+            traffic=TrafficMap(self.topo),
+            dram_read=np.zeros(n_dram),
+            dram_write=np.zeros(n_dram),
+            dram_weight_once=np.zeros(n_dram),
+            flows=[] if self.collect_flows else None,
+        )
+
+    def _freeze_block(self, tmp: GroupTraffic) -> LayerTrafficBlock:
+        return LayerTrafficBlock(
+            volumes=tmp.traffic.volumes,
+            dram_read=tmp.dram_read if tmp.dram_read.any() else None,
+            dram_write=tmp.dram_write if tmp.dram_write.any() else None,
+            dram_weight_once=(
+                tmp.dram_weight_once if tmp.dram_weight_once.any() else None
+            ),
+            weight_tree_hop_bytes=tmp.weight_tree_hop_bytes,
+            flows=tuple(tmp.flows) if tmp.flows is not None else None,
+        )
+
+    def _inputs_block(
+        self, parsed, lms, intra, stored_at, name, cache
+    ) -> LayerTrafficBlock:
+        """Ifmap flows of one layer (producer- and placement-dependent)."""
+        key = None
+        if cache is not None and not self.collect_flows:
+            key = self._inputs_key(parsed, lms, stored_at, name)
+            block = cache.get_lru(key)
+            if block is not None:
+                PERF.add("traffic.layer.hits")
+                return block
+            PERF.add("traffic.layer.misses")
+        tmp = self._fresh_accumulator()
+        self._layer_inputs(parsed, lms, intra, stored_at, name, tmp)
+        block = self._freeze_block(tmp)
+        if key is not None:
+            cache.put(key, block)
+        return block
+
+    def _self_block(
+        self, parsed, lms, intra, name, cache
+    ) -> LayerTrafficBlock:
+        """Weight and ofmap flows — a function of the layer's own scheme
+        only, so a producer-side SA move never invalidates this part."""
+        key = None
+        if cache is not None and not self.collect_flows:
+            key = (name, lms.scheme(name), parsed.group.batch_unit, "self")
+            block = cache.get_lru(key)
+            if block is not None:
+                PERF.add("traffic.layer.hits")
+                return block
+            PERF.add("traffic.layer.misses")
+        tmp = self._fresh_accumulator()
+        self._layer_weights(parsed, lms, intra, name, tmp)
+        self._layer_outputs(parsed, lms, name, tmp)
+        block = self._freeze_block(tmp)
+        if key is not None:
+            cache.put(key, block)
+        return block
 
     # ------------------------------------------------------------------
     # Ifmaps: inter-layer and DRAM flows
     # ------------------------------------------------------------------
 
     def _layer_inputs(self, parsed, lms, intra, stored_at, name, out):
-        graph, topo = self.graph, self.topo
+        graph = self.graph
         consumer = graph.layer(name)
-        dest_parts = parsed.layer(name).parts
+        dest_layer = parsed.layer(name)
         results = intra[name]
         slices = graph.input_slices(name)
         is_matmul = consumer.kind is LayerType.MATMUL
+        # Requirement regions depend only on the consumer's own parsed
+        # parts and the (fixed) input slices — memoize per parsed layer.
+        needs_memo = getattr(dest_layer, "_needs_memo", None)
+        if needs_memo is None:
+            needs_memo = {}
+            object.__setattr__(dest_layer, "_needs_memo", needs_memo)
         for op_idx, inp in enumerate(slices):
             producer = graph.layer(inp.producer) if inp.producer else None
             in_group = inp.producer in parsed.group if inp.producer else False
-            for dest, res in zip(dest_parts, results):
+            cached_needs = needs_memo.get(op_idx)
+            if cached_needs is None:
+                dest_regions = dest_layer.part_arrays()[0]
                 if is_matmul:
-                    need = _matmul_required_region(
-                        consumer, dest.region, op_idx, producer
+                    cached_needs = _matmul_needs(
+                        consumer, dest_regions, op_idx, producer
                     )
                 else:
-                    c_lo, c_hi = required_channels(consumer, dest.region)
-                    need = _required_region(
-                        consumer, dest.region, c_lo, c_hi,
-                        inp.c_lo, inp.c_hi, producer,
+                    cached_needs = _conv_needs(
+                        consumer, dest_regions, inp.c_lo, inp.c_hi
                     )
-                if need is None or need.is_empty():
-                    continue
-                fetch = res.if_fetches
-                if in_group:
-                    self._from_producer_parts(
-                        parsed, inp.producer, need, dest, fetch, name, out
-                    )
+                needs_memo[op_idx] = cached_needs
+            needs, valid = cached_needs
+            if not valid.any():
+                continue
+            if in_group:
+                self._from_producer_parts(
+                    parsed, inp.producer, needs, valid, dest_layer,
+                    results, name, out,
+                )
+            else:
+                if inp.producer is None:
+                    fd = lms.scheme(name).fd.ifmap
                 else:
-                    volume = need.volume() * consumer.bytes_per_elem * fetch
-                    if inp.producer is None:
-                        fd = lms.scheme(name).fd.ifmap
-                    else:
-                        fd = stored_at.get(inp.producer, INTERLEAVED)
-                    self._from_dram(fd, dest.core, volume, name, out)
+                    fd = stored_at.get(inp.producer, INTERLEAVED)
+                self._ifmap_from_dram(
+                    fd, needs, valid, dest_layer, results, consumer,
+                    name, out,
+                )
 
-    def _from_producer_parts(self, parsed, producer_name, need, dest,
-                             fetch, consumer_name, out):
+    def _ifmap_from_dram(self, fd, needs, valid, dest_layer, results,
+                         consumer, name, out):
+        ext = needs[:, 1::2] - needs[:, 0::2]
+        volumes = ext[:, 0] * ext[:, 1] * ext[:, 2] * ext[:, 3]
+        cores = dest_layer.part_arrays()[1]
+        bytes_per_elem = consumer.bytes_per_elem
+        idx = np.nonzero(valid)[0]
+        if out.flows is None:
+            fetches = np.array(
+                [results[i].if_fetches for i in idx], dtype=np.float64
+            )
+            self._dram_flows_batch(
+                fd, cores[idx], volumes[idx] * bytes_per_elem * fetches,
+                out, write=False,
+            )
+            return
+        for i in idx:
+            volume = int(volumes[i]) * bytes_per_elem * results[i].if_fetches
+            self._from_dram(fd, int(cores[i]), volume, name, out)
+
+    def _dram_flows_batch(self, fd, cores, volumes, out, write):
+        """Scatter-add core<->DRAM flows for many parts at once.
+
+        Additions into each per-link / per-DRAM slot happen in part
+        order (np.add.at is unbuffered and in index order), matching the
+        per-part loop of the flow-collecting path.
+        """
+        topo = self.topo
+        n_dram = len(topo.dram_nodes())
+        to_dram, to_lens, from_dram, from_lens = topo.dram_route_tables()
+        table, lens = (to_dram, to_lens) if write else (from_dram, from_lens)
+        tally = out.dram_write if write else out.dram_read
+        vol_slots = out.traffic.volumes
+        for dram, share in _dram_targets(topo, fd):
+            d = dram[1]
+            v = volumes * share
+            rows = cores * n_dram + d
+            padded = table[rows].ravel()
+            vol_slots += np.bincount(
+                padded[padded >= 0],
+                weights=np.repeat(v, lens[rows]),
+                minlength=len(vol_slots),
+            )
+            np.add.at(tally, np.full(len(v), d, dtype=np.intp), v)
+
+    def _from_producer_parts(self, parsed, producer_name, need_arr, valid,
+                             dest_layer, results, consumer_name, out):
+        """Producer-part -> consumer-part overlap flows for one input.
+
+        ``need_arr``/``valid`` hold one producer-coordinate requirement
+        region per destination part.  The 4-D interval intersections of
+        every (destination, producer-part) pair are evaluated as one
+        vector operation; flows are then emitted in the same
+        destination-major order the part lists define.
+        """
         topo = self.topo
         bytes_per_elem = self.graph.layer(producer_name).bytes_per_elem
-        dst_node = topo.core_node(dest.core)
-        for src in parsed.layer(producer_name).parts:
-            overlap = src.region.intersection_volume(need)
-            if overlap == 0:
-                continue
-            volume = overlap * bytes_per_elem * fetch
-            if src.core == dest.core:
-                continue  # stays inside the core's GLB
-            src_node = topo.core_node(src.core)
+        regions, src_cores = parsed.layer(producer_name).part_arrays()
+        dest_cores = dest_layer.part_arrays()[1]
+        lo = np.maximum(need_arr[:, None, 0::2], regions[None, :, 0::2])
+        hi = np.minimum(need_arr[:, None, 1::2], regions[None, :, 1::2])
+        ext = hi - lo
+        hits = (ext > 0).all(axis=2) & valid[:, None]
+        # Same-core data stays inside the core's GLB.
+        hits &= src_cores[None, :] != dest_cores[:, None]
+        if not hits.any():
+            return
+        overlaps = ext[..., 0] * ext[..., 1] * ext[..., 2] * ext[..., 3]
+        di, sj = np.nonzero(hits)
+        fetches = np.array([r.if_fetches for r in results], dtype=np.float64)
+        volumes = overlaps[di, sj] * bytes_per_elem * fetches[di]
+        if out.flows is None:
+            # Fast path: accumulate every flow's route in one unbuffered
+            # scatter-add.  np.add.at applies increments in index order,
+            # so per-link sums associate exactly like sequential
+            # ``add_flow`` calls.
+            table, lens = topo.core_route_table()
+            rows = src_cores[sj] * topo.arch.n_cores + dest_cores[di]
+            padded = table[rows].ravel()
+            vol_slots = out.traffic.volumes
+            # bincount accumulates in input order, matching sequential
+            # per-flow adds bit for bit.
+            vol_slots += np.bincount(
+                padded[padded >= 0],
+                weights=np.repeat(volumes, lens[rows]),
+                minlength=len(vol_slots),
+            )
+            return
+        for idx, (i, j) in enumerate(zip(di, sj)):
+            volume = float(volumes[idx])
+            src_node = topo.core_node(int(src_cores[j]))
+            dst_node = topo.core_node(int(dest_cores[i]))
             out.traffic.add_flow(src_node, dst_node, volume)
             self._record(out, "ifmap", consumer_name, src_node, dst_node,
                          volume, src_layer=producer_name)
@@ -299,11 +551,13 @@ class GroupTrafficAnalyzer:
             return
         fd = lms.scheme(name).fd.weight
         results = intra[name]
+        parsed_layer = parsed.layer(name)
+        weight_bytes = parsed_layer.weight_bytes_array()
         #: (k_lo, k_hi) -> (bytes incl. refetch, destination cores)
         by_slice: dict[tuple[int, int], list] = {}
-        for part, res in zip(parsed.layer(name).parts, results):
+        for i, part in enumerate(parsed_layer.parts):
             key = (part.region.k_lo, part.region.k_hi)
-            vol = part.workload.weight_bytes() * res.w_fetches
+            vol = weight_bytes[i] * results[i].w_fetches
             entry = by_slice.setdefault(key, [0.0, []])
             entry[0] = max(entry[0], vol)
             entry[1].append(part.core)
@@ -336,7 +590,19 @@ class GroupTrafficAnalyzer:
         if fd < 0:
             return
         bytes_per_elem = self.graph.layer(name).bytes_per_elem
-        for part in parsed.layer(name).parts:
+        parsed_layer = parsed.layer(name)
+        if out.flows is None:
+            regions, cores = parsed_layer.part_arrays()
+            ext = regions[:, 1::2] - regions[:, 0::2]
+            volumes = (
+                ext[:, 0] * ext[:, 1] * ext[:, 2] * ext[:, 3]
+                * bytes_per_elem
+            )
+            self._dram_flows_batch(
+                fd, cores, volumes.astype(np.float64), out, write=True
+            )
+            return
+        for part in parsed_layer.parts:
             volume = part.region.volume() * bytes_per_elem
             src = topo.core_node(part.core)
             for dram, share in _dram_targets(topo, fd):

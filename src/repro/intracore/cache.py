@@ -3,7 +3,9 @@
 SA iterations repeatedly evaluate the same partitioned-workload shapes
 (layer partitions change one attribute at a time), so caching schedule
 results by the full workload/core signature removes the dominant cost of
-re-evaluation.
+re-evaluation.  The cache is a true LRU: at capacity the stalest entry
+is evicted, so a long DSE sweep over many candidates keeps its working
+set instead of periodically dropping everything.
 """
 
 from __future__ import annotations
@@ -13,26 +15,36 @@ from repro.arch.params import ArchConfig
 from repro.intracore.dataflow import CoreWorkload
 from repro.intracore.result import IntraCoreResult
 from repro.intracore.tiling import schedule_workload
+from repro.perf import PERF, LruDict
 
 
 class IntraCoreEngine:
-    """Caching wrapper around :func:`schedule_workload`."""
+    """LRU-caching wrapper around :func:`schedule_workload`."""
 
     def __init__(self, arch: ArchConfig, energy: EnergyModel,
                  max_entries: int = 200_000):
         self.arch = arch
         self.energy = energy
         self.max_entries = max_entries
-        self._cache: dict[CoreWorkload, IntraCoreResult] = {}
+        self._cache: LruDict = LruDict(max_entries)
         self.hits = 0
         self.misses = 0
 
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def evictions(self) -> int:
+        return self.misses - len(self._cache)
+
     def schedule(self, wl: CoreWorkload) -> IntraCoreResult:
-        cached = self._cache.get(wl)
+        cached = self._cache.get_lru(wl)
         if cached is not None:
             self.hits += 1
+            PERF.add("intracore.hits")
             return cached
         self.misses += 1
+        PERF.add("intracore.misses")
         result = schedule_workload(
             wl,
             glb_bytes=self.arch.glb_bytes,
@@ -42,7 +54,5 @@ class IntraCoreEngine:
             vector_lanes=self.arch.vector_lanes,
             energy=self.energy,
         )
-        if len(self._cache) >= self.max_entries:
-            self._cache.clear()  # simple bound; signatures recur quickly
-        self._cache[wl] = result
+        self._cache.put(wl, result)
         return result

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.arch.energy import EnergyModel
 from repro.intracore.dataflow import CoreWorkload, PEArray
 from repro.intracore.result import IntraCoreResult
@@ -113,60 +115,70 @@ def schedule_workload(
     if_vol, w_vol, of_vol = wl.ifmap_bytes(), wl.weight_bytes(), wl.ofmap_bytes()
     budget = glb_bytes / 2  # double buffering
 
-    best: IntraCoreResult | None = None
-    best_cost = math.inf
-    fallback: IntraCoreResult | None = None
-    fallback_set = math.inf
+    # Everything outside the tiling choice is loop-invariant; the whole
+    # (tk, tc, th, order) grid is then evaluated as one broadcast
+    # computation and only the winning schedule materializes a result.
+    read_if = cycles * pe.lanes_c * bpe
+    reg = 2 * macs * bpe
+    mac_j = macs * energy.e_mac
+    reg_j = reg * energy.e_reg
+    compute_floor = cycles / frequency
+    is_matmul = wl.kind.value == "matmul"
 
-    for tk in _geometric_choices(wl.k):
-        n_k = math.ceil(wl.k / tk)
-        for tc in _geometric_choices(wl.c):
-            n_c = math.ceil(wl.c / tc)
-            w_tile = tk * max(1, math.ceil(tc / wl.groups)) * wl.r * wl.s * bpe
-            if wl.kind.value == "matmul":
-                w_tile = wl.b * tk * tc * bpe
-            for th in _geometric_choices(wl.h):
-                n_h = math.ceil(wl.h / th)
-                in_th = (th - 1) * wl.stride + wl.r
-                if_tile = wl.b * in_th * wl.in_w * tc * bpe
-                psum_width = _PSUM_BYTES if n_c > 1 else bpe
-                of_tile = wl.b * th * wl.w * tk * psum_width
-                working_set = w_tile + if_tile + of_tile
-                fits = working_set <= budget
-                for order, mults in _LOOP_ORDERS.items():
-                    m_if, m_w, m_psum = mults(n_k, n_c, n_h)
-                    fetch_if = if_vol * m_if
-                    fetch_w = w_vol * m_w
-                    psum_glb = of_vol * (2 * m_psum - 1)
-                    read_if = cycles * pe.lanes_c * bpe
-                    glb_traffic = (
-                        fetch_if + 2 * fetch_w + psum_glb + read_if
-                    )
-                    if not fits:
-                        glb_traffic *= 4  # spill penalty
-                    reg = 2 * macs * bpe
-                    e = (
-                        macs * energy.e_mac
-                        + glb_traffic * energy.e_glb
-                        + reg * energy.e_reg
-                    )
-                    time = max(cycles / frequency, glb_traffic / glb_bw)
-                    cost = e * time
-                    result = IntraCoreResult(
-                        cycles=cycles,
-                        compute_time=time,
-                        if_fetches=float(m_if),
-                        w_fetches=float(m_w),
-                        of_writebacks=float(m_psum),
-                        glb_bytes=glb_traffic,
-                        reg_bytes=float(reg),
-                        energy=e,
-                        tiling=(tk, tc, th),
-                        loop_order=order,
-                        fits=fits,
-                    )
-                    if fits and cost < best_cost:
-                        best, best_cost = result, cost
-                    if not fits and working_set < fallback_set:
-                        fallback, fallback_set = result, working_set
-    return best if best is not None else fallback
+    tks = np.array(_geometric_choices(wl.k), dtype=np.int64)[:, None, None]
+    tcs = np.array(_geometric_choices(wl.c), dtype=np.int64)[None, :, None]
+    ths = np.array(_geometric_choices(wl.h), dtype=np.int64)[None, None, :]
+    n_k = -(-wl.k // tks)
+    n_c = -(-wl.c // tcs)
+    n_h = -(-wl.h // ths)
+
+    if is_matmul:
+        w_tile = wl.b * tks * tcs * bpe
+    else:
+        w_tile = tks * np.maximum(1, -(-tcs // wl.groups)) * wl.r * wl.s * bpe
+    in_th = (ths - 1) * wl.stride + wl.r
+    if_tile = wl.b * in_th * wl.in_w * tcs * bpe
+    psum_width = np.where(n_c > 1, _PSUM_BYTES, bpe)
+    of_tile = wl.b * ths * wl.w * tks * psum_width
+    working_set = w_tile + if_tile + of_tile
+    fits = working_set <= budget
+
+    # Loop-order multipliers stacked on a trailing axis (WS, OS, IS) —
+    # the same innermost position the scalar search iterated them in.
+    full = np.broadcast_shapes(n_k.shape, n_c.shape, n_h.shape)
+    ones = np.broadcast_to(np.int64(1), full)
+    m_if = np.stack(np.broadcast_arrays(n_k, n_k, ones), axis=-1)
+    m_w = np.stack(np.broadcast_arrays(ones, n_h, n_h), axis=-1)
+    m_psum = np.stack(np.broadcast_arrays(n_c, ones, n_c), axis=-1)
+
+    glb_traffic = (
+        if_vol * m_if + 2 * (w_vol * m_w)
+        + of_vol * (2 * m_psum - 1) + read_if
+    )
+    glb_traffic = np.where(fits[..., None], glb_traffic, glb_traffic * 4)
+    e = mac_j + glb_traffic * energy.e_glb + reg_j
+    time = np.maximum(compute_floor, glb_traffic / glb_bw)
+
+    fits4 = np.broadcast_to(fits[..., None], m_if.shape)
+    if fits4.any():
+        cost = np.where(fits4, e * time, np.inf).ravel()
+        idx = int(np.argmin(cost))  # first minimum == scalar scan order
+    else:
+        # Nothing fits: the smallest-working-set tiling under the WS
+        # order (the first order the scalar scan recorded).
+        idx = int(np.argmin(working_set)) * 3
+    pick = np.unravel_index(idx, fits4.shape)
+    ki, ci, hi, oi = (int(v) for v in pick)
+    return IntraCoreResult(
+        cycles=cycles,
+        compute_time=float(time[pick]),
+        if_fetches=float(m_if[pick]),
+        w_fetches=float(m_w[pick]),
+        of_writebacks=float(m_psum[pick]),
+        glb_bytes=int(glb_traffic[pick]),
+        reg_bytes=float(reg),
+        energy=float(e[pick]),
+        tiling=(int(tks.ravel()[ki]), int(tcs.ravel()[ci]), int(ths.ravel()[hi])),
+        loop_order=("WS", "OS", "IS")[oi],
+        fits=bool(fits[ki, ci, hi]),
+    )

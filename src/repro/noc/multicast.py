@@ -14,17 +14,34 @@ routes.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 from repro.arch.topology import MeshTopology, NodeId
+from repro.perf import LruDict
+
+#: Per-topology memo of computed trees — the SA loop requests the same
+#: (source, destination-set) combinations over and over.
+_TREE_CACHES: WeakKeyDictionary[MeshTopology, LruDict] = WeakKeyDictionary()
+_TREE_CACHE_MAX = 65536
 
 
 def multicast_tree(
     topo: MeshTopology, src: NodeId, dsts: list[NodeId]
 ) -> frozenset[int]:
     """Link-index set of the XY multicast tree from src to all dsts."""
-    links: set[int] = set()
-    for dst in dsts:
-        links.update(topo.route(src, dst))
-    return frozenset(links)
+    cache = _TREE_CACHES.get(topo)
+    if cache is None:
+        cache = LruDict(_TREE_CACHE_MAX)
+        _TREE_CACHES[topo] = cache
+    key = (src, tuple(dsts))
+    tree = cache.get_lru(key)
+    if tree is None:
+        links: set[int] = set()
+        for dst in dsts:
+            links.update(topo.route(src, dst))
+        tree = frozenset(links)
+        cache.put(key, tree)
+    return tree
 
 
 def multicast_hop_savings(

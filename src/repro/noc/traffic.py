@@ -22,15 +22,8 @@ class TrafficMap:
     def __init__(self, topo: MeshTopology):
         self.topo = topo
         self.volumes = np.zeros(topo.n_links, dtype=np.float64)
-        self._bandwidths = np.array(
-            [link.bandwidth for link in topo.links], dtype=np.float64
-        )
-        self._is_d2d = np.array(
-            [link.is_d2d for link in topo.links], dtype=bool
-        )
-        self._is_io = np.array(
-            [link.is_io for link in topo.links], dtype=bool
-        )
+        # Shared read-only views built once per topology.
+        self._bandwidths, self._is_d2d, self._is_io = topo.link_arrays()
 
     # ------------------------------------------------------------------
     # Accumulation
@@ -40,15 +33,18 @@ class TrafficMap:
         """Add a unicast transfer of ``volume`` bytes from src to dst."""
         if volume <= 0:
             return
-        route = self.topo.route(src, dst)
-        if route:
-            self.volumes[list(route)] += volume
+        route = self.topo.route_array(src, dst)
+        if len(route):
+            self.volumes[route] += volume
 
     def add_on_links(self, link_indices, volume: float) -> None:
         """Add ``volume`` bytes on an explicit link set (multicast tree)."""
-        if volume <= 0 or not link_indices:
+        if volume <= 0 or len(link_indices) == 0:
             return
-        self.volumes[list(link_indices)] += volume
+        if isinstance(link_indices, np.ndarray):
+            self.volumes[link_indices] += volume
+        else:
+            self.volumes[list(link_indices)] += volume
 
     def merge(self, other: "TrafficMap") -> None:
         self.volumes += other.volumes

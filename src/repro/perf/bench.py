@@ -1,0 +1,49 @@
+"""BENCH_perf.json emission.
+
+One JSON file accumulates the measurements of the performance harness:
+SA-loop throughput (cached vs. uncached evaluator), DSE worker scaling,
+and whatever counters the run collected.  Benchmarks and the CLI
+``--profile`` flag both write through :func:`emit_bench`, merging into
+any existing file so independent runs compose into one record.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+DEFAULT_BENCH_PATH = "BENCH_perf.json"
+
+
+def _machine_info() -> dict:
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def emit_bench(section: str, payload: dict,
+               path: str | Path = DEFAULT_BENCH_PATH) -> Path:
+    """Merge ``payload`` under ``section`` into the bench JSON file."""
+    path = Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data.setdefault("machine", _machine_info())
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench(path: str | Path = DEFAULT_BENCH_PATH) -> dict:
+    path = Path(path)
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())

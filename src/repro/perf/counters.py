@@ -1,0 +1,129 @@
+"""Lightweight performance counters and timers for the hot paths.
+
+The evaluation pipeline (SA loop, DSE fan-out, cache layers) reports
+into a process-global :class:`PerfRegistry`.  Counters are plain named
+integers/floats; timers accumulate wall-clock seconds per label.  The
+registry is cheap enough to leave enabled permanently: incrementing a
+counter is one dict lookup and an add.
+
+Workers of a parallel DSE run each own their process-local registry;
+snapshots from workers can be merged into the parent with
+:meth:`PerfRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+
+
+class LruDict(OrderedDict):
+    """A bounded dict evicting least-recently-used entries.
+
+    Used by the evaluation caches (per-layer traffic blocks, group
+    evaluations); recency is refreshed by :meth:`get_lru` and
+    :meth:`put`, not by plain ``[]`` access.
+    """
+
+    def __init__(self, max_entries: int = 65536):
+        super().__init__()
+        self.max_entries = max_entries
+
+    def get_lru(self, key):
+        value = self.get(key)
+        if value is not None:
+            self.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
+
+
+class PerfRegistry:
+    """Named counters plus labelled wall-clock timers."""
+
+    def __init__(self):
+        self._counters: dict[str, float] = {}
+        self._timers: dict[str, float] = {}
+        self._timer_calls: dict[str, int] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------
+
+    @contextmanager
+    def time(self, label: str):
+        """Accumulate the wall-clock time of the enclosed block."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._timers[label] = self._timers.get(label, 0.0) + dt
+            self._timer_calls[label] = self._timer_calls.get(label, 0) + 1
+
+    def timer_seconds(self, label: str) -> float:
+        return self._timers.get(label, 0.0)
+
+    def timer_calls(self, label: str) -> int:
+        return self._timer_calls.get(label, 0)
+
+    # -- aggregate views ----------------------------------------------
+
+    def hit_rate(self, prefix: str) -> float:
+        """Hit rate of a cache reporting ``<prefix>.hits/.misses``."""
+        hits = self.get(f"{prefix}.hits")
+        misses = self.get(f"{prefix}.misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly copy of every counter and timer."""
+        out: dict = {"counters": dict(self._counters), "timers": {}}
+        for label, secs in self._timers.items():
+            out["timers"][label] = {
+                "seconds": secs,
+                "calls": self._timer_calls.get(label, 0),
+            }
+        return out
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry."""
+        for name, value in snap.get("counters", {}).items():
+            self.add(name, value)
+        for label, rec in snap.get("timers", {}).items():
+            self._timers[label] = self._timers.get(label, 0.0) + rec["seconds"]
+            self._timer_calls[label] = (
+                self._timer_calls.get(label, 0) + rec["calls"]
+            )
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+        self._timer_calls.clear()
+
+    def rows(self) -> list[list]:
+        """(kind, name, value) rows for tabular display."""
+        rows = [["counter", k, v] for k, v in sorted(self._counters.items())]
+        rows += [
+            ["timer", k, f"{v:.4f}s x{self._timer_calls.get(k, 0)}"]
+            for k, v in sorted(self._timers.items())
+        ]
+        return rows
+
+
+#: The process-global registry every subsystem reports into.
+PERF = PerfRegistry()

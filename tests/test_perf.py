@@ -1,0 +1,223 @@
+"""Tests for the perf subsystem and the evaluation cache layers."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, g_arch
+from repro.arch.energy import DEFAULT_ENERGY
+from repro.core import SAController, SASettings
+from repro.core.graphpart import partition_graph
+from repro.core.initial import initial_lms
+from repro.evalmodel import Evaluator
+from repro.intracore.cache import IntraCoreEngine
+from repro.intracore.dataflow import CoreWorkload
+from repro.perf import LruDict, PerfRegistry, emit_bench, read_bench
+from repro.units import GB, MB
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+
+
+def chain_graph(n=4):
+    g = DNNGraph("chain")
+    prev = None
+    for i in range(n):
+        g.add_layer(
+            Layer(f"l{i}", LayerType.CONV, out_h=16, out_w=16, out_k=64,
+                  in_c=3 if prev is None else 64, kernel_r=3, kernel_s=3,
+                  pad_h=1, pad_w=1),
+            inputs=[prev] if prev else None,
+        )
+        prev = f"l{i}"
+    return g
+
+
+def small_arch():
+    return ArchConfig(
+        cores_x=4, cores_y=4, xcut=2, ycut=1, dram_bw=64 * GB,
+        noc_bw=32 * GB, d2d_bw=16 * GB, glb_bytes=1 * MB,
+        macs_per_core=1024,
+    )
+
+
+class TestPerfRegistry:
+    def test_counters_accumulate(self):
+        reg = PerfRegistry()
+        reg.add("x")
+        reg.add("x", 4)
+        assert reg.get("x") == 5
+        assert reg.get("missing") == 0
+
+    def test_timers_accumulate(self):
+        reg = PerfRegistry()
+        with reg.time("t"):
+            pass
+        with reg.time("t"):
+            pass
+        assert reg.timer_calls("t") == 2
+        assert reg.timer_seconds("t") >= 0.0
+
+    def test_hit_rate(self):
+        reg = PerfRegistry()
+        reg.add("c.hits", 3)
+        reg.add("c.misses", 1)
+        assert reg.hit_rate("c") == pytest.approx(0.75)
+        assert reg.hit_rate("empty") == 0.0
+
+    def test_snapshot_merge_roundtrip(self):
+        a, b = PerfRegistry(), PerfRegistry()
+        a.add("n", 2)
+        with a.time("t"):
+            pass
+        b.merge(a.snapshot())
+        b.merge(a.snapshot())
+        assert b.get("n") == 4
+        assert b.timer_calls("t") == 2
+
+    def test_rows_and_reset(self):
+        reg = PerfRegistry()
+        reg.add("n")
+        assert reg.rows()
+        reg.reset()
+        assert not reg.rows()
+
+
+class TestLruDict:
+    def test_evicts_least_recently_used(self):
+        d = LruDict(max_entries=2)
+        d.put("a", 1)
+        d.put("b", 2)
+        assert d.get_lru("a") == 1  # refresh "a"
+        d.put("c", 3)
+        assert "b" not in d
+        assert d.get_lru("a") == 1
+        assert d.get_lru("c") == 3
+
+
+class TestBenchEmission:
+    def test_emit_and_merge_sections(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        emit_bench("one", {"v": 1}, path)
+        emit_bench("two", {"v": 2}, path)
+        data = read_bench(path)
+        assert data["one"] == {"v": 1}
+        assert data["two"] == {"v": 2}
+        assert "machine" in data
+
+    def test_read_missing_returns_empty(self, tmp_path):
+        assert read_bench(tmp_path / "nope.json") == {}
+
+
+class TestIntraCoreLru:
+    def wl(self, k):
+        return CoreWorkload(kind=LayerType.CONV, b=1, k=k, h=8, w=8, c=16,
+                            r=3, s=3)
+
+    def test_lru_eviction_order(self):
+        eng = IntraCoreEngine(small_arch(), DEFAULT_ENERGY, max_entries=2)
+        eng.schedule(self.wl(8))
+        eng.schedule(self.wl(16))
+        eng.schedule(self.wl(8))       # refresh k=8
+        eng.schedule(self.wl(32))      # evicts k=16, not k=8
+        assert eng.evictions == 1
+        hits_before = eng.hits
+        eng.schedule(self.wl(8))
+        assert eng.hits == hits_before + 1
+        assert len(eng) == 2
+
+    def test_capacity_bound_holds(self):
+        eng = IntraCoreEngine(small_arch(), DEFAULT_ENERGY, max_entries=3)
+        for k in (2, 4, 8, 16, 32, 64):
+            eng.schedule(self.wl(k))
+        assert len(eng) <= 3
+
+
+class TestEvaluatorCaches:
+    def test_cached_equals_uncached_group_evals(self):
+        graph = chain_graph()
+        arch = small_arch()
+        cached = Evaluator(arch, cache=True)
+        uncached = Evaluator(arch, cache=False)
+        groups = partition_graph(graph, arch, batch=4)
+        lmss = [initial_lms(graph, g, arch) for g in groups]
+        stored = {}
+        for lms in lmss:
+            a = cached.evaluate_group(graph, lms, 4, stored)
+            again = cached.evaluate_group(graph, lms, 4, stored)
+            b = uncached.evaluate_group(graph, lms, 4, stored)
+            for ev in (again, b):
+                assert ev.delay == a.delay
+                assert ev.energy.total == a.energy.total
+                assert ev.stage_time == a.stage_time
+                assert tuple(ev.dram_round_bytes) == tuple(a.dram_round_bytes)
+            for name in lms.group.layers:
+                of = lms.scheme(name).fd.ofmap
+                if of >= 0:
+                    stored[name] = of
+
+    def test_sa_trajectory_identical_cached_vs_uncached(self):
+        graph = chain_graph()
+        arch = small_arch()
+        groups = partition_graph(graph, arch, batch=4)
+        lmss = [initial_lms(graph, g, arch) for g in groups]
+        runs = []
+        for cache in (False, True):
+            ev = Evaluator(arch, cache=cache)
+            ctl = SAController(
+                graph, ev, list(lmss), 4, SASettings(iterations=60, seed=7)
+            )
+            ctl.run()
+            runs.append(ctl)
+        assert runs[0].best_costs == runs[1].best_costs
+        assert runs[0].stats.accepted == runs[1].stats.accepted
+        assert runs[0].stats.final_cost == runs[1].stats.final_cost
+
+    def test_incremental_stored_at_matches_full_rebuild(self):
+        graph = chain_graph()
+        arch = small_arch()
+        groups = partition_graph(graph, arch, batch=4)
+        lmss = [initial_lms(graph, g, arch) for g in groups]
+        ev = Evaluator(arch)
+        ctl = SAController(
+            graph, ev, list(lmss), 4, SASettings(iterations=80, seed=1)
+        )
+        ctl.run()
+        assert ctl._stored_at == ctl._stored_at_map(ctl.current)
+
+    def test_stats_throughput_fields(self):
+        graph = chain_graph(2)
+        arch = small_arch()
+        groups = partition_graph(graph, arch, batch=2)
+        lmss = [initial_lms(graph, g, arch) for g in groups]
+        ctl = SAController(
+            graph, Evaluator(arch), list(lmss), 2,
+            SASettings(iterations=10, seed=0),
+        )
+        ctl.run()
+        assert ctl.stats.wall_time_s > 0
+        assert ctl.stats.iters_per_sec > 0
+
+
+class TestRoutePrecompute:
+    def test_route_tables_match_route(self):
+        from repro.arch.topology import MeshTopology
+
+        arch = small_arch()
+        topo = MeshTopology(arch)
+        table, lens = topo.core_route_table()
+        for s in range(arch.n_cores):
+            for d in range(arch.n_cores):
+                row = s * arch.n_cores + d
+                want = topo.route(topo.core_node(s), topo.core_node(d))
+                got = tuple(table[row, : lens[row]])
+                assert got == want
+        to_dram, to_lens, from_dram, from_lens = topo.dram_route_tables()
+        n_dram = arch.n_dram
+        for c in range(arch.n_cores):
+            for d in range(n_dram):
+                row = c * n_dram + d
+                assert tuple(to_dram[row, : to_lens[row]]) == topo.route(
+                    topo.core_node(c), topo.dram_node(d)
+                )
+                assert tuple(from_dram[row, : from_lens[row]]) == topo.route(
+                    topo.dram_node(d), topo.core_node(c)
+                )
