@@ -16,7 +16,7 @@ it.
 from conftest import print_banner, sa_settings
 
 from repro.arch import g_arch
-from repro.core import SAController, SASettings
+from repro.core import SAController
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
 from repro.evalmodel import Evaluator

@@ -13,7 +13,7 @@ peak-link load; the serialization time of the most-loaded link drops.
 from conftest import print_banner, sa_settings
 
 from repro.arch import g_arch
-from repro.core import MappingEngine, MappingEngineSettings, SAController
+from repro.core import SAController
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
 from repro.core.parser import parse_lms

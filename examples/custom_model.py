@@ -19,7 +19,7 @@ from repro.core import (
     Partition,
     validate_lms,
 )
-from repro.instructions import Opcode, conservation_check, generate_programs
+from repro.instructions import conservation_check, generate_programs
 from repro.units import GB, MB
 from repro.workloads.models.common import GraphBuilder
 

@@ -1,7 +1,29 @@
-"""Legacy setup shim: enables `pip install -e .` on environments whose
+"""Setup shim: enables `pip install -e .` on environments whose
 setuptools predates PEP-660 editable wheels (no `wheel` package offline).
-All real metadata lives in pyproject.toml."""
 
-from setuptools import setup
+The only metadata kept here is the optional-extras table: the core
+package is dependency-light (numpy only), while model ingestion grows
+capabilities with what's installed:
 
-setup()
+* ``pip install .[onnx]`` — import ``.onnx`` models through
+  ``repro.frontend.onnx_import`` (otherwise ``repro import`` handles
+  JSON/YAML specs only and ONNX tests self-skip);
+* ``pip install .[yaml]`` — YAML model specs (JSON always works).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-gemini",
+    version="0.2.0",
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.workloads": ["specs/*.json"]},
+    install_requires=["numpy"],
+    extras_require={
+        "onnx": ["onnx>=1.14"],
+        "yaml": ["pyyaml"],
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "pyyaml", "ruff"],
+    },
+)

@@ -11,8 +11,7 @@ mesh's deterministic XY discipline).
 
 from __future__ import annotations
 
-from repro.arch.params import ArchConfig
-from repro.arch.topology import MeshTopology, NodeId
+from repro.arch.topology import MeshTopology
 
 
 class FoldedTorusTopology(MeshTopology):

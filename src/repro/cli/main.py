@@ -12,6 +12,16 @@ The artifact drives everything through ``dse.sh`` (find the best arch),
 * ``python -m repro heatmap``  — Fig 9 ASCII traffic heatmaps;
 * ``python -m repro space``    — Sec IV-B space-size table;
 * ``python -m repro mc``       — Monetary-Cost breakdown of an arch.
+
+Beyond the artifact, the workload frontend adds:
+
+* ``python -m repro import``   — ingest an ONNX model / declarative
+  spec, print the lowering report, optionally save the graph JSON;
+* ``python -m repro sweep``    — run a scenario grid (model x batch x
+  arch) with per-scenario artifacts and a sweep.csv.
+
+Wherever a model is expected, a registry abbreviation, an ``.onnx``
+file, a spec ``.json``/``.yaml`` or a saved graph JSON all work.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.arch import g_arch, g_arch_120, s_arch, t_arch
+from repro.arch import s_arch
 from repro.arch.params import ArchConfig
 from repro.baselines import tangram_map
 from repro.core import MappingEngine, MappingEngineSettings, SASettings
@@ -33,35 +43,47 @@ from repro.dse import (
     enumerate_candidates,
     geomean,
 )
+from repro.frontend import (
+    SCENARIO_REGISTRY,
+    grid_scenarios,
+    load_model,
+    run_sweep,
+)
+from repro.frontend import resolve_arch as _resolve_arch
+from repro.frontend.scenarios import SWEEP_COLUMNS, sweep_rows
 from repro.io import (
     candidate_result_summary,
-    load_arch,
     mapping_result_summary,
     save_arch,
+    save_graph,
     save_mapping,
 )
 from repro.reporting import format_table, write_csv
-from repro.workloads.models import MODEL_REGISTRY, build
-
-PRESETS = {
-    "s-arch": s_arch,
-    "g-arch": g_arch,
-    "t-arch": t_arch,
-    "g-arch-120": g_arch_120,
-}
+from repro.workloads.graph import DNNGraph
+from repro.workloads.models import MODEL_REGISTRY
 
 
 def resolve_arch(spec: str) -> ArchConfig:
     """A preset name or a path to a JSON file saved by ``dse``."""
-    if spec.lower() in PRESETS:
-        return PRESETS[spec.lower()]()
-    path = Path(spec)
-    if path.exists():
-        return load_arch(path)
-    raise SystemExit(
-        f"unknown architecture {spec!r}: expected one of "
-        f"{sorted(PRESETS)} or a JSON file path"
-    )
+    from repro.errors import ReproError
+
+    try:
+        return _resolve_arch(spec)
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def resolve_model(spec: str) -> DNNGraph:
+    """A registry abbreviation or a model file (onnx / spec / graph)."""
+    from repro.errors import ReproError
+
+    try:
+        graph, report = load_model(spec)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    if report is not None and not report.is_exact:
+        print(report.describe())
+    return graph
 
 
 def engine_for(arch: ArchConfig, iterations: int, seed: int = 0) -> MappingEngine:
@@ -107,7 +129,7 @@ def cmd_dse(args) -> int:
     print(f"exploring {len(candidates)} candidates at {args.tops} TOPs "
           f"(SA x{args.iters}, {args.workers or 'all'} worker(s))")
     explorer = DesignSpaceExplorer(
-        [Workload(build(m), args.batch) for m in args.models],
+        [Workload(resolve_model(m), args.batch) for m in args.models],
         sa_settings=SASettings(iterations=args.iters),
     )
     report = explorer.explore(candidates, workers=args.workers or None)
@@ -132,7 +154,7 @@ def cmd_dse(args) -> int:
 
 def cmd_map(args) -> int:
     arch = resolve_arch(args.arch)
-    graph = build(args.model)
+    graph = resolve_model(args.model)
     result = engine_for(arch, args.iters).map(graph, args.batch)
     summary = mapping_result_summary(result)
     print(format_table(
@@ -161,7 +183,7 @@ def cmd_compare(args) -> int:
     rows = []
     perf, eff = [], []
     for seed, model in enumerate(args.models):
-        graph = build(model)
+        graph = resolve_model(model)
         for batch in (64, 1):
             base = tangram_map(graph, s, batch)
             sg = engine_for(s, args.iters, seed).map(graph, batch)
@@ -185,6 +207,83 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_import(args) -> int:
+    from repro.errors import ReproError
+
+    try:
+        graph, report = load_model(args.source)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    graph.validate()
+    kinds: dict[str, int] = {}
+    for layer in graph.layers():
+        kinds[layer.kind.value] = kinds.get(layer.kind.value, 0) + 1
+    rows = [
+        ["model", graph.name],
+        ["layers", len(graph)],
+        ["kinds", ", ".join(f"{k}:{n}" for k, n in sorted(kinds.items()))],
+        ["macs/sample", f"{graph.total_macs(1):,}"],
+        ["weight bytes", f"{graph.total_weight_bytes():,}"],
+        ["ofmap bytes/sample", f"{graph.total_ofmap_bytes(1):,}"],
+    ]
+    print(format_table(["field", "value"], rows))
+    if report is not None:
+        print()
+        print(report.describe())
+    if args.out:
+        save_graph(graph, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    if args.scenarios:
+        missing = [n for n in args.scenarios if n not in SCENARIO_REGISTRY]
+        if missing:
+            raise SystemExit(
+                f"unknown scenario(s) {missing}; registered: "
+                f"{sorted(SCENARIO_REGISTRY)}"
+            )
+        scenarios = [SCENARIO_REGISTRY[n] for n in args.scenarios]
+        if args.iters:
+            from repro.frontend.scenarios import scaled
+
+            scenarios = [scaled(s, iters=args.iters) for s in scenarios]
+    else:
+        scenarios = grid_scenarios(
+            args.models, args.batches, args.archs, iters=args.iters or 100
+        )
+    # Pre-flight: fail with a clean message before any scenario runs
+    # (a bad name or unloadable file surfacing from a worker process
+    # mid-sweep wastes the scenarios already mapped).
+    from repro.errors import ReproError
+
+    from repro.frontend.loader import validate_model_source
+
+    for arch in {sc.arch for sc in scenarios}:
+        resolve_arch(arch)
+    for model in {sc.model for sc in scenarios}:
+        try:
+            validate_model_source(model)
+        except ReproError as exc:
+            raise SystemExit(f"model {model!r}: {exc}") from exc
+    print(f"sweeping {len(scenarios)} scenario(s) on "
+          f"{args.workers or 'all'} worker(s)")
+    try:
+        summaries = run_sweep(
+            scenarios, out_dir=args.out, workers=args.workers or None
+        )
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(str(exc)) from exc
+    print(format_table(list(SWEEP_COLUMNS), sweep_rows(summaries)))
+    print(f"\nwrote {Path(args.out) / 'sweep.csv'} and "
+          f"{len(summaries)} scenario dir(s) under {args.out}/")
+    if args.profile:
+        profile_report(args, {"scenarios": len(summaries),
+                              "workers": args.workers})
+    return 0
+
+
 def cmd_heatmap(args) -> int:
     from repro.core import SAController
     from repro.core.graphpart import partition_graph
@@ -194,7 +293,7 @@ def cmd_heatmap(args) -> int:
     from repro.reporting import heat_summary, render_ascii
 
     arch = resolve_arch(args.arch)
-    graph = build(args.model)
+    graph = resolve_model(args.model)
     evaluator = Evaluator(arch)
     groups = partition_graph(graph, arch, batch=args.batch)
     group = max(groups, key=len)
@@ -252,7 +351,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dse", help="explore a Table-I grid")
     p.add_argument("--tops", type=int, default=72, choices=(72, 128, 512))
     p.add_argument("--models", nargs="+", default=["TF"],
-                   choices=sorted(MODEL_REGISTRY))
+                   help=f"registry names ({', '.join(sorted(MODEL_REGISTRY))}) "
+                        "or model files (.onnx / spec .json/.yaml)")
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=80)
     p.add_argument("--full", action="store_true",
@@ -266,7 +366,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("map", help="map one model onto one architecture")
-    p.add_argument("--model", default="TF", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--model", default="TF",
+                   help=f"registry name ({', '.join(sorted(MODEL_REGISTRY))}) "
+                        "or a model file (.onnx / spec / graph JSON)")
     p.add_argument("--arch", default="g-arch")
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=200)
@@ -281,13 +383,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the G-Arch (preset or best_arch.json)")
     p.add_argument("--models", nargs="+",
                    default=["RN-50", "RNX", "IRes", "PNas", "TF"],
-                   choices=sorted(MODEL_REGISTRY))
+                   help="registry names or model files")
     p.add_argument("--iters", type=int, default=150)
     p.add_argument("--out", default="fig5.csv")
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser("import", help="ingest a model through the frontend")
+    p.add_argument("source",
+                   help="an .onnx file, a spec .json/.yaml, a saved graph "
+                        "JSON, or a registry name")
+    p.add_argument("--out", help="write the validated graph JSON here")
+    p.set_defaults(func=cmd_import)
+
+    p = sub.add_parser("sweep", help="run a (model x batch x arch) grid")
+    p.add_argument("--scenarios", nargs="+",
+                   help=f"registered scenarios ({', '.join(sorted(SCENARIO_REGISTRY))}); "
+                        "omit to use --models/--batches/--archs")
+    p.add_argument("--models", nargs="+",
+                   default=["BERT", "MBV2", "UNet", "GPT-Dec"])
+    p.add_argument("--batches", type=int, nargs="+", default=[1, 64])
+    p.add_argument("--archs", nargs="+", default=["g-arch"])
+    p.add_argument("--iters", type=int, default=0,
+                   help="SA budget per layer group (0 = scenario default)")
+    p.add_argument("--out", default="sweep_out")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel scenario runners (0 = all CPUs)")
+    p.add_argument("--profile", action="store_true",
+                   help="print perf counters and write BENCH_perf.json")
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("heatmap", help="Fig 9 traffic heatmaps")
-    p.add_argument("--model", default="TF", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--model", default="TF",
+                   help="registry name or model file")
     p.add_argument("--arch", default="g-arch")
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=400)

@@ -7,7 +7,7 @@ mapping), which is why the DSE evaluates it once per candidate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.area import DEFAULT_AREA, AreaModel
 from repro.arch.params import ArchConfig

@@ -14,7 +14,7 @@ Package yield degrades slightly with every additional die bonded.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ relative to the NoC bandwidth (NoC/4, NoC/2, NoC).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.params import ArchConfig, arrange_cores, cores_for_tops
 from repro.errors import InvalidArchitectureError

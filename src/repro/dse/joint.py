@@ -13,8 +13,7 @@ chiplets on the substrate and the DRAM provisioning change.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.arch.params import ArchConfig, arrange_cores
 from repro.cost.mc import DEFAULT_MC, MCEvaluator
@@ -22,7 +21,6 @@ from repro.dse.explorer import (
     CandidateResult,
     DesignSpaceExplorer,
     Workload,
-    geomean,
 )
 from repro.dse.objective import OBJECTIVE_MCED, Objective
 from repro.errors import InvalidArchitectureError

@@ -45,6 +45,24 @@ class EnergyBreakdown:
             d2d=self.d2d * f, dram=self.dram * f,
         )
 
+    def fractions(self) -> dict[str, float]:
+        """Per-bucket share of the total energy.
+
+        Degenerate layers the frontend can produce (zero-MAC ELTWISE /
+        VECTOR-only graphs) can drive individual buckets — and in the
+        all-zero corner the total — to 0; shares are then 0 rather
+        than a ZeroDivisionError.
+        """
+        total = self.total
+        if total <= 0:
+            return {"intra": 0.0, "noc": 0.0, "d2d": 0.0, "dram": 0.0}
+        return {
+            "intra": self.intra / total,
+            "noc": self.noc / total,
+            "d2d": self.d2d / total,
+            "dram": self.dram / total,
+        }
+
 
 @dataclass
 class GroupEval:

@@ -80,5 +80,12 @@ def group_delay(times: StageTimes, rounds: int, depth: int) -> float:
 
 
 def pipeline_utilization(rounds: int, depth: int) -> float:
-    """Fraction of stage slots doing useful work (fill/drain loss)."""
-    return rounds / (rounds + depth - 1)
+    """Fraction of stage slots doing useful work (fill/drain loss).
+
+    Degenerate groups (zero rounds, or a single layer at zero depth)
+    report 0 utilization instead of dividing by zero.
+    """
+    slots = rounds + depth - 1
+    if rounds <= 0 or slots <= 0:
+        return 0.0
+    return rounds / slots

@@ -13,7 +13,6 @@ Energy is the sum of operation counts times unit energies:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.arch.energy import EnergyModel
 from repro.arch.params import ArchConfig

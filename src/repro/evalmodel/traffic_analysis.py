@@ -34,7 +34,7 @@ SA loop's incremental evaluation path fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

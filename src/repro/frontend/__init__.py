@@ -1,0 +1,85 @@
+"""Workload ingestion frontend: arbitrary DNNs into the evaluator.
+
+The subsystem turns three kinds of model sources into validated
+:class:`~repro.workloads.graph.DNNGraph` instances the Evaluator /
+SA / DSE stack consumes:
+
+* declarative JSON/YAML specs with shape inference and ``repeat`` /
+  ``block`` macros (:mod:`repro.frontend.spec`);
+* ONNX protobufs via the optional ``onnx`` package
+  (:mod:`repro.frontend.onnx_import`);
+* serialized graphs written by :func:`repro.io.save_graph`.
+
+All sources meet in one op-graph IR (:mod:`repro.frontend.ir`) and one
+pass pipeline (:mod:`repro.frontend.passes`), which folds shape
+plumbing, fuses activations into their producers, approximates
+unsupported ops as vector/elementwise layers, and reports every such
+decision (:mod:`repro.frontend.report`).  On top of it, the scenario
+registry (:mod:`repro.frontend.scenarios`) sweeps (model, batch, arch)
+grids with per-scenario artifacts.
+"""
+
+from repro.frontend.ir import GRAPH_INPUT, OpGraph, OpNode
+from repro.frontend.loader import GRAPH_FORMAT, load_model
+from repro.frontend.onnx_import import OnnxImportError, import_onnx, onnx_graph_to_ir
+from repro.frontend.passes import (
+    canonicalize_vector_ops,
+    fold_structural,
+    fuse_activations,
+    infer_shapes,
+    insert_input_adapters,
+    lower_to_graph,
+    lower_unknown,
+    run_pipeline,
+)
+from repro.frontend.report import LoweringReport
+from repro.frontend.scenarios import (
+    ARCH_PRESETS,
+    SCENARIO_REGISTRY,
+    Scenario,
+    grid_scenarios,
+    register_scenario,
+    resolve_arch,
+    run_scenario,
+    run_sweep,
+)
+from repro.frontend.spec import (
+    SpecError,
+    import_spec,
+    load_spec,
+    parse_spec,
+    spec_to_graph,
+)
+
+__all__ = [
+    "ARCH_PRESETS",
+    "GRAPH_FORMAT",
+    "GRAPH_INPUT",
+    "LoweringReport",
+    "OnnxImportError",
+    "OpGraph",
+    "OpNode",
+    "SCENARIO_REGISTRY",
+    "Scenario",
+    "SpecError",
+    "canonicalize_vector_ops",
+    "fold_structural",
+    "fuse_activations",
+    "grid_scenarios",
+    "import_onnx",
+    "import_spec",
+    "infer_shapes",
+    "insert_input_adapters",
+    "load_model",
+    "load_spec",
+    "lower_to_graph",
+    "lower_unknown",
+    "onnx_graph_to_ir",
+    "parse_spec",
+    "register_scenario",
+    "resolve_arch",
+    "run_pipeline",
+    "run_scenario",
+    "run_sweep",
+    "spec_to_graph",
+]

@@ -1,0 +1,90 @@
+"""One front door for every model source.
+
+:func:`load_model` accepts, in order of preference:
+
+* a registry abbreviation (``"TF"``, ``"BERT"``, ...);
+* a path to a ``.onnx`` protobuf (needs the optional ``onnx`` package);
+* a path to a declarative spec (``.json`` / ``.yaml`` / ``.yml``);
+* a path to a serialized graph (``.json`` written by
+  :func:`repro.io.save_graph`, recognized by its ``"format"`` marker).
+
+Every path returns a validated :class:`DNNGraph`; sources that go
+through the lowering pipeline also return their
+:class:`~repro.frontend.report.LoweringReport` (``None`` for registry
+and serialized-graph sources, which are exact by construction).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import InvalidWorkloadError
+from repro.frontend.report import LoweringReport
+from repro.io.serialization import GRAPH_FORMAT, graph_from_dict
+from repro.workloads.graph import DNNGraph
+
+
+def _classify_source(source: str | Path) -> tuple[str, Path | None]:
+    """``("registry" | "onnx" | "spec", path)`` for a model source.
+
+    Shared by :func:`load_model` and :func:`validate_model_source` so
+    the two can never disagree about what resolves and what errors.
+    """
+    from repro.workloads.models import MODEL_REGISTRY
+
+    if isinstance(source, str) and source in MODEL_REGISTRY:
+        return "registry", None
+    path = Path(source)
+    if not path.exists():
+        raise InvalidWorkloadError(
+            f"unknown model {str(source)!r}: not a registry name "
+            f"({sorted(MODEL_REGISTRY)}) and no such file"
+        )
+    suffix = path.suffix.lower()
+    if suffix == ".onnx":
+        return "onnx", path
+    if suffix in (".json", ".yaml", ".yml"):
+        return "spec", path
+    raise InvalidWorkloadError(
+        f"cannot load {path.name!r}: expected .onnx, .json or .yaml"
+    )
+
+
+def load_model(source: str | Path) -> tuple[DNNGraph, LoweringReport | None]:
+    """Resolve ``source`` into a validated :class:`DNNGraph`."""
+    kind, path = _classify_source(source)
+    if kind == "registry":
+        from repro.workloads.models import build
+
+        return build(str(source)), None
+    if kind == "onnx":
+        from repro.frontend.onnx_import import import_onnx
+
+        return import_onnx(path)
+    from repro.frontend.spec import load_spec, spec_to_graph
+
+    data = load_spec(path)
+    if data.get("format") == GRAPH_FORMAT:
+        return graph_from_dict(data), None
+    graph, report = spec_to_graph(data)
+    return graph, report
+
+
+def validate_model_source(source: str | Path) -> None:
+    """Cheap pre-flight: raise the same errors :func:`load_model`
+    would for an unresolvable source, without lowering the model.
+
+    Catches unknown names, missing files, unsupported suffixes,
+    unparseable spec files, and a missing ``onnx`` package — the
+    failure modes worth rejecting before a sweep burns CPU.  Deep
+    model errors still surface from the real load.
+    """
+    kind, path = _classify_source(source)
+    if kind == "onnx":
+        from repro.frontend.onnx_import import _require_onnx
+
+        _require_onnx()
+    elif kind == "spec":
+        from repro.frontend.spec import load_spec
+
+        load_spec(path)  # parse only; no macro expansion or lowering

@@ -1,0 +1,540 @@
+"""ONNX ingestion: walk a protobuf, emit the frontend IR.
+
+The walker (:func:`onnx_graph_to_ir`) is deliberately duck-typed — it
+touches only the fields of the ONNX graph proto it needs (``node``,
+``initializer``, ``input``, attribute records), so unit tests exercise
+it with plain stub objects and the real ``onnx`` package is only
+required by :func:`import_onnx`'s call to ``onnx.load``.  ``onnx`` is
+an *optional* dependency: install with ``pip install onnx`` (or the
+``[onnx]`` extra) to import real models.
+
+Supported directly: Conv (incl. grouped/depthwise), Gemm, MatMul
+(weight MatMuls become token-wise 1x1 convs, activation-activation
+MatMuls become ``MATMUL`` layers), Max/AveragePool, GlobalAveragePool,
+Add/Sum, Concat, Softmax, LayerNormalization, BatchNormalization,
+the common activations, and Resize/Upsample (as nearest-neighbour
+vector passes).  Shape plumbing (Reshape/Transpose/Flatten/...) is
+folded; anything else is approximated by the pass pipeline and
+reported loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import InvalidWorkloadError
+from repro.frontend.ir import GRAPH_INPUT, OpGraph, OpNode, sanitize_name
+from repro.frontend.passes import run_pipeline
+from repro.frontend.report import (
+    KIND_APPROXIMATED,
+    KIND_FUSED,
+    KIND_LOWERED,
+    LoweringReport,
+)
+from repro.workloads.graph import DNNGraph
+
+
+class OnnxImportError(InvalidWorkloadError):
+    """The ONNX model cannot be expressed in the frontend IR."""
+
+
+def _require_onnx():
+    try:
+        import onnx
+    except ImportError as exc:
+        raise OnnxImportError(
+            "importing .onnx models needs the optional 'onnx' package "
+            "(pip install onnx)"
+        ) from exc
+    return onnx
+
+
+# ----------------------------------------------------------------------
+# Duck-typed protobuf access
+# ----------------------------------------------------------------------
+
+#: AttributeProto.type -> the field holding the value.
+_ATTR_FIELDS = {1: "f", 2: "i", 3: "s", 6: "floats", 7: "ints", 8: "strings"}
+
+
+def attr_dict(node) -> dict:
+    """Extract a node's attributes into a plain dict."""
+    out = {}
+    for attr in getattr(node, "attribute", ()):  # noqa: B007
+        field = _ATTR_FIELDS.get(getattr(attr, "type", 0))
+        if field is None:
+            continue
+        value = getattr(attr, field, None)
+        if field == "s" and isinstance(value, bytes):
+            value = value.decode("utf-8", "replace")
+        elif field in ("ints", "floats", "strings"):
+            value = list(value)
+        out[attr.name] = value
+    return out
+
+
+def _tensor_shape(value_info) -> list[int]:
+    """Dims of a graph input/output ValueInfo; 0 for dynamic dims."""
+    dims = value_info.type.tensor_type.shape.dim
+    out = []
+    for d in dims:
+        v = getattr(d, "dim_value", 0)
+        out.append(int(v) if v else 0)
+    return out
+
+
+def _input_hwk(dims: list[int], name: str) -> tuple[int, int, int]:
+    """Map an ONNX input shape (batch leading) onto per-sample (h, w, k)."""
+    body = dims[1:] if len(dims) > 1 else dims
+    if any(d < 1 for d in body):
+        raise OnnxImportError(
+            f"graph input {name!r} has dynamic non-batch dims {dims}; "
+            "export the model with fixed shapes"
+        )
+    if len(body) == 3:  # NCHW
+        c, h, w = body
+        return (h, w, c)
+    if len(body) == 2:  # N, seq, d
+        s, d = body
+        return (s, 1, d)
+    if len(body) == 1:  # N, d
+        return (1, 1, body[0])
+    raise OnnxImportError(
+        f"graph input {name!r}: unsupported rank-{len(dims)} shape {dims}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Node conversion
+# ----------------------------------------------------------------------
+
+_ACTIVATION_MAP = {
+    "Relu": "relu", "LeakyRelu": "leakyrelu", "PRelu": "prelu",
+    "Sigmoid": "sigmoid", "HardSigmoid": "hardsigmoid", "Tanh": "tanh",
+    "Clip": "clip", "Elu": "elu", "Erf": "erf", "Softplus": "softplus",
+    "HardSwish": "hardswish", "Gelu": "gelu",
+}
+
+_STRUCTURAL_MAP = {
+    "Reshape": "reshape", "Flatten": "flatten", "Transpose": "transpose",
+    "Identity": "identity", "Dropout": "dropout", "Cast": "cast",
+    "Squeeze": "squeeze", "Unsqueeze": "unsqueeze",
+}
+
+_ELTWISE_TYPES = frozenset({"Mul", "Sub", "Div", "Min", "Max", "Pow", "Mod"})
+
+
+class _Converter:
+    """Stateful walk of one ONNX graph proto."""
+
+    def __init__(self, graph_proto, name: str | None, report: LoweringReport):
+        self.gp = graph_proto
+        self.report = report
+        #: value name -> producing node name, GRAPH_INPUT, or None (constant)
+        self.values: dict[str, str | None] = {}
+        self.init_protos = {
+            t.name: t for t in getattr(graph_proto, "initializer", ())
+        }
+        self.init_dims: dict[str, tuple[int, ...]] = {
+            name: tuple(int(d) for d in t.dims)
+            for name, t in self.init_protos.items()
+        }
+        for vname in self.init_dims:
+            self.values[vname] = None
+        self.used_names: set[str] = set()
+        self.ir = self._make_graph(name)
+
+    # -- setup ----------------------------------------------------------
+
+    def _make_graph(self, name: str | None) -> OpGraph:
+        data_inputs = [
+            vi for vi in getattr(self.gp, "input", ())
+            if vi.name not in self.init_dims
+        ]
+        if not data_inputs:
+            raise OnnxImportError("ONNX graph has no non-initializer input")
+        main = data_inputs[0]
+        for extra in data_inputs[1:]:
+            # Secondary inputs (masks, token types, encoder states) are
+            # aliased onto the DNN input — shapes of ops reading them
+            # follow the primary input, so this is an approximation
+            # the report must surface loudly.
+            self.values[extra.name] = GRAPH_INPUT
+            self.report.add(
+                KIND_APPROXIMATED, sanitize_name(extra.name), "input",
+                "secondary graph input aliased onto the DNN input; ops "
+                "reading it are shaped from the primary input",
+            )
+        self.values[main.name] = GRAPH_INPUT
+        shape = _input_hwk(_tensor_shape(main), main.name)
+        model_name = sanitize_name(
+            name or getattr(self.gp, "name", "") or "onnx_model", "onnx_model"
+        )
+        return OpGraph(model_name, shape)
+
+    def _fresh_name(self, node, op: str) -> str:
+        base = sanitize_name(getattr(node, "name", "") or "", op)
+        candidate, n = base, 1
+        while candidate in self.used_names:
+            n += 1
+            candidate = f"{base}_{n}"
+        self.used_names.add(candidate)
+        return candidate
+
+    # -- operand classification ----------------------------------------
+
+    def _operands(self, node) -> tuple[list[str], list[str]]:
+        """(activation producer refs, constant/initializer value names)."""
+        acts, consts = [], []
+        for vname in getattr(node, "input", ()):
+            if not vname:
+                continue
+            if vname not in self.values:
+                raise OnnxImportError(
+                    f"node {getattr(node, 'name', '?')!r} reads unknown "
+                    f"value {vname!r}"
+                )
+            ref = self.values[vname]
+            if ref is None:
+                consts.append(vname)
+            else:
+                acts.append(ref)
+        return acts, consts
+
+    def _bind_outputs(self, node, ref: str | None) -> None:
+        for vname in getattr(node, "output", ()):
+            if vname:
+                self.values[vname] = ref
+
+    def _record_constant_dims(self, node) -> None:
+        for attr in getattr(node, "attribute", ()):
+            if attr.name == "value" and getattr(attr, "type", 0) == 4:
+                tensor = getattr(attr, "t", None)
+                dims = tuple(int(d) for d in getattr(tensor, "dims", ()))
+                if dims:
+                    for vname in getattr(node, "output", ()):
+                        if vname:
+                            self.init_dims[vname] = dims
+
+    def _resize_scale(self, node) -> int | None:
+        """Spatial scale factor of a Resize/Upsample, when recoverable.
+
+        Works for scales shipped as float initializers with inline
+        ``float_data`` (NCHW ``[1, 1, s, s]``); raw-encoded or computed
+        scales return ``None`` and are approximated loudly.
+        """
+        for vname in getattr(node, "input", ()):
+            if self.values.get(vname) is not None:
+                continue  # activation operand
+            proto = self.init_protos.get(vname)
+            floats = list(getattr(proto, "float_data", ()) or ())
+            if len(floats) == 4 and floats[2] == floats[3] and \
+                    floats[2] >= 1 and float(floats[2]).is_integer():
+                return int(floats[2])
+        return None
+
+    def _weight_dims(self, node, vname: str) -> tuple[int, ...]:
+        dims = self.init_dims.get(vname)
+        if dims is None:
+            raise OnnxImportError(
+                f"node {getattr(node, 'name', '?')!r}: weight operand "
+                f"{vname!r} is constant but its shape is unknown"
+            )
+        return dims
+
+    def _padding(self, node, attrs) -> tuple[int, int] | str:
+        """Resolve explicit ``pads`` / ``auto_pad`` into layer padding.
+
+        ``auto_pad`` SAME_* becomes the frontend's symmetric ``"same"``
+        (exact at stride 1, framework-SAME-compatible at stride 2 for
+        odd kernels) and is reported; VALID/NOTSET fall back to the
+        explicit ``pads`` list.
+        """
+        auto = attrs.get("auto_pad", "NOTSET")
+        if auto in ("SAME_UPPER", "SAME_LOWER"):
+            self.report.add(
+                KIND_LOWERED,
+                sanitize_name(getattr(node, "name", "") or node.op_type),
+                node.op_type,
+                f"auto_pad={auto} modeled as symmetric 'same' padding",
+            )
+            return "same"
+        return self._sym_pads(node, attrs.get("pads", [0, 0, 0, 0]))
+
+    def _sym_pads(self, node, pads) -> tuple[int, int]:
+        """Collapse ONNX [hb, wb, he, we] pads to symmetric (ph, pw).
+
+        The layer model applies ``pad_h``/``pad_w`` to both sides, and
+        output sizes depend only on the begin+end sum — exact when the
+        sum is even, off-by-half-a-pixel (reported) when odd.
+        """
+        pads = list(pads) + [0] * (4 - len(pads))
+        h_total, w_total = pads[0] + pads[2], pads[1] + pads[3]
+        if h_total % 2 or w_total % 2:
+            self.report.add(
+                KIND_APPROXIMATED,
+                sanitize_name(getattr(node, "name", "") or node.op_type),
+                node.op_type,
+                f"asymmetric pads {pads} rounded up to symmetric "
+                f"({(h_total + 1) // 2}, {(w_total + 1) // 2})",
+            )
+        return (h_total + 1) // 2, (w_total + 1) // 2
+
+    def _stride(self, node, strides) -> int:
+        strides = list(strides) or [1]
+        if len(set(strides)) > 1:
+            self.report.add(
+                KIND_APPROXIMATED,
+                sanitize_name(getattr(node, "name", "") or node.op_type),
+                node.op_type,
+                f"anisotropic strides {strides} modeled as {strides[0]}",
+            )
+        return int(strides[0])
+
+    # -- conversion -----------------------------------------------------
+
+    def run(self) -> OpGraph:
+        for node in getattr(self.gp, "node", ()):
+            self._convert(node)
+        if not len(self.ir):
+            raise OnnxImportError("ONNX graph produced no layers")
+        return self.ir
+
+    def _emit(self, node, op: str, inputs: list[str], attrs: dict) -> None:
+        name = self._fresh_name(node, op)
+        self.ir.add(OpNode(name, op, inputs, attrs))
+        self._bind_outputs(node, name)
+
+    def _convert(self, node) -> None:
+        op_type = node.op_type
+        acts, consts = self._operands(node)
+        attrs = attr_dict(node)
+
+        if op_type == "Constant" or not acts:
+            # Constant, or an expression over constants only (Shape
+            # arithmetic feeding a Reshape): its outputs are constants.
+            # Tensor-valued Constants keep their dims so they can serve
+            # as weights (tf2onnx-style constant-folded exports).
+            if op_type == "Constant":
+                self._record_constant_dims(node)
+            self._bind_outputs(node, None)
+            return
+        if op_type == "Conv":
+            self._convert_conv(node, acts, consts, attrs)
+        elif op_type == "Gemm":
+            self._convert_gemm(node, acts, consts, attrs)
+        elif op_type == "MatMul":
+            self._convert_matmul(node, acts, consts)
+        elif op_type in ("MaxPool", "AveragePool", "LpPool"):
+            self._convert_pool(node, acts, attrs,
+                               "max" if op_type == "MaxPool" else "avg")
+        elif op_type in ("GlobalAveragePool", "GlobalMaxPool"):
+            self._emit(node, "pool", acts[:1], {"mode": "global"})
+        elif op_type == "ReduceMean" and sorted(
+            attrs.get("axes", [])
+        ) in ([2, 3], [-2, -1]):
+            self._emit(node, "pool", acts[:1], {"mode": "global"})
+        elif op_type in ("Add", "Sum"):
+            if len(acts) >= 2:
+                self._emit(node, "add", acts, {})
+            else:  # activation + initializer: a bias
+                self._emit(node, "bias", acts[:1], {})
+        elif op_type in _ELTWISE_TYPES:
+            if len(acts) >= 2:
+                self._emit(node, "eltwise", acts,
+                           {"origin": op_type.lower()})
+            else:  # constant scale/shift folds like a bias
+                self._emit(node, "bias", acts[:1],
+                           {"origin": op_type.lower()})
+        elif op_type == "Concat":
+            if len(acts) >= 2:
+                self._emit(node, "concat", acts, {})
+            else:  # concat with constants degenerates to a pass-through
+                self._emit(node, "identity", acts[:1], {})
+        elif op_type == "Softmax":
+            self._emit(node, "softmax", acts[:1], {})
+        elif op_type in ("LayerNormalization",
+                         "MeanVarianceNormalization",
+                         "InstanceNormalization",
+                         "GroupNormalization",
+                         "LpNormalization"):
+            self._emit(node, "layernorm", acts[:1], {})
+        elif op_type == "BatchNormalization":
+            self._emit(node, "batchnorm", acts[:1], {})
+        elif op_type in ("Resize", "Upsample"):
+            label = sanitize_name(getattr(node, "name", "") or "resize")
+            scale = self._resize_scale(node)
+            if scale is None:
+                # The scales operand's value is opaque; guess 2x and
+                # say so loudly (is_exact goes False).
+                self.report.add(
+                    KIND_APPROXIMATED, label, op_type,
+                    "scale factor unavailable; modeled as a 2x "
+                    "nearest-neighbour vector pass",
+                )
+                scale = 2
+            else:
+                self.report.add(
+                    KIND_LOWERED, label, op_type,
+                    f"modeled as a {scale}x nearest-neighbour vector pass",
+                )
+            self._emit(node, "upsample", acts[:1], {"scale": scale})
+        elif op_type in _ACTIVATION_MAP:
+            self._emit(node, _ACTIVATION_MAP[op_type], acts[:1], {})
+        elif op_type in _STRUCTURAL_MAP:
+            self._emit(node, _STRUCTURAL_MAP[op_type], acts[:1], {})
+        else:
+            # Unknown op: keep its activation operands; the pass
+            # pipeline approximates it (and reports, loudly).
+            self._emit(node, op_type.lower(), acts,
+                       {"origin": op_type})
+
+    def _convert_conv(self, node, acts, consts, attrs) -> None:
+        if not consts:
+            raise OnnxImportError(
+                f"Conv {getattr(node, 'name', '?')!r}: weights are not a "
+                "constant"
+            )
+        w_dims = self._weight_dims(node, consts[0])
+        if len(w_dims) != 4:
+            raise OnnxImportError(
+                f"Conv weights {consts[0]!r}: expected KCRS dims, "
+                f"got {w_dims}"
+            )
+        out_k, _c_per_group, kr, ks = w_dims
+        groups = int(attrs.get("group", 1))
+        dilations = attrs.get("dilations", [1, 1])
+        if any(d != 1 for d in dilations):
+            self.report.add(
+                KIND_APPROXIMATED,
+                sanitize_name(getattr(node, "name", "") or "conv"), "Conv",
+                f"dilations {dilations} ignored (modeled as dense kernel)",
+            )
+        if len(consts) > 1:
+            self.report.add(
+                KIND_FUSED, sanitize_name(consts[1], "bias"), "Conv",
+                "bias constant folded into the convolution",
+            )
+        kernel = attrs.get("kernel_shape", [kr, ks])
+        pad = self._padding(node, attrs)
+        self._emit(node, "conv", acts[:1], {
+            "k": int(out_k),
+            "kernel": [int(kernel[0]), int(kernel[-1])],
+            "stride": self._stride(node, attrs.get("strides", [1, 1])),
+            "pad": pad if pad == "same" else list(pad),
+            "groups": groups,
+        })
+
+    def _convert_gemm(self, node, acts, consts, attrs) -> None:
+        if not consts:
+            # Activation-activation Gemm: a plain matmul.
+            self._convert_matmul(node, acts, consts)
+            return
+        # The weight is whichever of the A/B matrix operands is
+        # constant — the C operand is a bias, never the weight.
+        inputs = list(getattr(node, "input", ()))
+        ab_consts = [v for v in inputs[:2] if v in self.values
+                     and self.values[v] is None]
+        if not ab_consts:
+            # Both matrices are activations; C (if present) is a bias.
+            if consts:
+                self.report.add(
+                    KIND_FUSED, sanitize_name(consts[0], "bias"), "Gemm",
+                    "bias constant folded into the matmul",
+                )
+            self._convert_matmul(node, acts, [])
+            return
+        w_dims = self._weight_dims(node, ab_consts[0])
+        bias = [v for v in consts if v != ab_consts[0]]
+        if bias:
+            self.report.add(
+                KIND_FUSED, sanitize_name(bias[0], "bias"), "Gemm",
+                "bias constant folded into the fully-connected layer",
+            )
+        if inputs[0] == ab_consts[0]:
+            # Weights as operand A: output features are A's rows
+            # (columns under transA).
+            out_k = w_dims[-1] if attrs.get("transA", 0) else w_dims[0]
+        else:
+            trans_b = bool(attrs.get("transB", 0))
+            out_k = w_dims[0] if trans_b else w_dims[-1]
+        if len(acts) > 1:
+            # The C operand is an *activation*: keep its data
+            # dependency as an explicit elementwise add after the fc.
+            fc_name = self._fresh_name(node, "fc")
+            self.ir.add(OpNode(fc_name, "fc", acts[:1],
+                               {"k": int(out_k)}))
+            add_name = self._fresh_name(node, f"{fc_name}_bias")
+            self.ir.add(OpNode(
+                add_name, "add", [fc_name, acts[1]],
+                {"origin": "gemm_bias"},
+            ))
+            self._bind_outputs(node, add_name)
+            self.report.add(
+                KIND_LOWERED, add_name, "Gemm",
+                "activation bias operand kept as an explicit "
+                "elementwise add",
+            )
+            return
+        self._emit(node, "fc", acts[:1], {"k": int(out_k)})
+
+    def _weight_is_lhs(self, node, const_vname: str) -> bool:
+        inputs = list(getattr(node, "input", ()))
+        return bool(inputs) and inputs[0] == const_vname
+
+    def _convert_matmul(self, node, acts, consts) -> None:
+        if consts:
+            # Weight MatMul == token-wise linear layer == 1x1 conv over
+            # the sequence axis (the transformer-zoo idiom).  Output
+            # features come from the weight's non-contraction dim: the
+            # last for MatMul(x, W), the first for MatMul(W, x).
+            w_dims = self._weight_dims(node, consts[0])
+            out_k = w_dims[0] if self._weight_is_lhs(node, consts[0]) \
+                else w_dims[-1]
+            self._emit(node, "conv", acts[:1],
+                       {"k": int(out_k), "kernel": 1})
+            return
+        if len(acts) != 2:
+            raise OnnxImportError(
+                f"MatMul {getattr(node, 'name', '?')!r}: expected two "
+                f"activation operands, got {len(acts)}"
+            )
+        self._emit(node, "matmul", acts, {})
+
+    def _convert_pool(self, node, acts, attrs, mode: str) -> None:
+        kernel = attrs.get("kernel_shape", [2, 2])
+        pad = self._padding(node, attrs)
+        self._emit(node, "pool", acts[:1], {
+            "mode": mode,
+            "kernel": [int(kernel[0]), int(kernel[-1])],
+            # ONNX defaults pool strides to 1 (unlike the declarative
+            # spec frontend, whose pool defaults to stride == kernel).
+            "stride": self._stride(node, attrs.get("strides", [1, 1])),
+            "pad": pad if pad == "same" else list(pad),
+        })
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def onnx_graph_to_ir(
+    graph_proto,
+    name: str | None = None,
+    report: LoweringReport | None = None,
+) -> tuple[OpGraph, LoweringReport]:
+    """Convert an ONNX GraphProto (or a duck-typed stand-in) to IR."""
+    report = report if report is not None else LoweringReport()
+    ir = _Converter(graph_proto, name, report).run()
+    report.model = report.model or ir.name
+    return ir, report
+
+
+def import_onnx(path: str | Path) -> tuple[DNNGraph, LoweringReport]:
+    """Load ``path`` with ``onnx.load`` and lower it to a DNNGraph."""
+    onnx = _require_onnx()
+    path = Path(path)
+    model = onnx.load(str(path))
+    ir, report = onnx_graph_to_ir(model.graph, name=path.stem)
+    return run_pipeline(ir, report)

@@ -1,0 +1,447 @@
+"""Lowering passes: from imported op graphs to evaluator layers.
+
+The pipeline (:func:`run_pipeline`) is a fixed sequence of small,
+individually-testable passes over an :class:`~repro.frontend.ir.OpGraph`:
+
+1. :func:`fold_structural` — delete pure shape plumbing (reshape,
+   transpose, dropout, ...); the evaluator bills data movement per
+   layer, and these ops move nothing the adjacent layers don't already
+   account for.
+2. :func:`lower_unknown` — approximate ops outside the supported
+   vocabulary as generic ``vector`` / ``eltwise`` nodes, **loudly**
+   (the report marks them ``approximated``).
+3. :func:`infer_shapes` — constant-fold every activation shape from
+   the graph input forward (the spec frontend's "shape inference").
+4. :func:`fuse_activations` — fold unary activations / bias adds /
+   batch norms into their PE-array producers, the way the template's
+   post-processing units apply them on the output path for free.
+5. :func:`insert_input_adapters` — give nodes that mix the graph input
+   with layer operands (residuals against the raw input) an explicit
+   pass-through layer, keeping ``DNNGraph`` fan-in bookkeeping exact.
+6. :func:`canonicalize_vector_ops` — rewrite surviving activation-family
+   ops into explicit ``vector`` nodes (real vector-unit work: softmax,
+   layernorm, an activation reading the graph input, ...).
+7. :func:`lower_to_graph` — emit a validated
+   :class:`~repro.workloads.graph.DNNGraph`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidWorkloadError
+from repro.frontend.ir import (
+    ACTIVATION_OPS,
+    GRAPH_INPUT,
+    MEMORY_OPS,
+    PE_OPS,
+    STRUCTURAL_OPS,
+    SUPPORTED_OPS,
+    VECTOR_OPS,
+    OpGraph,
+    OpNode,
+)
+from repro.frontend.report import (
+    KIND_APPROXIMATED,
+    KIND_FOLDED,
+    KIND_FUSED,
+    KIND_LOWERED,
+    LoweringReport,
+)
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
+from repro.workloads.models.common import conv_out
+
+#: Ops fused into a PE-array producer when one is directly upstream.
+_FUSABLE_OPS = ACTIVATION_OPS | {"bias", "batchnorm"}
+
+
+def _pair(value, default: int = 1) -> tuple[int, int]:
+    if value is None:
+        return default, default
+    if isinstance(value, (list, tuple)):
+        if len(value) != 2:
+            raise InvalidWorkloadError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _padding(node: OpNode, kr: int, ks: int, default) -> tuple[int, int]:
+    pad = node.attr("pad", default)
+    if pad == "same":
+        return kr // 2, ks // 2
+    return _pair(pad, 0)
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+
+
+def fold_structural(g: OpGraph, report: LoweringReport) -> None:
+    """Remove reshape / transpose / dropout / identity plumbing."""
+    for name in g.topological_order():
+        node = g.nodes.get(name)
+        if node is None or node.op not in STRUCTURAL_OPS:
+            continue
+        if not node.inputs:
+            # A constant with no data input feeds nothing we model.
+            consumers = g.consumers()[name]
+            if consumers:
+                raise InvalidWorkloadError(
+                    f"node {name!r}: constant feeding {consumers} cannot "
+                    "be folded (frontends must resolve constant operands)"
+                )
+            del g.nodes[name]
+            report.add(KIND_FOLDED, name, node.op, "dead constant removed")
+            continue
+        g.remove(name)  # rewires consumers to the node's sole input
+        report.add(
+            KIND_FOLDED, name, node.op,
+            "pure shape plumbing; consumers rewired to its input",
+        )
+
+
+def lower_unknown(g: OpGraph, report: LoweringReport) -> None:
+    """Approximate unsupported ops as ``eltwise`` (n-ary) or ``vector``."""
+    for node in list(g.nodes.values()):
+        if node.op in SUPPORTED_OPS:
+            continue
+        original = node.op
+        if len(node.inputs) >= 2:
+            node.op = "eltwise"
+            detail = (
+                f"unsupported op modeled as ELTWISE over "
+                f"{len(node.inputs)} operands"
+            )
+        else:
+            node.op = "vector"
+            detail = "unsupported op modeled as a VECTOR pass"
+        node.attrs.setdefault("origin", original)
+        report.add(KIND_APPROXIMATED, node.name, original, detail)
+
+
+def infer_shapes(g: OpGraph, report: LoweringReport | None = None) -> None:
+    """Forward-propagate ``(h, w, k)`` shapes from the graph input."""
+    for name in g.topological_order():
+        node = g.nodes[name]
+        node.shape = _infer_node_shape(g, node, report)
+
+
+def _operand_shapes(g: OpGraph, node: OpNode) -> list[tuple[int, int, int]]:
+    shapes = []
+    for src in node.inputs or [GRAPH_INPUT]:
+        if src == GRAPH_INPUT:
+            shapes.append(g.input_shape)
+        else:
+            shape = g.nodes[src].shape
+            if shape is None:
+                raise InvalidWorkloadError(
+                    f"node {node.name!r}: producer {src!r} not yet shaped"
+                )
+            shapes.append(shape)
+    return shapes
+
+
+def _infer_node_shape(
+    g: OpGraph, node: OpNode, report: LoweringReport | None = None
+) -> tuple[int, int, int]:
+    shapes = _operand_shapes(g, node)
+    h, w, k = shapes[0]
+    op = node.op
+    if op in ("conv", "dwconv"):
+        in_k = sum(s[2] for s in shapes)  # concat fan-in sums channels
+        kr, ks = _pair(node.attr("kernel", 1))
+        stride = int(node.attr("stride", 1))
+        ph, pw = _padding(node, kr, ks, "same")
+        out_k = int(node.attr("k", in_k if op == "dwconv" else 0))
+        if out_k < 1:
+            raise InvalidWorkloadError(
+                f"node {node.name!r}: conv needs a positive 'k'"
+            )
+        return (
+            conv_out(h, kr, stride, ph),
+            conv_out(w, ks, stride, pw),
+            out_k,
+        )
+    if op == "fc":
+        out_k = int(node.attr("k", 0))
+        if out_k < 1:
+            raise InvalidWorkloadError(
+                f"node {node.name!r}: fc needs a positive 'k'"
+            )
+        return (1, 1, out_k)
+    if op == "matmul":
+        if len(shapes) != 2:
+            raise InvalidWorkloadError(
+                f"node {node.name!r}: matmul needs exactly two inputs"
+            )
+        (lh, lw, lk), (rh, rw, rk) = shapes
+        transposed = bool(node.attr("transpose_b", False))
+        # (lk == rh) contracts plainly; (lk == rk) contracts against
+        # B-transposed.  When the declared orientation cannot contract
+        # but the other one can, flip it: importers fold explicit
+        # Transpose plumbing away, so orientation lives in the shapes.
+        fits_plain, fits_t = lk == rh, lk == rk
+        if (transposed and not fits_t and fits_plain) or (
+            not transposed and not fits_plain and fits_t
+        ):
+            transposed = not transposed
+            node.attrs["transpose_b"] = transposed
+            if report is not None:
+                report.add(
+                    KIND_LOWERED, node.name, "matmul",
+                    "operand orientation recovered from shapes "
+                    f"(transpose_b={transposed})",
+                )
+        if not (fits_t if transposed else fits_plain):
+            raise InvalidWorkloadError(
+                f"node {node.name!r}: matmul contraction mismatch "
+                f"{shapes[0]} x {shapes[1]}"
+            )
+        node.attrs["in_c"] = lk
+        return (lh, 1, rh if transposed else rk)
+    if op == "pool":
+        if node.attr("mode", "max") == "global":
+            return (1, 1, k)
+        kr, ks = _pair(node.attr("kernel", 2))
+        stride = int(node.attr("stride", kr))
+        ph, pw = _padding(node, kr, ks, 0)
+        return (conv_out(h, kr, stride, ph), conv_out(w, ks, stride, pw), k)
+    if op in ("add", "eltwise"):
+        # Spatial broadcast is allowed (SE-style gating multiplies a
+        # [h, w, k] map by a [1, 1, k] gate); channels must agree, so
+        # the DNNGraph fan-in bookkeeping stays exact.
+        out_h, out_w = h, w
+        for s in shapes[1:]:
+            compatible = s[2] == k and all(
+                s[axis] == shapes[0][axis]
+                or 1 in (s[axis], shapes[0][axis])
+                for axis in (0, 1)
+            )
+            if not compatible and node.attr("origin"):
+                # An op lower_unknown approximated as ELTWISE turns out
+                # not to be elementwise-shaped: degrade to a unary
+                # vector pass over the first operand instead of
+                # aborting the import over an op the user never wrote.
+                node.op = "vector"
+                node.inputs = node.inputs[:1]
+                if report is not None:
+                    report.add(
+                        KIND_APPROXIMATED, node.name,
+                        str(node.attr("origin")),
+                        f"operands {shapes} are not elementwise-"
+                        "compatible; re-approximated as a VECTOR pass "
+                        "over the first operand",
+                    )
+                return shapes[0]
+            if not compatible:
+                raise InvalidWorkloadError(
+                    f"node {node.name!r}: elementwise operands disagree "
+                    f"{shapes[0]} vs {s}"
+                )
+            out_h = max(out_h, s[0])
+            out_w = max(out_w, s[1])
+        return (out_h, out_w, k)
+    if op == "concat":
+        for s in shapes[1:]:
+            if (s[0], s[1]) != (h, w):
+                raise InvalidWorkloadError(
+                    f"node {node.name!r}: concat spatial mismatch "
+                    f"{(h, w)} vs {(s[0], s[1])}"
+                )
+        return (h, w, sum(s[2] for s in shapes))
+    if op == "upsample":
+        scale = int(node.attr("scale", 2))
+        return (h * scale, w * scale, k)
+    # vector family, activations, remaining structural ops: shape
+    # preserved, with optional explicit spatial overrides (KV-cache
+    # broadcast, decoder-side shape adaptation).
+    return (
+        int(node.attr("out_h", h)),
+        int(node.attr("out_w", w)),
+        k,
+    )
+
+
+def fuse_activations(g: OpGraph, report: LoweringReport) -> None:
+    """Fold activations / bias / BN into a directly-upstream PE op."""
+    for name in g.topological_order():
+        node = g.nodes.get(name)
+        if node is None or node.op not in _FUSABLE_OPS:
+            continue
+        if len(node.inputs) != 1 or node.inputs[0] == GRAPH_INPUT:
+            continue
+        producer = g.nodes[node.inputs[0]]
+        if producer.op not in PE_OPS:
+            continue
+        if node.shape is not None and producer.shape is not None \
+                and node.shape != producer.shape:
+            continue  # shape-changing "activation": keep it explicit
+        g.remove(name, rewire_to=producer.name)
+        producer.attrs.setdefault("fused", []).append(node.op)
+        report.add(
+            KIND_FUSED, name, node.op,
+            f"applied on the output path of {producer.name!r}",
+        )
+
+
+def insert_input_adapters(g: OpGraph, report: LoweringReport) -> None:
+    """Give mixed-operand nodes an explicit layer for the graph input.
+
+    ``DNNGraph`` models a layer as reading *either* the DNN input or
+    producer layers.  A node combining both (a residual against the
+    raw input) gets a pass-through vector layer inserted on the input
+    side so the fan-in bookkeeping stays exact.
+    """
+    adapter: OpNode | None = None
+    for node in list(g.nodes.values()):
+        if GRAPH_INPUT not in node.inputs:
+            continue
+        if all(src == GRAPH_INPUT for src in node.inputs):
+            continue
+        if adapter is None:
+            name = "input_adapter"
+            n = 1
+            while name in g.nodes:
+                n += 1
+                name = f"input_adapter_{n}"
+            adapter = OpNode(name, "vector", [GRAPH_INPUT],
+                             {"origin": "input"}, shape=g.input_shape)
+            # Prepend so insertion order stays topological.
+            g.nodes = {name: adapter, **g.nodes}
+            # The adapter is an extra billed VECTOR layer the real
+            # model doesn't have — an approximation, reported loudly.
+            report.add(
+                KIND_APPROXIMATED, name, "input",
+                "pass-through layer inserted for the DNN input feeding "
+                "a fan-in op; its traffic is billed",
+            )
+        node.inputs = [
+            adapter.name if src == GRAPH_INPUT else src
+            for src in node.inputs
+        ]
+
+
+def canonicalize_vector_ops(g: OpGraph, report: LoweringReport) -> None:
+    """Rewrite surviving activation-family ops to ``vector`` nodes."""
+    for node in g.nodes.values():
+        if node.op in ("vector", *MEMORY_OPS, *PE_OPS):
+            continue
+        original = node.op
+        if original in ACTIVATION_OPS | VECTOR_OPS | {"bias"}:
+            node.op = "vector"
+            node.attrs.setdefault("origin", original)
+            report.add(
+                KIND_LOWERED, node.name, original,
+                "standalone vector-unit layer",
+            )
+
+
+# ----------------------------------------------------------------------
+# DNNGraph emission
+# ----------------------------------------------------------------------
+
+
+def lower_to_graph(g: OpGraph, report: LoweringReport) -> DNNGraph:
+    """Emit a validated :class:`DNNGraph` from a fully-lowered op graph."""
+    graph = DNNGraph(g.name)
+    for name in g.topological_order():
+        node = g.nodes[name]
+        if node.shape is None:
+            raise InvalidWorkloadError(
+                f"node {name!r} has no shape (run infer_shapes first)"
+            )
+        layer, inputs, combine, from_input = _emit_layer(g, node)
+        graph.add_layer(
+            layer, inputs=inputs, combine=combine, from_graph_input=from_input
+        )
+    graph.validate()
+    return graph
+
+
+def _emit_layer(g: OpGraph, node: OpNode):
+    shapes = _operand_shapes(g, node)
+    producers = [s for s in (node.inputs or [GRAPH_INPUT]) if s != GRAPH_INPUT]
+    from_input = len(producers) < len(node.inputs or [GRAPH_INPUT])
+    if from_input and producers:
+        raise InvalidWorkloadError(
+            f"node {node.name!r} mixes graph-input and layer operands; "
+            "route the graph input through an explicit layer first"
+        )
+    h, w, k = node.shape
+    in_h, in_w, in_k = shapes[0]
+    op = node.op
+    common = dict(name=node.name, out_h=h, out_w=w, out_k=k, bits=g.bits)
+    if op in ("conv", "dwconv"):
+        total_c = sum(s[2] for s in shapes)
+        kr, ks = _pair(node.attr("kernel", 1))
+        stride = int(node.attr("stride", 1))
+        ph, pw = _padding(node, kr, ks, "same")
+        groups = int(node.attr("groups", total_c if op == "dwconv" else 1))
+        kind = LayerType.DWCONV if groups == total_c == k else LayerType.CONV
+        layer = Layer(
+            kind=kind, in_c=total_c, kernel_r=kr, kernel_s=ks,
+            stride=stride, pad_h=ph, pad_w=pw, groups=groups, **common,
+        )
+        return layer, producers, "concat", from_input
+    if op == "fc":
+        if in_h * in_w == 1:
+            layer = Layer(kind=LayerType.FC, in_c=in_k, **common)
+        else:
+            # FC over a spatial ifmap: express the flatten as a conv
+            # whose kernel covers the whole frame — identical weights
+            # and MACs, and the channel bookkeeping stays consistent.
+            layer = Layer(
+                kind=LayerType.CONV, in_c=in_k,
+                kernel_r=in_h, kernel_s=in_w, **common,
+            )
+        return layer, producers, "concat", from_input
+    if op == "matmul":
+        in_c = int(node.attr("in_c", in_k))
+        layer = Layer(kind=LayerType.MATMUL, in_c=in_c, **common)
+        return layer, producers, "add", from_input
+    if op == "pool":
+        mode = node.attr("mode", "max")
+        if mode == "global":
+            kr, ks, stride, ph, pw = in_h, in_w, max(in_h, 1), 0, 0
+        else:
+            kr, ks = _pair(node.attr("kernel", 2))
+            stride = int(node.attr("stride", kr))
+            ph, pw = _padding(node, kr, ks, 0)
+        layer = Layer(
+            kind=LayerType.POOL, in_c=in_k, kernel_r=kr, kernel_s=ks,
+            stride=stride, pad_h=ph, pad_w=pw, **common,
+        )
+        return layer, producers, "concat", from_input
+    if op in ("add", "eltwise"):
+        layer = Layer(kind=LayerType.ELTWISE, in_c=k, **common)
+        return layer, producers, "add", from_input
+    if op == "concat":
+        layer = Layer(kind=LayerType.VECTOR, in_c=k, **common)
+        return layer, producers, "concat", from_input
+    if op == "vector":
+        layer = Layer(kind=LayerType.VECTOR, in_c=k, **common)
+        return layer, producers, "concat", from_input
+    raise InvalidWorkloadError(
+        f"node {node.name!r}: op {op!r} survived lowering"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+
+
+def run_pipeline(
+    g: OpGraph, report: LoweringReport | None = None
+) -> tuple[DNNGraph, LoweringReport]:
+    """Run every pass in order and emit the final :class:`DNNGraph`."""
+    report = report if report is not None else LoweringReport(model=g.name)
+    report.model = report.model or g.name
+    fold_structural(g, report)
+    lower_unknown(g, report)
+    infer_shapes(g, report=report)
+    fuse_activations(g, report)
+    insert_input_adapters(g, report)
+    canonicalize_vector_ops(g, report)
+    graph = lower_to_graph(g, report)
+    return graph, report

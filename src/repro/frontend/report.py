@@ -1,0 +1,91 @@
+"""Lowering report: what the frontend did to a model on its way in.
+
+Imported models rarely map 1:1 onto the evaluator's layer vocabulary.
+The pass pipeline fuses activations into their producers, folds pure
+shape plumbing away, and approximates anything it does not understand
+as a ``VECTOR`` / ``ELTWISE`` layer.  Every such decision is recorded
+here so an import is *loud*: the CLI prints the report, and callers can
+assert on it in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Entry kinds, roughly ordered from benign to lossy.
+KIND_FUSED = "fused"          # activation/bias folded into its producer
+KIND_FOLDED = "folded"        # pure shape plumbing removed (reshape, cast)
+KIND_LOWERED = "lowered"      # known op rewritten into evaluator vocabulary
+KIND_APPROXIMATED = "approximated"  # unknown op modeled as VECTOR/ELTWISE
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    kind: str
+    node: str
+    op: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.node} ({self.op}): {self.detail}"
+
+
+@dataclass
+class LoweringReport:
+    """Accumulated record of one model's trip through the frontend."""
+
+    model: str = ""
+    entries: list[ReportEntry] = field(default_factory=list)
+
+    def add(self, kind: str, node: str, op: str, detail: str) -> None:
+        self.entries.append(ReportEntry(kind, node, op, detail))
+
+    def by_kind(self, kind: str) -> list[ReportEntry]:
+        return [e for e in self.entries if e.kind == kind]
+
+    @property
+    def fused(self) -> list[ReportEntry]:
+        return self.by_kind(KIND_FUSED)
+
+    @property
+    def folded(self) -> list[ReportEntry]:
+        return self.by_kind(KIND_FOLDED)
+
+    @property
+    def lowered(self) -> list[ReportEntry]:
+        return self.by_kind(KIND_LOWERED)
+
+    @property
+    def approximated(self) -> list[ReportEntry]:
+        return self.by_kind(KIND_APPROXIMATED)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when nothing had to be approximated."""
+        return not self.approximated
+
+    def summary(self) -> str:
+        counts = {}
+        for e in self.entries:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        parts = [f"{n} {k}" for k, n in sorted(counts.items())]
+        return ", ".join(parts) if parts else "clean import"
+
+    def describe(self) -> str:
+        """Multi-line report; approximations are called out loudly."""
+        lines = [f"frontend report for {self.model!r}: {self.summary()}"]
+        for e in self.entries:
+            if e.kind != KIND_APPROXIMATED:
+                lines.append(f"  {e}")
+        approx = self.approximated
+        if approx:
+            lines.append(
+                f"  WARNING: {len(approx)} op(s) approximated — delay/energy "
+                "for these layers reflects the substitute, not the real op:"
+            )
+            for e in approx:
+                lines.append(f"    {e}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

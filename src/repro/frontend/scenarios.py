@@ -1,0 +1,247 @@
+"""Scenario registry and sweep runner.
+
+A *scenario* is one cell of the evaluation grid the ROADMAP asks for:
+``(model, batch, architecture)`` plus a mapping-search budget.  The
+registry ships a default matrix over the spec-defined zoo models (the
+workloads the five paper DNNs don't cover), and :func:`run_sweep`
+executes any scenario list — serially or over a process pool — writing
+per-scenario artifacts (``summary.json`` + ``mapping.json``) and one
+top-level ``sweep.csv``.
+
+Scenarios are plain frozen dataclasses, so they pickle cleanly into
+worker processes and compose into larger campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.arch import g_arch, g_arch_120, s_arch, t_arch
+from repro.arch.params import ArchConfig
+from repro.core import MappingEngine, MappingEngineSettings, SASettings
+from repro.io.serialization import (
+    load_arch,
+    mapping_result_summary,
+    save_mapping,
+)
+
+#: Named architecture presets accepted wherever an arch is referenced.
+ARCH_PRESETS = {
+    "s-arch": s_arch,
+    "g-arch": g_arch,
+    "t-arch": t_arch,
+    "g-arch-120": g_arch_120,
+}
+
+
+def resolve_arch(spec: str) -> ArchConfig:
+    """A preset name or a path to a JSON file saved by ``dse``."""
+    if spec.lower() in ARCH_PRESETS:
+        return ARCH_PRESETS[spec.lower()]()
+    path = Path(spec)
+    if path.exists():
+        return load_arch(path)
+    raise ValueError(
+        f"unknown architecture {spec!r}: expected one of "
+        f"{sorted(ARCH_PRESETS)} or a JSON file path"
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (model, batch, arch) evaluation cell."""
+
+    name: str
+    model: str           # registry abbreviation or model file path
+    batch: int
+    arch: str = "g-arch"  # preset name or best_arch.json path
+    iters: int = 100      # SA budget per layer group
+    seed: int = 0
+
+    def slug(self) -> str:
+        """Filesystem-safe scenario directory name."""
+        return self.name.replace("/", "_").replace(" ", "_")
+
+
+#: name -> Scenario.  Mutated only through register_scenario.
+SCENARIO_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace_existing: bool = False) -> Scenario:
+    if not replace_existing and scenario.name in SCENARIO_REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIO_REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def _register_defaults() -> None:
+    # The frontier the frontend opens: attention at sequence length
+    # (BERT), depthwise mobile CNNs, encoder-decoder segmentation, and
+    # KV-cache decode — each at single-sample and server batch sizes.
+    for model, batches in (
+        ("BERT", (1, 64)),
+        ("MBV2", (1, 64)),
+        ("UNet", (1, 16)),
+        ("GPT-Dec", (1, 64)),
+    ):
+        for batch in batches:
+            register_scenario(Scenario(
+                name=f"{model.lower()}-b{batch}",
+                model=model,
+                batch=batch,
+            ))
+
+
+_register_defaults()
+
+
+def grid_scenarios(
+    models: list[str],
+    batches: list[int],
+    archs: list[str],
+    iters: int = 100,
+) -> list[Scenario]:
+    """The full (model x batch x arch) cross product as scenarios."""
+    out = []
+    seen: dict[str, int] = {}
+    for model in models:
+        for batch in batches:
+            for arch in archs:
+                name = f"{Path(model).stem}-b{batch}-{Path(arch).stem}"
+                # Distinct cells can share a stem-derived name (a
+                # preset and a file both called "g-arch"); suffix them.
+                if name in seen:
+                    seen[name] += 1
+                    name = f"{name}-{seen[name]}"
+                else:
+                    seen[name] = 0
+                out.append(Scenario(
+                    name=name, model=model, batch=batch, arch=arch,
+                    iters=iters,
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def run_scenario(scenario: Scenario, out_dir: str | Path | None = None) -> dict:
+    """Map one scenario; optionally write its artifact directory."""
+    from repro.frontend.loader import load_model
+
+    arch = resolve_arch(scenario.arch)
+    graph, report = load_model(scenario.model)
+    engine = MappingEngine(
+        arch,
+        settings=MappingEngineSettings(
+            sa=SASettings(iterations=scenario.iters, seed=scenario.seed)
+        ),
+    )
+    result = engine.map(graph, scenario.batch)
+    summary = {**asdict(scenario), "model_name": graph.name,
+               "layers": len(graph), "arch_name": arch.name}
+    for key, value in mapping_result_summary(result).items():
+        if key == "arch":
+            key = "arch_tuple"  # keep the scenario's preset name intact
+        summary[key] = list(value) if isinstance(value, tuple) else value
+    summary["energy_fractions"] = result.evaluation.energy.fractions()
+    if report is not None and len(report):
+        summary["frontend"] = report.summary()
+    if out_dir is not None:
+        sc_dir = Path(out_dir) / scenario.slug()
+        sc_dir.mkdir(parents=True, exist_ok=True)
+        (sc_dir / "summary.json").write_text(json.dumps(summary, indent=2))
+        save_mapping(result.lmss, sc_dir / "mapping.json")
+    return summary
+
+
+def _run_scenario_task(args: tuple[Scenario, str | None]) -> dict:
+    scenario, out_dir = args
+    return run_scenario(scenario, out_dir)
+
+
+def _run_scenario_in_worker(
+    args: tuple[Scenario, str | None]
+) -> tuple[dict, dict]:
+    """Pool entry: (summary, perf snapshot) — counters are process-
+    local, so each task ships its delta back to the parent (the DSE
+    pool does the same)."""
+    from repro.perf import PERF
+
+    PERF.reset()
+    summary = _run_scenario_task(args)
+    return summary, PERF.snapshot()
+
+
+#: Column order of sweep.csv (stable for downstream tooling).
+SWEEP_COLUMNS = (
+    "name", "model", "batch", "arch", "iters", "layers",
+    "delay_s", "energy_j", "edp", "n_groups", "frontend",
+)
+
+
+def sweep_rows(summaries: list[dict]) -> list[list]:
+    """Summaries as SWEEP_COLUMNS-ordered rows (CSV and table share it)."""
+    return [[s.get(col, "") for col in SWEEP_COLUMNS] for s in summaries]
+
+
+def run_sweep(
+    scenarios: list[Scenario],
+    out_dir: str | Path | None = None,
+    workers: int | None = 1,
+) -> list[dict]:
+    """Run every scenario; ``workers`` > 1 fans out over processes.
+
+    Returns the summaries in the order scenarios were given (results
+    are deterministic per scenario, so worker count never changes
+    them).  With ``out_dir`` set, also writes ``sweep.csv`` plus one
+    artifact directory per scenario.
+    """
+    if not scenarios:
+        raise ValueError("no scenarios to sweep")
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names in sweep: {names}")
+    slugs = [s.slug() for s in scenarios]
+    if len(set(slugs)) != len(slugs):
+        # Distinct names can collapse to one artifact directory
+        # ("a b" and "a_b"); refusing beats silently clobbering.
+        raise ValueError(
+            f"scenario names collide after slugging: {sorted(slugs)}"
+        )
+    if out_dir is not None:
+        Path(out_dir).mkdir(parents=True, exist_ok=True)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(scenarios))
+    out_str = None if out_dir is None else str(out_dir)
+    tasks = [(s, out_str) for s in scenarios]
+    if workers > 1:
+        from repro.perf import PERF
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_scenario_in_worker, tasks))
+        for _, snapshot in outcomes:
+            PERF.merge(snapshot)
+        summaries = [summary for summary, _ in outcomes]
+    else:
+        summaries = [_run_scenario_task(t) for t in tasks]
+    if out_dir is not None:
+        from repro.reporting import write_csv
+
+        write_csv(
+            Path(out_dir) / "sweep.csv", list(SWEEP_COLUMNS),
+            sweep_rows(summaries),
+        )
+    return summaries
+
+
+def scaled(scenario: Scenario, **overrides) -> Scenario:
+    """A copy of a registered scenario with fields overridden."""
+    return replace(scenario, **overrides)

@@ -1,0 +1,337 @@
+"""Declarative model specs: DNNs as ~30 lines of JSON/YAML.
+
+A spec describes a model as a list of layer entries whose shapes are
+*inferred* — authors give kernels, channel counts and wiring, never
+activation sizes.  Two macro forms keep repetitive models short:
+
+* ``repeat`` — run a body N times, threading the activation through;
+  every name defined inside is prefixed per iteration (``l0_q``,
+  ``l1_q``, ...), and the loop index ``i`` is available to ``${...}``
+  expressions.
+* ``block`` — instantiate a named, parameterized sub-spec from the
+  top-level ``blocks`` table (ResNet bottlenecks, MBConv blocks, ...).
+
+Spec grammar (JSON shown; YAML accepted when PyYAML is installed)::
+
+    {
+      "name": "edge_cnn",
+      "input": {"h": 64, "w": 64, "c": 3},
+      "params": {"width": 32},
+      "blocks": {
+        "res": [
+          {"op": "conv", "k": "$k", "kernel": 3, "name": "a"},
+          {"op": "conv", "k": "$k", "kernel": 3, "name": "b"},
+          {"op": "add", "inputs": ["b", "@prev_in"], "name": "out"}
+        ]
+      },
+      "layers": [
+        {"op": "conv", "k": "$width", "kernel": 3, "stride": 2, "name": "stem"},
+        {"op": "repeat", "count": 3, "name": "blk",
+         "block": "res", "params": {"k": "$width"}},
+        {"op": "pool", "mode": "global"},
+        {"op": "fc", "k": 10, "name": "head"}
+      ]
+    }
+
+Wiring: an entry's ``input`` (or ``inputs`` for fan-in ops) defaults to
+the previous entry's output; ``"@input"`` is the DNN input, ``"@prev"``
+the running cursor, and ``"@prev_in"`` the cursor as it was when the
+current block/repeat body started (handy for residuals).  Any other
+string resolves innermost-scope-first against layer names, falling back to
+fully-qualified node names (``"e1_out"``) for cross-block skips.
+
+Attribute values may be ``"$param"`` references or ``"${expr}"``
+arithmetic over the parameter environment (e.g. ``"${6 * c}"``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.errors import InvalidWorkloadError
+from repro.frontend.ir import GRAPH_INPUT, OpGraph, OpNode
+from repro.frontend.passes import run_pipeline
+from repro.frontend.report import LoweringReport
+from repro.workloads.graph import DNNGraph
+
+
+class SpecError(InvalidWorkloadError):
+    """Malformed model spec."""
+
+
+#: Entry keys that steer the executor rather than describe the op.
+_CONTROL_KEYS = frozenset(
+    {"op", "name", "input", "inputs", "body", "block", "params", "count"}
+)
+
+_MULTI_INPUT_OPS = frozenset({"add", "eltwise", "concat", "matmul"})
+
+
+#: Binary/unary arithmetic allowed in ``${...}`` expressions.  Specs
+#: may come from third parties, so evaluation is a closed AST walk —
+#: no attribute access, calls, subscripts, or comprehensions.
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+_UNARY_OPS = {ast.UAdd: lambda a: +a, ast.USub: lambda a: -a}
+
+
+def _eval_node(node: ast.AST, env: dict):
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id not in env:
+            raise SpecError(f"unknown spec parameter {node.id!r}")
+        return env[node.id]
+    if isinstance(node, ast.BinOp) and type(node.op) in _BIN_OPS:
+        return _BIN_OPS[type(node.op)](
+            _eval_node(node.left, env), _eval_node(node.right, env)
+        )
+    if isinstance(node, ast.UnaryOp) and type(node.op) in _UNARY_OPS:
+        return _UNARY_OPS[type(node.op)](_eval_node(node.operand, env))
+    raise SpecError(
+        f"disallowed construct {type(node).__name__} in spec expression "
+        "(only names, numbers and arithmetic are permitted)"
+    )
+
+
+def _eval_expr(expr: str, env: dict) -> int | float:
+    try:
+        tree = ast.parse(expr, mode="eval")
+        value = _eval_node(tree.body, env)
+    except SpecError:
+        raise
+    except Exception as exc:
+        raise SpecError(f"bad spec expression {expr!r}: {exc}") from exc
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _resolve_value(value, env: dict):
+    """Substitute ``$param`` / ``${expr}`` strings; recurse into lists."""
+    if isinstance(value, str) and value.startswith("$"):
+        expr = value[2:-1] if value.startswith("${") and value.endswith("}") \
+            else value[1:]
+        return _eval_expr(expr, env)
+    if isinstance(value, list):
+        return [_resolve_value(v, env) for v in value]
+    return value
+
+
+class _Scope:
+    """One lexical scope of layer aliases, chained to its parent."""
+
+    def __init__(self, parent: "_Scope | None" = None, entry_cursor: str = ""):
+        self.parent = parent
+        self.names: dict[str, str] = {}
+        #: the cursor value when this scope was opened ("@prev_in")
+        self.entry_cursor = entry_cursor
+
+    def define(self, alias: str, node_name: str) -> None:
+        self.names[alias] = node_name
+
+    def resolve(self, alias: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if alias in scope.names:
+                return scope.names[alias]
+            scope = scope.parent
+        return None
+
+
+class _SpecExecutor:
+    """Walk a spec's entry list, expanding macros into an OpGraph."""
+
+    def __init__(self, data: dict):
+        if not isinstance(data, dict):
+            raise SpecError("spec must be a JSON object")
+        try:
+            name = data["name"]
+            inp = data["input"]
+            shape = (int(inp["h"]), int(inp.get("w", 1)), int(inp["c"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(
+                "spec needs 'name' and 'input': {h, w, c}"
+            ) from exc
+        self.graph = OpGraph(name, shape, bits=int(data.get("bits", 8)))
+        self.blocks = data.get("blocks", {})
+        self.layers = data.get("layers", [])
+        self.params = dict(data.get("params", {}))
+        if not isinstance(self.layers, list) or not self.layers:
+            raise SpecError("spec needs a non-empty 'layers' list")
+        self._counter = 0
+        #: name of the most recently emitted node ("@prev")
+        self.cursor: str = GRAPH_INPUT
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> OpGraph:
+        root = _Scope(entry_cursor=GRAPH_INPUT)
+        self._run_body(self.layers, root, self.params, prefix="")
+        return self.graph
+
+    def _run_body(self, body, scope: _Scope, env: dict, prefix: str) -> None:
+        if not isinstance(body, list):
+            raise SpecError(f"expected a list of entries, got {type(body)}")
+        for entry in body:
+            self._run_entry(entry, scope, env, prefix)
+
+    def _run_entry(self, entry, scope, env, prefix) -> None:
+        if not isinstance(entry, dict) or "op" not in entry:
+            raise SpecError(f"bad spec entry {entry!r}: needs an 'op'")
+        op = entry["op"]
+        if op == "repeat":
+            self._run_repeat(entry, scope, env, prefix)
+        elif op == "block":
+            self._run_block(entry, scope, env, prefix)
+        else:
+            self._emit(entry, scope, env, prefix)
+
+    def _run_repeat(self, entry, scope, env, prefix) -> None:
+        count = _resolve_value(entry.get("count"), env)
+        if not isinstance(count, int) or count < 1:
+            raise SpecError(f"repeat needs a positive 'count', got {count!r}")
+        tag = entry.get("name", "r")
+        for i in range(count):
+            # The loop index is in scope for the repeat's own params
+            # (per-iteration widths) as well as for the body.
+            base_env = dict(env)
+            base_env["i"] = i
+            child_env = dict(base_env)
+            child_env.update(
+                {k: _resolve_value(v, base_env)
+                 for k, v in entry.get("params", {}).items()}
+            )
+            child = _Scope(scope, entry_cursor=self.cursor)
+            body = self._body_of(entry, env)
+            self._run_body(body, child, child_env, f"{prefix}{tag}{i}_")
+
+    def _run_block(self, entry, scope, env, prefix) -> None:
+        child_env = dict(env)
+        child_env.update(
+            {k: _resolve_value(v, env)
+             for k, v in entry.get("params", {}).items()}
+        )
+        tag = entry.get("name")
+        if tag is None:
+            self._counter += 1
+            tag = f"{entry.get('block', 'blk')}{self._counter}"
+        child = _Scope(scope, entry_cursor=self.cursor)
+        body = self._body_of(entry, env)
+        self._run_body(body, child, child_env, f"{prefix}{tag}_")
+
+    def _body_of(self, entry, env) -> list:
+        if "body" in entry:
+            return entry["body"]
+        ref = entry.get("block")
+        if ref is None:
+            raise SpecError(f"entry {entry.get('op')!r} needs 'body' or 'block'")
+        ref = _resolve_value(ref, env) if isinstance(ref, str) and \
+            ref.startswith("$") else ref
+        if ref not in self.blocks:
+            raise SpecError(
+                f"unknown block {ref!r}; defined: {sorted(self.blocks)}"
+            )
+        return self.blocks[ref]
+
+    # ------------------------------------------------------------------
+
+    def _resolve_ref(self, ref: str, scope: _Scope) -> str:
+        if ref == "@input":
+            return GRAPH_INPUT
+        if ref == "@prev":
+            return self.cursor
+        if ref == "@prev_in":
+            return scope.entry_cursor
+        resolved = scope.resolve(ref)
+        if resolved is None and ref in self.graph:
+            # Fall back to fully-qualified node names so skip connections
+            # can reach into an already-instantiated block (U-Net style).
+            resolved = ref
+        if resolved is None:
+            raise SpecError(f"unknown layer reference {ref!r}")
+        return resolved
+
+    def _emit(self, entry, scope, env, prefix) -> None:
+        op = entry["op"]
+        refs = entry.get("inputs", entry.get("input"))
+        if refs is None:
+            refs = ["@prev"]
+        elif isinstance(refs, str):
+            refs = [refs]
+        if op in _MULTI_INPUT_OPS and len(refs) < 2:
+            # A fan-in op quietly defaulting to one operand would drop
+            # its residual/concat traffic from the cost model.
+            raise SpecError(
+                f"{op!r} entry needs an explicit 'inputs' list with two "
+                "or more operands"
+            )
+        inputs = [self._resolve_ref(r, scope) for r in refs]
+        alias = entry.get("name")
+        if alias is None:
+            self._counter += 1
+            alias = f"{op}{self._counter}"
+        node_name = f"{prefix}{alias}"
+        attrs = {
+            key: _resolve_value(value, env)
+            for key, value in entry.items()
+            if key not in _CONTROL_KEYS
+        }
+        self.graph.add(OpNode(node_name, op, inputs, attrs))
+        scope.define(alias, node_name)
+        self.cursor = node_name
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def parse_spec(data: dict) -> OpGraph:
+    """Expand a spec dict into an (unlowered) :class:`OpGraph`."""
+    return _SpecExecutor(data).run()
+
+
+def spec_to_graph(data: dict) -> tuple[DNNGraph, LoweringReport]:
+    """Expand, lower and validate a spec into a :class:`DNNGraph`."""
+    return run_pipeline(parse_spec(data))
+
+
+def load_spec(path: str | Path) -> dict:
+    """Read a spec dict from a ``.json`` / ``.yaml`` / ``.yml`` file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise SpecError(
+                f"{path.name}: YAML specs need the optional PyYAML package"
+            ) from exc
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise SpecError(f"{path.name}: invalid YAML: {exc}") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{path.name}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SpecError(f"{path.name}: spec must be a mapping")
+    return data
+
+
+def import_spec(path: str | Path) -> tuple[DNNGraph, LoweringReport]:
+    """Load a spec file and produce a validated :class:`DNNGraph`."""
+    return spec_to_graph(load_spec(path))

@@ -1,29 +1,39 @@
-"""Persistence: JSON round-trips for architectures, mappings, results."""
+"""Persistence: JSON round-trips for graphs, architectures, mappings."""
 
 from repro.io.serialization import (
+    GRAPH_FORMAT,
     SerializationError,
     arch_from_dict,
     arch_to_dict,
     candidate_result_summary,
+    graph_from_dict,
+    graph_to_dict,
     lms_from_dict,
     lms_to_dict,
     load_arch,
+    load_graph,
     load_mapping,
     mapping_result_summary,
     save_arch,
+    save_graph,
     save_mapping,
 )
 
 __all__ = [
+    "GRAPH_FORMAT",
     "SerializationError",
     "arch_from_dict",
     "arch_to_dict",
     "candidate_result_summary",
+    "graph_from_dict",
+    "graph_to_dict",
     "lms_from_dict",
     "lms_to_dict",
     "load_arch",
+    "load_graph",
     "load_mapping",
     "mapping_result_summary",
     "save_arch",
+    "save_graph",
     "save_mapping",
 ]

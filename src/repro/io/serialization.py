@@ -21,10 +21,16 @@ from repro.core.encoding import (
     Partition,
 )
 from repro.errors import ReproError
+from repro.workloads.graph import DNNGraph
+from repro.workloads.layer import Layer, LayerType
 
 
 class SerializationError(ReproError):
     """Malformed persisted data."""
+
+
+#: Top-level "format" marker of serialized DNN graphs.
+GRAPH_FORMAT = "dnn-graph"
 
 
 # ----------------------------------------------------------------------
@@ -55,6 +61,62 @@ def save_arch(arch: ArchConfig, path: str | Path) -> None:
 
 def load_arch(path: str | Path) -> ArchConfig:
     return arch_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# DNNGraph
+# ----------------------------------------------------------------------
+
+_LAYER_FIELDS = (
+    "out_h", "out_w", "out_k", "in_c", "kernel_r", "kernel_s",
+    "stride", "pad_h", "pad_w", "groups", "bits",
+)
+
+
+def graph_to_dict(graph: DNNGraph) -> dict:
+    """Serialize a :class:`DNNGraph` (layers + typed edges) to a dict."""
+    layers = []
+    for layer in graph.layers():
+        rec = {"name": layer.name, "kind": layer.kind.value}
+        rec.update({f: getattr(layer, f) for f in _LAYER_FIELDS})
+        rec["inputs"] = graph.predecessors(layer.name)
+        rec["combine"] = graph.combine_mode(layer.name)
+        rec["from_graph_input"] = graph.reads_graph_input(layer.name)
+        layers.append(rec)
+    return {"format": GRAPH_FORMAT, "name": graph.name, "layers": layers}
+
+
+def graph_from_dict(data: dict) -> DNNGraph:
+    """Rebuild a validated :class:`DNNGraph` from :func:`graph_to_dict`."""
+    fmt = data.get("format")
+    if fmt != GRAPH_FORMAT:
+        raise SerializationError(f"not a serialized graph (format={fmt!r})")
+    try:
+        graph = DNNGraph(data["name"])
+        for rec in data["layers"]:
+            layer = Layer(
+                name=rec["name"],
+                kind=LayerType(rec["kind"]),
+                **{f: rec[f] for f in _LAYER_FIELDS if f in rec},
+            )
+            graph.add_layer(
+                layer,
+                inputs=list(rec.get("inputs", [])),
+                combine=rec.get("combine", "concat"),
+                from_graph_input=bool(rec.get("from_graph_input", False)),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad graph record: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: DNNGraph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: str | Path) -> DNNGraph:
+    return graph_from_dict(json.loads(Path(path).read_text()))
 
 
 # ----------------------------------------------------------------------

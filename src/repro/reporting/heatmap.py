@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.topology import MeshTopology
 from repro.noc.traffic import TrafficMap
 
 #: ASCII intensity ramp (cold -> hot).

@@ -17,7 +17,7 @@ by residual connections feeding ELTWISE layers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import InvalidWorkloadError
 from repro.workloads.layer import Layer, LayerType

@@ -25,7 +25,7 @@ Conventions
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import InvalidWorkloadError
 

@@ -11,9 +11,16 @@ from repro.workloads.models.googlenet import googlenet
 from repro.workloads.models.inception import inception_resnet_v1
 from repro.workloads.models.pnasnet import pnasnet
 from repro.workloads.models.resnet import resnet50, resnext50
+from repro.workloads.models.speczoo import (
+    bert_base,
+    gpt_decode,
+    mobilenet_v2,
+    unet,
+)
 from repro.workloads.models.transformer import transformer, transformer_large
 
-#: Paper abbreviation -> builder.
+#: Paper abbreviation -> builder.  The last four are spec-defined
+#: (workloads/specs/*.json) and built through the frontend pipeline.
 MODEL_REGISTRY = {
     "RN-50": resnet50,
     "RNX": resnext50,
@@ -22,6 +29,10 @@ MODEL_REGISTRY = {
     "TF": transformer,
     "TF-Large": transformer_large,
     "GN": googlenet,
+    "BERT": bert_base,
+    "MBV2": mobilenet_v2,
+    "UNet": unet,
+    "GPT-Dec": gpt_decode,
 }
 
 
@@ -38,12 +49,16 @@ def build(name: str) -> DNNGraph:
 
 __all__ = [
     "MODEL_REGISTRY",
+    "bert_base",
     "build",
     "googlenet",
+    "gpt_decode",
     "inception_resnet_v1",
+    "mobilenet_v2",
     "pnasnet",
     "resnet50",
     "resnext50",
     "transformer",
     "transformer_large",
+    "unet",
 ]

@@ -1,0 +1,48 @@
+"""Spec-defined model zoo: DNNs shipped as declarative JSON specs.
+
+These models exercise layer kinds and shapes the five hand-coded paper
+workloads don't: ``DWCONV`` at depth (MobileNet-V2), encoder–decoder
+skips with upsampling (U-Net), long-sequence attention (BERT-base) and
+single-token decode against a KV cache (GPT decode blocks).  Each
+builder loads its spec from ``workloads/specs/`` through the frontend
+pipeline, so the registry doubles as an end-to-end exercise of
+:mod:`repro.frontend`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.workloads.graph import DNNGraph
+
+#: Directory holding the shipped ``.json`` model specs.
+SPEC_DIR = Path(__file__).resolve().parent.parent / "specs"
+
+
+def _build_from_spec(filename: str) -> DNNGraph:
+    # Imported lazily: repro.frontend depends on repro.workloads, so a
+    # module-level import here would be circular.
+    from repro.frontend.spec import import_spec
+
+    graph, _report = import_spec(SPEC_DIR / filename)
+    return graph
+
+
+def bert_base() -> DNNGraph:
+    """BERT-base encoder stack (12 layers, seq 128, d_model 768)."""
+    return _build_from_spec("bert_base.json")
+
+
+def mobilenet_v2() -> DNNGraph:
+    """MobileNet-V2 (224x224 ImageNet), depthwise-separable throughout."""
+    return _build_from_spec("mobilenet_v2.json")
+
+
+def unet() -> DNNGraph:
+    """Slim U-Net (128x128, base width 32) with skip concats."""
+    return _build_from_spec("unet.json")
+
+
+def gpt_decode() -> DNNGraph:
+    """Decode-phase GPT blocks: one token attending to a 1024-entry KV cache."""
+    return _build_from_spec("gpt_decode.json")

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.arch import ArchConfig
 from repro.cli import main
 from repro.core import LayerGroup

@@ -1,11 +1,10 @@
 """Unit tests for the LP SPM encoding (Sec IV-A)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.encoding import (
     IMPLICIT,
-    INTERLEAVED,
     FlowOfData,
     LayerGroup,
     LayerGroupMapping,

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.arch import ArchConfig, g_arch, s_arch
+from repro.arch import ArchConfig, g_arch
 from repro.core import (
-    LayerGroup,
     MappingEngine,
     MappingEngineSettings,
     SAController,

@@ -1,6 +1,5 @@
 """Unit tests for the Monetary Cost Evaluator (Sec V-C)."""
 
-import math
 from dataclasses import replace
 
 import pytest
@@ -10,9 +9,7 @@ from repro.arch import ArchConfig, g_arch, s_arch, t_arch, g_arch_120
 from repro.cost import (
     DEFAULT_MC,
     DramCostModel,
-    MCEvaluator,
     PackagingModel,
-    SiliconCostModel,
     YieldModel,
 )
 from repro.units import GB, MB

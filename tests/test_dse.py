@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import ArchConfig, arrange_cores, g_arch, s_arch
+from repro.arch import ArchConfig, g_arch, s_arch
 from repro.core.sa import SASettings
 from repro.dse import (
     DesignSpaceExplorer,
@@ -19,7 +19,7 @@ from repro.dse import (
     geomean,
     scale_with_chiplets,
 )
-from repro.units import GB, KB, MB
+from repro.units import GB, KB
 from repro.workloads.graph import DNNGraph
 from repro.workloads.layer import Layer, LayerType
 

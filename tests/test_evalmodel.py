@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import ArchConfig, MeshTopology, g_arch
+from repro.arch import ArchConfig, g_arch
 from repro.core.encoding import (
     IMPLICIT,
     FlowOfData,

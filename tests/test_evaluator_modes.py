@@ -4,7 +4,6 @@ energy model, and the GoogLeNet workload addition."""
 import pytest
 
 from repro.arch import ArchConfig, EnergyModel, g_arch
-from repro.core import LayerGroup
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
 from repro.evalmodel import Evaluator

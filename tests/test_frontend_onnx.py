@@ -1,0 +1,477 @@
+"""ONNX importer tests.
+
+The protobuf walker is duck-typed, so most tests drive it with plain
+stub objects and run with or without the optional ``onnx`` package;
+the real-protobuf round-trip at the bottom self-skips when ``onnx``
+is absent (CI runs both legs).
+"""
+
+from types import SimpleNamespace as NS
+
+import pytest
+
+from repro.frontend import run_pipeline
+from repro.frontend.onnx_import import (
+    OnnxImportError,
+    attr_dict,
+    onnx_graph_to_ir,
+)
+from repro.workloads.layer import LayerType
+
+
+# ----------------------------------------------------------------------
+# Stub protobuf pieces
+# ----------------------------------------------------------------------
+
+
+def attr_i(name, v):
+    return NS(name=name, type=2, i=v)
+
+
+def attr_ints(name, v):
+    return NS(name=name, type=7, ints=list(v))
+
+
+def node(op, inputs, outputs, name="", attrs=()):
+    return NS(op_type=op, input=list(inputs), output=list(outputs),
+              name=name, attribute=list(attrs))
+
+
+def vi(name, dims):
+    return NS(name=name, type=NS(tensor_type=NS(
+        shape=NS(dim=[NS(dim_value=d) for d in dims]))))
+
+
+def init(name, dims):
+    return NS(name=name, dims=list(dims))
+
+
+def graph(nodes, inputs, initializers, name="stub"):
+    return NS(name=name, node=list(nodes), input=list(inputs),
+              initializer=list(initializers))
+
+
+def cnn_graph():
+    return graph(
+        name="toy_cnn",
+        inputs=[vi("x", [1, 3, 32, 32])],
+        initializers=[
+            init("w1", [16, 3, 3, 3]), init("b1", [16]),
+            init("w2", [16, 1, 3, 3]),
+            init("wfc", [4096, 10]),
+        ],
+        nodes=[
+            node("Conv", ["x", "w1", "b1"], ["c1"], "conv1", [
+                attr_ints("kernel_shape", [3, 3]),
+                attr_ints("strides", [1, 1]),
+                attr_ints("pads", [1, 1, 1, 1]),
+            ]),
+            node("Relu", ["c1"], ["r1"], "relu1"),
+            node("MaxPool", ["r1"], ["p1"], "pool1", [
+                attr_ints("kernel_shape", [2, 2]),
+                attr_ints("strides", [2, 2]),
+            ]),
+            node("Conv", ["p1", "w2"], ["c2"], "convdw", [
+                attr_ints("kernel_shape", [3, 3]),
+                attr_ints("pads", [1, 1, 1, 1]),
+                attr_i("group", 16),
+            ]),
+            node("Add", ["c2", "p1"], ["a1"], "res"),
+            node("Flatten", ["a1"], ["f1"], "flat"),
+            node("Gemm", ["f1", "wfc"], ["out"], "fc"),
+        ],
+    )
+
+
+def attention_graph():
+    return graph(
+        name="toy_attn",
+        inputs=[vi("x", [1, 64, 256])],
+        initializers=[init("wq", [256, 256]), init("wk", [256, 256]),
+                      init("wv", [256, 256])],
+        nodes=[
+            node("MatMul", ["x", "wq"], ["q"], "q"),
+            node("MatMul", ["x", "wk"], ["k"], "k"),
+            node("MatMul", ["x", "wv"], ["v"], "v"),
+            node("Transpose", ["k"], ["kT"], "kT",
+                 [attr_ints("perm", [0, 2, 1])]),
+            node("MatMul", ["q", "kT"], ["scores"], "qk"),
+            node("Softmax", ["scores"], ["probs"], "softmax"),
+            node("MatMul", ["probs", "v"], ["ctx"], "av"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+class TestAttrDict:
+    def test_int_ints_and_unknown(self):
+        n = node("X", [], [], attrs=[
+            attr_i("group", 4),
+            attr_ints("pads", [1, 2, 1, 2]),
+            NS(name="weird", type=99),
+        ])
+        attrs = attr_dict(n)
+        assert attrs == {"group": 4, "pads": [1, 2, 1, 2]}
+
+    def test_string_attr_decodes(self):
+        n = node("X", [], [], attrs=[NS(name="mode", type=3, s=b"nearest")])
+        assert attr_dict(n)["mode"] == "nearest"
+
+
+class TestWalker:
+    def test_cnn_ops_and_shapes(self):
+        ir, report = onnx_graph_to_ir(cnn_graph())
+        assert ir.input_shape == (32, 32, 3)
+        ops = {n.name: n.op for n in ir.nodes.values()}
+        assert ops["conv1"] == "conv"
+        assert ops["pool1"] == "pool"
+        assert ops["fc"] == "fc"
+        # bias initializer recorded as fused
+        assert any(e.kind == "fused" for e in report.entries)
+
+    def test_cnn_lowers_to_valid_graph(self):
+        ir, report = onnx_graph_to_ir(cnn_graph())
+        graph_, report = run_pipeline(ir, report)
+        graph_.validate()
+        kinds = {l.name: l.kind for l in graph_.layers()}
+        assert kinds["conv1"] is LayerType.CONV
+        assert kinds["convdw"] is LayerType.DWCONV
+        assert kinds["res"] is LayerType.ELTWISE
+        # Flatten + Gemm becomes a full-frame conv (16x16 ifmap).
+        fc = graph_.layer("fc")
+        assert fc.out_k == 10 and fc.macs(1) == 10 * 16 * 16 * 16
+
+    def test_attention_recovers_transpose(self):
+        ir, report = onnx_graph_to_ir(attention_graph())
+        graph_, report = run_pipeline(ir, report)
+        graph_.validate()
+        qk = graph_.layer("qk")
+        assert qk.kind is LayerType.MATMUL
+        assert (qk.out_h, qk.out_k, qk.in_c) == (64, 64, 256)
+        av = graph_.layer("av")
+        assert (av.out_h, av.out_k, av.in_c) == (64, 256, 64)
+        # Weight MatMuls became token-wise 1x1 convs.
+        assert graph_.layer("q").kind is LayerType.CONV
+        assert graph_.layer("q").weight_elems() == 256 * 256
+
+    def test_unknown_op_is_reported(self):
+        g = graph(
+            inputs=[vi("x", [1, 4, 8, 8])],
+            initializers=[],
+            nodes=[node("SpatialMagic", ["x"], ["y"], "m")],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, report = run_pipeline(ir, report)
+        assert not report.is_exact
+        assert graph_.layer("m").kind is LayerType.VECTOR
+
+    def test_constant_only_expressions_skipped(self):
+        g = graph(
+            inputs=[vi("x", [1, 4, 8, 8])],
+            initializers=[init("shape_src", [4])],
+            nodes=[
+                node("Shape", ["shape_src"], ["s"], "shape"),
+                node("Reshape", ["x", "s"], ["y"], "reshape"),
+                node("Relu", ["y"], ["z"], "act"),
+            ],
+        )
+        ir, _ = onnx_graph_to_ir(g)
+        assert "shape" not in ir.nodes
+        graph_, _ = run_pipeline(ir)
+        assert graph_.layer_names() == ["act"]
+
+    def test_dynamic_input_dims_raise(self):
+        g = graph(
+            inputs=[vi("x", [0, 3, 0, 32])],
+            initializers=[],
+            nodes=[node("Relu", ["x"], ["y"], "r")],
+        )
+        with pytest.raises(OnnxImportError):
+            onnx_graph_to_ir(g)
+
+    def test_secondary_input_is_approximated_loudly(self):
+        g = graph(
+            inputs=[vi("x", [1, 3, 16, 16]), vi("mask", [1, 16])],
+            initializers=[],
+            nodes=[
+                node("Relu", ["x"], ["a"], "a"),
+                node("Relu", ["mask"], ["b"], "b"),
+            ],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        assert not report.is_exact
+        assert any(e.node == "mask" for e in report.approximated)
+
+    def test_no_data_input_raises(self):
+        g = graph(inputs=[], initializers=[], nodes=[])
+        with pytest.raises(OnnxImportError):
+            onnx_graph_to_ir(g)
+
+    def test_constant_node_weights(self):
+        # tf2onnx-style export: conv weights come from a Constant node,
+        # not a graph initializer.
+        const_w = NS(op_type="Constant", input=[], output=["w"],
+                     name="wconst", attribute=[
+                         NS(name="value", type=4, t=NS(dims=[8, 3, 3, 3]))])
+        g = graph(
+            inputs=[vi("x", [1, 3, 16, 16])],
+            initializers=[],
+            nodes=[
+                const_w,
+                node("Conv", ["x", "w"], ["c"], "conv", [
+                    attr_ints("kernel_shape", [3, 3]),
+                    attr_ints("pads", [1, 1, 1, 1]),
+                ]),
+            ],
+        )
+        ir, _ = onnx_graph_to_ir(g)
+        assert ir.node("conv").attrs["k"] == 8
+
+    def test_weight_without_shape_raises_import_error(self):
+        g = graph(
+            inputs=[vi("x", [1, 3, 16, 16])],
+            initializers=[init("shape_only", [2])],
+            nodes=[
+                # An expression over constants: output is constant but
+                # its dims are unknown — must be a loud OnnxImportError,
+                # not a KeyError.
+                node("Mul", ["shape_only", "shape_only"], ["w"], "w"),
+                node("Conv", ["x", "w"], ["c"], "conv",
+                     [attr_ints("kernel_shape", [3, 3])]),
+            ],
+        )
+        with pytest.raises(OnnxImportError, match="shape is unknown"):
+            onnx_graph_to_ir(g)
+
+    def test_asymmetric_pads_and_strides(self):
+        # TF SAME padding on a stride-2 conv: pads [0, 0, 1, 1].
+        g = graph(
+            inputs=[vi("x", [1, 3, 224, 224])],
+            initializers=[init("w", [32, 3, 3, 3])],
+            nodes=[node("Conv", ["x", "w"], ["c"], "conv", [
+                attr_ints("kernel_shape", [3, 3]),
+                attr_ints("strides", [2, 2]),
+                attr_ints("pads", [0, 0, 1, 1]),
+            ])],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, report = run_pipeline(ir, report)
+        conv = graph_.layer("conv")
+        # begin+end pad sum of 1 rounds up to symmetric 1 -> out 112,
+        # matching the framework's SAME arithmetic, and is loudly
+        # reported as an approximation (is_exact goes False).
+        assert (conv.out_h, conv.out_w) == (112, 112)
+        assert any("asymmetric pads" in e.detail
+                   for e in report.approximated)
+        assert not report.is_exact
+
+    def test_pool_default_stride_is_one(self):
+        # ONNX defaults pool strides to 1, not to the kernel size.
+        g = graph(
+            inputs=[vi("x", [1, 4, 16, 16])],
+            initializers=[],
+            nodes=[node("MaxPool", ["x"], ["y"], "p",
+                        [attr_ints("kernel_shape", [3, 3])])],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, _ = run_pipeline(ir, report)
+        p = graph_.layer("p")
+        assert p.stride == 1
+        assert (p.out_h, p.out_w) == (14, 14)
+
+    def test_gemm_two_activations_plus_bias_is_matmul(self):
+        g = graph(
+            inputs=[vi("x", [1, 8, 16])],
+            initializers=[init("bias", [16])],
+            nodes=[
+                node("Relu", ["x"], ["a"], "a"),
+                node("Relu", ["x"], ["b"], "b"),
+                node("Gemm", ["a", "b", "bias"], ["y"], "g",
+                     [attr_i("transB", 1)]),
+            ],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        assert ir.node("g").op == "matmul"
+        assert ir.node("g").inputs == ["a", "b"]
+        assert any(e.kind == "fused" and e.op == "Gemm"
+                   for e in report.entries)
+        graph_, _ = run_pipeline(ir, report)
+        gm = graph_.layer("g")
+        assert gm.kind is LayerType.MATMUL
+        assert set(graph_.predecessors("g")) == {"a", "b"}
+
+    def test_gemm_activation_bias_kept_as_add(self):
+        # Gemm(x, W, r) with r an activation: the r dependency must
+        # survive as an explicit elementwise add, not vanish.
+        g = graph(
+            inputs=[vi("x", [1, 16])],
+            initializers=[init("W", [16, 16])],
+            nodes=[
+                node("Relu", ["x"], ["r"], "r"),
+                node("Gemm", ["x", "W", "r"], ["y"], "g"),
+                node("Relu", ["y"], ["out"], "out"),
+            ],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, report = run_pipeline(ir, report)
+        graph_.validate()
+        adds = [l for l in graph_.layers() if l.kind is LayerType.ELTWISE]
+        assert len(adds) == 1
+        assert "r" in graph_.predecessors(adds[0].name)
+        assert any("explicit" in e.detail for e in report.lowered)
+
+    def test_weight_first_matmul_and_gemm(self):
+        # MatMul(W, x): output features are W's rows, not its columns.
+        g = graph(
+            inputs=[vi("x", [1, 128, 64])],
+            initializers=[init("W", [256, 64]), init("G", [256, 10])],
+            nodes=[
+                node("MatMul", ["W", "x"], ["y"], "wx"),
+                node("Gemm", ["G", "y"], ["z"], "gy",
+                     [attr_i("transA", 1)]),
+            ],
+        )
+        ir, _ = onnx_graph_to_ir(g)
+        assert ir.node("wx").attrs["k"] == 256
+        # transA=1: features come from G's columns.
+        assert ir.node("gy").attrs["k"] == 10
+
+    def test_auto_pad_same_is_reported(self):
+        g = graph(
+            inputs=[vi("x", [1, 3, 224, 224])],
+            initializers=[init("w", [32, 3, 3, 3])],
+            nodes=[node("Conv", ["x", "w"], ["c"], "conv", [
+                attr_ints("kernel_shape", [3, 3]),
+                attr_ints("strides", [2, 2]),
+                NS(name="auto_pad", type=3, s=b"SAME_UPPER"),
+            ])],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, report = run_pipeline(ir, report)
+        conv = graph_.layer("conv")
+        assert (conv.out_h, conv.out_w) == (112, 112)
+        assert any("auto_pad" in e.detail for e in report.lowered)
+
+    def test_resize_scale_from_initializer(self):
+        scales = NS(name="sc", dims=[4], float_data=[1.0, 1.0, 4.0, 4.0])
+        g = NS(name="rs", node=[
+            node("Resize", ["x", "roi", "sc"], ["y"], "up4"),
+        ], input=[vi("x", [1, 8, 16, 16])], initializer=[
+            init("roi", [0]), scales,
+        ])
+        ir, report = onnx_graph_to_ir(g)
+        assert ir.node("up4").attrs["scale"] == 4
+        assert report.is_exact
+        assert any(e.node == "up4" and "4x" in e.detail
+                   for e in report.lowered)
+
+    def test_resize_unknown_scale_is_approximated(self):
+        g = graph(
+            inputs=[vi("x", [1, 8, 16, 16])],
+            initializers=[init("roi", [0]), init("sc", [4])],
+            nodes=[node("Resize", ["x", "roi", "sc"], ["y"], "up")],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        assert ir.node("up").attrs["scale"] == 2
+        assert not report.is_exact
+
+    def test_approximated_op_with_incompatible_operands_degrades(self):
+        # An unknown binary op whose operands are not elementwise-
+        # compatible must still import (as a unary vector pass).
+        g = graph(
+            inputs=[vi("x", [1, 4, 8, 8])],
+            initializers=[init("w", [8, 4, 1, 1])],
+            nodes=[
+                node("Conv", ["x", "w"], ["c"], "widen",
+                     [attr_ints("kernel_shape", [1, 1])]),
+                node("GatherElements", ["x", "c"], ["y"], "odd"),
+            ],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, report = run_pipeline(ir, report)
+        graph_.validate()
+        assert graph_.layer("odd").kind is LayerType.VECTOR
+        assert not report.is_exact
+        assert any("re-approximated" in e.detail
+                   for e in report.approximated)
+
+    def test_se_block_broadcast_mul(self):
+        # Squeeze-excitation gating: Mul([h,w,k], [1,1,k]).
+        g = graph(
+            inputs=[vi("x", [1, 8, 14, 14])],
+            initializers=[init("w", [8, 8, 1, 1])],
+            nodes=[
+                node("GlobalAveragePool", ["x"], ["s"], "squeeze"),
+                node("Conv", ["s", "w"], ["e"], "excite",
+                     [attr_ints("kernel_shape", [1, 1])]),
+                node("Sigmoid", ["e"], ["gate"], "gate"),
+                node("Mul", ["x", "gate"], ["y"], "scale"),
+            ],
+        )
+        ir, report = onnx_graph_to_ir(g)
+        graph_, _ = run_pipeline(ir, report)
+        graph_.validate()
+        scale = graph_.layer("scale")
+        assert scale.kind is LayerType.ELTWISE
+        assert (scale.out_h, scale.out_w, scale.out_k) == (14, 14, 8)
+
+    def test_unnamed_nodes_get_unique_names(self):
+        g = graph(
+            inputs=[vi("x", [1, 4, 8, 8])],
+            initializers=[],
+            nodes=[
+                node("Relu", ["x"], ["a"]),
+                node("Relu", ["a"], ["b"]),
+            ],
+        )
+        ir, _ = onnx_graph_to_ir(g)
+        assert len(ir.nodes) == 2
+        assert len(set(ir.nodes)) == 2
+
+
+class TestRealOnnx:
+    """End-to-end with the real protobuf (skips when onnx is absent)."""
+
+    def test_import_onnx_file(self, tmp_path):
+        onnx = pytest.importorskip("onnx")
+        from onnx import TensorProto, helper
+        import numpy as np
+
+        w = np.zeros((8, 3, 3, 3), dtype=np.float32)
+        model = helper.make_model(helper.make_graph(
+            [
+                helper.make_node("Conv", ["x", "w"], ["c"], name="conv",
+                                 kernel_shape=[3, 3], pads=[1, 1, 1, 1]),
+                helper.make_node("Relu", ["c"], ["y"], name="act"),
+            ],
+            "real_toy",
+            [helper.make_tensor_value_info("x", TensorProto.FLOAT,
+                                           [1, 3, 16, 16])],
+            [helper.make_tensor_value_info("y", TensorProto.FLOAT,
+                                           [1, 8, 16, 16])],
+            initializer=[helper.make_tensor(
+                "w", TensorProto.FLOAT, w.shape, w.flatten())],
+        ), opset_imports=[helper.make_opsetid("", 17)])
+        path = tmp_path / "toy.onnx"
+        onnx.save(model, str(path))
+
+        from repro.frontend import import_onnx
+
+        graph_, report = import_onnx(path)
+        graph_.validate()
+        assert graph_.layer("conv").kind is LayerType.CONV
+        assert graph_.layer("conv").out_k == 8
+        assert [e.node for e in report.fused] == ["act"]
+
+    def test_import_onnx_missing_package_message(self, tmp_path, monkeypatch):
+        try:
+            import onnx  # noqa: F401
+            pytest.skip("onnx installed; the gate cannot trip")
+        except ImportError:
+            pass
+        from repro.frontend import import_onnx
+
+        with pytest.raises(OnnxImportError, match="optional 'onnx'"):
+            import_onnx(tmp_path / "nope.onnx")

@@ -1,0 +1,238 @@
+"""IR-level pass pipeline tests, including degenerate-graph guards."""
+
+import pytest
+
+from repro.arch import g_arch
+from repro.core import MappingEngine, MappingEngineSettings, SASettings
+from repro.errors import InvalidWorkloadError
+from repro.evalmodel import (
+    EnergyBreakdown,
+    average_concurrent_layers,
+    d2d_energy_share,
+    pipeline_fill_drain_loss,
+)
+from repro.evalmodel.delay import pipeline_utilization
+from repro.frontend import GRAPH_INPUT, LoweringReport, OpGraph, OpNode
+from repro.frontend.passes import (
+    fold_structural,
+    fuse_activations,
+    infer_shapes,
+    insert_input_adapters,
+    lower_unknown,
+    run_pipeline,
+)
+from repro.workloads.layer import LayerType
+
+
+def make_graph(nodes, input_shape=(8, 8, 4), name="t"):
+    g = OpGraph(name, input_shape)
+    for n in nodes:
+        g.add(n)
+    return g
+
+
+class TestFoldStructural:
+    def test_reshape_chain_folds_away(self):
+        g = make_graph([
+            OpNode("c", "conv", [GRAPH_INPUT], {"k": 8, "kernel": 3}),
+            OpNode("r", "reshape", ["c"]),
+            OpNode("t", "transpose", ["r"]),
+            OpNode("v", "softmax", ["t"]),
+        ])
+        report = LoweringReport()
+        fold_structural(g, report)
+        assert set(g.nodes) == {"c", "v"}
+        assert g.node("v").inputs == ["c"]
+        assert len(report.folded) == 2
+
+    def test_fold_keeps_topology_valid(self):
+        g = make_graph([
+            OpNode("c", "conv", [GRAPH_INPUT], {"k": 4, "kernel": 1}),
+            OpNode("f", "flatten", ["c"]),
+            OpNode("a", "add", ["f", "c"]),
+        ])
+        fold_structural(g, LoweringReport())
+        assert g.node("a").inputs == ["c", "c"]
+        assert g.topological_order() == ["c", "a"]
+
+
+class TestLowerUnknown:
+    def test_unary_unknown_becomes_vector(self):
+        g = make_graph([OpNode("x", "fancy_norm", [GRAPH_INPUT])])
+        report = LoweringReport()
+        lower_unknown(g, report)
+        assert g.node("x").op == "vector"
+        assert g.node("x").attrs["origin"] == "fancy_norm"
+        assert not report.is_exact
+
+    def test_binary_unknown_becomes_eltwise(self):
+        g = make_graph([
+            OpNode("a", "vector", [GRAPH_INPUT]),
+            OpNode("b", "vector", [GRAPH_INPUT]),
+            OpNode("x", "gated_mix", ["a", "b"]),
+        ])
+        report = LoweringReport()
+        lower_unknown(g, report)
+        assert g.node("x").op == "eltwise"
+        assert [e.op for e in report.approximated] == ["gated_mix"]
+
+
+class TestInferShapes:
+    def test_conv_same_padding_and_stride(self):
+        g = make_graph([
+            OpNode("c", "conv", [GRAPH_INPUT],
+                   {"k": 16, "kernel": 3, "stride": 2}),
+        ], input_shape=(32, 32, 3))
+        infer_shapes(g)
+        assert g.node("c").shape == (16, 16, 16)
+
+    def test_matmul_orientation_recovery(self):
+        g = make_graph([
+            OpNode("q", "conv", [GRAPH_INPUT], {"k": 16, "kernel": 1}),
+            OpNode("k", "conv", [GRAPH_INPUT], {"k": 16, "kernel": 1}),
+            # Both operands are (8, 1, 16): plain contraction cannot
+            # fit (16 != 8), so inference must flip to transpose_b.
+            OpNode("s", "matmul", ["q", "k"]),
+        ], input_shape=(8, 1, 4))
+        report = LoweringReport()
+        infer_shapes(g, report=report)
+        assert g.node("s").shape == (8, 1, 8)
+        assert g.node("s").attrs["transpose_b"] is True
+        assert any("orientation" in e.detail for e in report.lowered)
+
+    def test_matmul_mismatch_raises(self):
+        g = make_graph([
+            OpNode("a", "conv", [GRAPH_INPUT], {"k": 6, "kernel": 1}),
+            OpNode("b", "conv", [GRAPH_INPUT], {"k": 5, "kernel": 1}),
+            OpNode("s", "matmul", ["a", "b"]),
+        ], input_shape=(4, 1, 3))
+        with pytest.raises(InvalidWorkloadError):
+            infer_shapes(g)
+
+    def test_eltwise_shape_mismatch_raises(self):
+        g = make_graph([
+            OpNode("a", "conv", [GRAPH_INPUT], {"k": 4, "kernel": 1}),
+            OpNode("b", "conv", [GRAPH_INPUT], {"k": 8, "kernel": 1}),
+            OpNode("s", "add", ["a", "b"]),
+        ])
+        with pytest.raises(InvalidWorkloadError):
+            infer_shapes(g)
+
+    def test_concat_and_upsample(self):
+        g = make_graph([
+            OpNode("a", "conv", [GRAPH_INPUT], {"k": 4, "kernel": 1}),
+            OpNode("b", "conv", [GRAPH_INPUT], {"k": 6, "kernel": 1}),
+            OpNode("cat", "concat", ["a", "b"]),
+            OpNode("up", "upsample", ["cat"], {"scale": 2}),
+        ])
+        infer_shapes(g)
+        assert g.node("cat").shape == (8, 8, 10)
+        assert g.node("up").shape == (16, 16, 10)
+
+
+class TestFusion:
+    def test_activation_chain_fuses_into_pe_producer(self):
+        g = make_graph([
+            OpNode("c", "conv", [GRAPH_INPUT], {"k": 8, "kernel": 3}),
+            OpNode("r", "relu", ["c"]),
+            OpNode("cl", "clip", ["r"]),
+            OpNode("p", "pool", ["cl"], {"kernel": 2}),
+        ])
+        report = LoweringReport()
+        infer_shapes(g)
+        fuse_activations(g, report)
+        assert set(g.nodes) == {"c", "p"}
+        assert g.node("c").attrs["fused"] == ["relu", "clip"]
+        assert len(report.fused) == 2
+
+    def test_activation_on_graph_input_stays(self):
+        g = make_graph([OpNode("r", "relu", [GRAPH_INPUT])])
+        infer_shapes(g)
+        fuse_activations(g, LoweringReport())
+        assert "r" in g.nodes
+
+    def test_activation_after_pool_stays(self):
+        g = make_graph([
+            OpNode("p", "pool", [GRAPH_INPUT], {"kernel": 2}),
+            OpNode("r", "relu", ["p"]),
+        ])
+        infer_shapes(g)
+        fuse_activations(g, LoweringReport())
+        assert "r" in g.nodes
+
+
+class TestInputAdapters:
+    def test_residual_against_graph_input(self):
+        g = make_graph([
+            OpNode("c", "conv", [GRAPH_INPUT], {"k": 4, "kernel": 3}),
+            OpNode("a", "add", ["c", GRAPH_INPUT]),
+        ])
+        report = LoweringReport()
+        infer_shapes(g)
+        insert_input_adapters(g, report)
+        adapter = [n for n in g.nodes.values() if n.op == "vector"]
+        assert len(adapter) == 1
+        assert g.node("a").inputs == ["c", adapter[0].name]
+        graph, _ = run_pipeline(g, report)
+        graph.validate()
+
+
+class TestEndToEndPipeline:
+    def test_full_pipeline_reports_and_validates(self):
+        g = make_graph([
+            OpNode("c1", "conv", [GRAPH_INPUT], {"k": 8, "kernel": 3}),
+            OpNode("r1", "relu", ["c1"]),
+            OpNode("rs", "reshape", ["r1"]),
+            OpNode("my", "mystery_op", ["rs"]),
+            OpNode("p", "pool", ["my"], {"kernel": 2}),
+        ])
+        graph, report = run_pipeline(g)
+        graph.validate()
+        assert len(report.fused) == 1
+        assert len(report.folded) == 1
+        assert len(report.approximated) == 1
+        assert graph.layer("my").kind is LayerType.VECTOR
+
+
+class TestDegenerateGraphGuards:
+    """Zero-MAC ELTWISE/VECTOR-only graphs must evaluate cleanly."""
+
+    def degenerate_result(self):
+        g = make_graph([
+            OpNode("v1", "vector", [GRAPH_INPUT]),
+            OpNode("v2", "vector", [GRAPH_INPUT]),
+            OpNode("e", "add", ["v1", "v2"]),
+        ], input_shape=(4, 4, 8), name="degen")
+        graph, _ = run_pipeline(g)
+        engine = MappingEngine(
+            g_arch(),
+            settings=MappingEngineSettings(sa=SASettings(iterations=4)),
+        )
+        return engine.map(graph, batch=2)
+
+    def test_maps_without_error(self):
+        result = self.degenerate_result()
+        assert result.delay > 0
+        assert result.energy > 0
+
+    def test_metrics_are_finite(self):
+        result = self.degenerate_result()
+        assert average_concurrent_layers(result) >= 0
+        assert 0.0 <= d2d_energy_share(result) <= 1.0
+        assert 0.0 <= pipeline_fill_drain_loss(result) <= 1.0
+
+    def test_energy_fractions_guarded(self):
+        zero = EnergyBreakdown()
+        assert zero.fractions() == {
+            "intra": 0.0, "noc": 0.0, "d2d": 0.0, "dram": 0.0,
+        }
+        mixed = EnergyBreakdown(intra=1.0, noc=1.0, d2d=0.0, dram=2.0)
+        fr = mixed.fractions()
+        assert fr["dram"] == pytest.approx(0.5)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_pipeline_utilization_guarded(self):
+        assert pipeline_utilization(0, 1) == 0.0
+        assert pipeline_utilization(0, 0) == 0.0
+        assert pipeline_utilization(4, 1) == 1.0
+        assert pipeline_utilization(4, 5) == pytest.approx(0.5)

@@ -1,0 +1,251 @@
+"""Declarative spec frontend: macros, shape inference, the spec zoo."""
+
+import json
+
+import pytest
+
+from repro.frontend import parse_spec, spec_to_graph
+from repro.frontend.spec import SpecError, import_spec, load_spec
+from repro.workloads.layer import LayerType
+from repro.workloads.models.speczoo import SPEC_DIR
+
+
+def small_spec(**overrides):
+    spec = {
+        "name": "tiny",
+        "input": {"h": 8, "w": 8, "c": 3},
+        "layers": [
+            {"op": "conv", "k": 8, "kernel": 3, "name": "c1"},
+            {"op": "relu", "name": "a1"},
+            {"op": "pool", "kernel": 2, "name": "p1"},
+            {"op": "fc", "k": 10, "name": "head"},
+        ],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestSpecBasics:
+    def test_builds_and_validates(self):
+        graph, report = spec_to_graph(small_spec())
+        graph.validate()
+        assert graph.layer_names() == ["c1", "p1", "head"]
+        assert [e.node for e in report.fused] == ["a1"]
+
+    def test_shape_inference(self):
+        graph, _ = spec_to_graph(small_spec())
+        c1 = graph.layer("c1")
+        assert (c1.out_h, c1.out_w, c1.out_k, c1.in_c) == (8, 8, 8, 3)
+        p1 = graph.layer("p1")
+        assert (p1.out_h, p1.out_w, p1.out_k) == (4, 4, 8)
+
+    def test_fc_after_spatial_becomes_full_frame_conv(self):
+        graph, _ = spec_to_graph(small_spec())
+        head = graph.layer("head")
+        assert head.kind is LayerType.CONV
+        assert (head.kernel_r, head.kernel_s) == (4, 4)
+        assert head.in_c == 8
+        # Same MACs as the flattened FC: 10 * (4*4*8).
+        assert head.macs(1) == 10 * 4 * 4 * 8
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(SpecError):
+            parse_spec({"name": "x"})
+        with pytest.raises(SpecError):
+            parse_spec({"name": "x", "input": {"h": 4, "c": 3}, "layers": []})
+
+    def test_unknown_reference_raises(self):
+        spec = small_spec()
+        spec["layers"][1] = {"op": "relu", "input": "nope"}
+        with pytest.raises(SpecError):
+            parse_spec(spec)
+
+    def test_bad_expression_raises(self):
+        spec = small_spec()
+        spec["layers"][0]["k"] = "${undefined_param * 2}"
+        with pytest.raises(SpecError):
+            parse_spec(spec)
+
+    @pytest.mark.parametrize("expr", [
+        "${(1).__class__}",
+        "${[c for c in (1,2)]}",
+        "${__import__('os').system('true')}",
+        "${open('/etc/passwd')}",
+        "${'a' * 9}",
+    ])
+    def test_expressions_are_sandboxed(self, expr):
+        # Specs may come from third parties: anything beyond names,
+        # numbers and arithmetic must be rejected, not evaluated.
+        spec = small_spec()
+        spec["layers"][0]["k"] = expr
+        with pytest.raises(SpecError):
+            parse_spec(spec)
+
+
+class TestMacros:
+    def test_repeat_threads_cursor_and_prefixes_names(self):
+        spec = {
+            "name": "chain",
+            "input": {"h": 4, "w": 4, "c": 4},
+            "layers": [
+                {"op": "repeat", "count": 3, "name": "b", "body": [
+                    {"op": "conv", "k": 4, "kernel": 3, "name": "c"},
+                ]},
+            ],
+        }
+        graph, _ = spec_to_graph(spec)
+        assert graph.layer_names() == ["b0_c", "b1_c", "b2_c"]
+        assert graph.predecessors("b1_c") == ["b0_c"]
+
+    def test_repeat_index_in_expressions(self):
+        spec = {
+            "name": "widen",
+            "input": {"h": 4, "w": 4, "c": 4},
+            "layers": [
+                {"op": "repeat", "count": 2, "name": "s", "body": [
+                    {"op": "conv", "k": "${4 * (i + 1)}", "kernel": 1,
+                     "name": "c"},
+                ]},
+            ],
+        }
+        graph, _ = spec_to_graph(spec)
+        assert graph.layer("s0_c").out_k == 4
+        assert graph.layer("s1_c").out_k == 8
+
+    def test_repeat_index_in_repeat_params(self):
+        # The loop index must be in scope for the repeat's own params.
+        spec = {
+            "name": "stages",
+            "input": {"h": 4, "w": 4, "c": 8},
+            "blocks": {
+                "one": [{"op": "conv", "k": "$k", "kernel": 1, "name": "c"}],
+            },
+            "layers": [
+                {"op": "repeat", "count": 3, "name": "s", "block": "one",
+                 "params": {"k": "${8 * (i + 1)}"}},
+            ],
+        }
+        graph, _ = spec_to_graph(spec)
+        assert [graph.layer(f"s{i}_c").out_k for i in range(3)] == [8, 16, 24]
+
+    def test_block_params_and_prev_in(self):
+        spec = {
+            "name": "res",
+            "input": {"h": 4, "w": 4, "c": 8},
+            "blocks": {
+                "residual": [
+                    {"op": "conv", "k": "$k", "kernel": 3, "name": "body"},
+                    {"op": "add", "inputs": ["body", "@prev_in"],
+                     "name": "out"},
+                ],
+            },
+            "layers": [
+                {"op": "conv", "k": 8, "kernel": 1, "name": "stem"},
+                {"op": "block", "block": "residual", "name": "r1",
+                 "params": {"k": 8}},
+            ],
+        }
+        graph, _ = spec_to_graph(spec)
+        assert set(graph.predecessors("r1_out")) == {"r1_body", "stem"}
+
+    def test_cross_block_skip_by_qualified_name(self):
+        spec = {
+            "name": "skip",
+            "input": {"h": 8, "w": 8, "c": 4},
+            "blocks": {
+                "one": [{"op": "conv", "k": 4, "kernel": 3, "name": "out"}],
+            },
+            "layers": [
+                {"op": "block", "block": "one", "name": "e1"},
+                {"op": "block", "block": "one", "name": "e2"},
+                {"op": "concat", "inputs": ["e1_out", "e2_out"],
+                 "name": "cat"},
+            ],
+        }
+        graph, _ = spec_to_graph(spec)
+        assert graph.layer("cat").out_k == 8
+        assert graph.combine_mode("cat") == "concat"
+
+    def test_unknown_block_raises(self):
+        spec = small_spec()
+        spec["layers"].append({"op": "block", "block": "nope"})
+        with pytest.raises(SpecError):
+            parse_spec(spec)
+
+
+class TestSpecFiles:
+    def test_json_file_roundtrip(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(small_spec()))
+        graph, _ = import_spec(path)
+        assert len(graph) == 3
+
+    def test_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "m.yaml"
+        path.write_text(yaml.safe_dump(small_spec()))
+        graph, _ = import_spec(path)
+        assert len(graph) == 3
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError):
+            load_spec(path)
+
+    def test_bad_yaml_raises_spec_error(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "m.yaml"
+        path.write_text("layers: [{op: conv,")
+        with pytest.raises(SpecError, match="invalid YAML"):
+            load_spec(path)
+
+
+class TestSpecZoo:
+    """The four shipped spec models (acceptance: new scenarios)."""
+
+    @pytest.mark.parametrize("fname,min_layers", [
+        ("bert_base.json", 150),
+        ("mobilenet_v2.json", 60),
+        ("unet.json", 25),
+        ("gpt_decode.json", 55),
+    ])
+    def test_builds_and_validates(self, fname, min_layers):
+        graph, report = import_spec(SPEC_DIR / fname)
+        graph.validate()
+        assert len(graph) >= min_layers
+        # Shipped specs must lower exactly: no approximated ops.
+        assert report.is_exact
+
+    def test_mobilenet_exercises_dwconv(self):
+        graph, _ = import_spec(SPEC_DIR / "mobilenet_v2.json")
+        kinds = {l.kind for l in graph.layers()}
+        assert LayerType.DWCONV in kinds
+        dw = graph.layer("s3a_dw")
+        assert dw.groups == dw.in_c == dw.out_k
+
+    def test_bert_attention_shapes(self):
+        graph, _ = import_spec(SPEC_DIR / "bert_base.json")
+        qk = graph.layer("l0_qk")
+        assert qk.kind is LayerType.MATMUL
+        assert (qk.out_h, qk.out_k, qk.in_c) == (128, 128, 768)
+        ctx = graph.layer("l0_ctx")
+        assert (ctx.out_h, ctx.out_k, ctx.in_c) == (128, 768, 128)
+
+    def test_gpt_decode_kv_cache_shapes(self):
+        graph, _ = import_spec(SPEC_DIR / "gpt_decode.json")
+        qk = graph.layer("l0_qk")
+        # One query token against a 1024-entry KV cache.
+        assert (qk.out_h, qk.out_k, qk.in_c) == (1, 1024, 768)
+        kcache = graph.layer("l0_kcache")
+        assert kcache.kind is LayerType.VECTOR
+        assert kcache.out_h == 1024
+
+    def test_unet_skip_concats(self):
+        graph, _ = import_spec(SPEC_DIR / "unet.json")
+        cat = graph.layer("cat3")
+        assert set(graph.predecessors("cat3")) == {"uc3", "e3_out"}
+        assert cat.out_k == 256
+        up = graph.layer("u3")
+        assert up.kind is LayerType.VECTOR
+        assert up.out_h == 32

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.arch import (
-    ArchConfig,
     FoldedTorusTopology,
     g_arch,
     s_arch,
@@ -18,7 +17,6 @@ from repro.core import (
 from repro.cost import DEFAULT_MC
 from repro.evalmodel import Evaluator
 from repro.io import load_mapping, save_mapping
-from repro.units import GB, MB
 from repro.workloads.models import MODEL_REGISTRY, build
 
 

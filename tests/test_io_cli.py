@@ -4,16 +4,15 @@ import json
 
 import pytest
 
-from repro.arch import ArchConfig, g_arch, s_arch, t_arch
+from repro.arch import g_arch, s_arch, t_arch
 from repro.cli import build_parser, main
-from repro.core import LayerGroup, MappingEngine, MappingEngineSettings, SASettings
+from repro.core import MappingEngine, MappingEngineSettings, SASettings
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
 from repro.io import (
     SerializationError,
     arch_from_dict,
     arch_to_dict,
-    candidate_result_summary,
     lms_from_dict,
     lms_to_dict,
     load_arch,
@@ -22,7 +21,6 @@ from repro.io import (
     save_arch,
     save_mapping,
 )
-from repro.units import GB, MB
 from repro.workloads.models import build
 
 

@@ -1,0 +1,104 @@
+"""DNNGraph JSON round-trip over the whole model registry."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    GRAPH_FORMAT,
+    SerializationError,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.workloads.models import MODEL_REGISTRY, build
+
+
+def assert_graphs_equal(a, b):
+    assert a.name == b.name
+    assert a.layer_names() == b.layer_names()
+    for name in a.layer_names():
+        assert a.layer(name) == b.layer(name)
+        assert a.predecessors(name) == b.predecessors(name)
+        assert a.combine_mode(name) == b.combine_mode(name)
+        assert a.reads_graph_input(name) == b.reads_graph_input(name)
+    assert a.total_macs(4) == b.total_macs(4)
+    assert a.total_weight_bytes() == b.total_weight_bytes()
+
+
+class TestRegistryRoundTrip:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_roundtrip(self, name):
+        graph = build(name)
+        back = graph_from_dict(graph_to_dict(graph))
+        assert_graphs_equal(graph, back)
+
+    def test_dict_is_json_serializable(self):
+        data = graph_to_dict(build("UNet"))
+        parsed = json.loads(json.dumps(data))
+        assert parsed["format"] == GRAPH_FORMAT
+        assert_graphs_equal(build("UNet"), graph_from_dict(parsed))
+
+
+class TestGraphFiles:
+    def test_file_roundtrip(self, tmp_path):
+        graph = build("GPT-Dec")
+        path = tmp_path / "g.json"
+        save_graph(graph, path)
+        assert_graphs_equal(graph, load_graph(path))
+
+    def test_loader_recognizes_graph_json(self, tmp_path):
+        from repro.frontend import load_model
+
+        path = tmp_path / "g.json"
+        save_graph(build("MBV2"), path)
+        graph, report = load_model(str(path))
+        assert report is None
+        assert_graphs_equal(build("MBV2"), graph)
+
+    def test_roundtripped_graph_maps(self, tmp_path):
+        from repro.arch import g_arch
+        from repro.core import (
+            MappingEngine,
+            MappingEngineSettings,
+            SASettings,
+        )
+
+        path = tmp_path / "g.json"
+        save_graph(build("UNet"), path)
+        graph = load_graph(path)
+        engine = MappingEngine(
+            g_arch(),
+            settings=MappingEngineSettings(sa=SASettings(iterations=4)),
+        )
+        result = engine.map(graph, batch=2)
+        assert result.delay > 0 and result.energy > 0
+
+
+class TestErrors:
+    def test_wrong_format_marker(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "something-else", "name": "x",
+                             "layers": []})
+
+    def test_missing_format_marker_rejected(self):
+        # A non-graph JSON (e.g. best_arch.json) must fail the marker
+        # check, not a confusing missing-field error later.
+        with pytest.raises(SerializationError, match="not a serialized"):
+            graph_from_dict({"cores_x": 4, "cores_y": 4})
+
+    def test_missing_fields(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": GRAPH_FORMAT, "name": "x",
+                             "layers": [{"name": "l"}]})
+
+    def test_bad_kind(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({
+                "format": GRAPH_FORMAT, "name": "x",
+                "layers": [{
+                    "name": "l", "kind": "warp-drive", "out_h": 1,
+                    "out_w": 1, "out_k": 1, "in_c": 1,
+                }],
+            })

@@ -1,10 +1,9 @@
 """Tests for derived metrics and the paper's Discussion-level claims."""
 
-import random
 
 import pytest
 
-from repro.arch import ArchConfig, FoldedTorusTopology, g_arch
+from repro.arch import ArchConfig, g_arch
 from repro.core import (
     MappingEngine,
     MappingEngineSettings,

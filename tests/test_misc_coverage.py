@@ -1,7 +1,6 @@
 """Coverage for remaining corners: torus D2D, heatmap rendering,
 initial-scheme spare handling, flow-record round filtering."""
 
-import pytest
 
 from repro.arch import ArchConfig, FoldedTorusTopology, MeshTopology
 from repro.core import LayerGroup

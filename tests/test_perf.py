@@ -1,9 +1,8 @@
 """Tests for the perf subsystem and the evaluation cache layers."""
 
-import numpy as np
 import pytest
 
-from repro.arch import ArchConfig, g_arch
+from repro.arch import ArchConfig
 from repro.arch.energy import DEFAULT_ENERGY
 from repro.core import SAController, SASettings
 from repro.core.graphpart import partition_graph
@@ -105,6 +104,49 @@ class TestBenchEmission:
 
     def test_read_missing_returns_empty(self, tmp_path):
         assert read_bench(tmp_path / "nope.json") == {}
+
+    def test_write_is_atomic(self, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous JSON intact."""
+        import repro.perf.bench as bench_mod
+
+        path = tmp_path / "BENCH_perf.json"
+        emit_bench("one", {"v": 1}, path)
+
+        real_fdopen = bench_mod.os.fdopen
+
+        class Exploding:
+            def __init__(self, f):
+                self.f = f
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self.f.close()
+                return False
+
+            def write(self, text):
+                self.f.write(text[: len(text) // 2])
+                raise RuntimeError("killed mid-write")
+
+        monkeypatch.setattr(
+            bench_mod.os, "fdopen",
+            lambda fd, mode: Exploding(real_fdopen(fd, mode)),
+        )
+        with pytest.raises(RuntimeError):
+            emit_bench("two", {"v": 2}, path)
+        monkeypatch.undo()
+        # The original file is whole and parseable; no temp litter.
+        data = read_bench(path)
+        assert data["one"] == {"v": 1}
+        assert "two" not in data
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        for i in range(3):
+            emit_bench(f"s{i}", {"v": i}, path)
+        assert list(tmp_path.iterdir()) == [path]
 
 
 class TestIntraCoreLru:

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.arch import ArchConfig, MeshTopology, g_arch
-from repro.core import LayerGroup
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
-from repro.evalmodel import Evaluator
 from repro.instructions import (
     Opcode,
     conservation_check,

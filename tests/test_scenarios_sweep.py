@@ -1,0 +1,214 @@
+"""Scenario registry, sweep runner, and the import/sweep CLI commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.frontend import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    grid_scenarios,
+    resolve_arch,
+    run_scenario,
+    run_sweep,
+)
+from repro.frontend.scenarios import SWEEP_COLUMNS
+
+FAST = dict(iters=4)
+
+
+class TestRegistry:
+    def test_default_scenarios_cover_the_new_models(self):
+        models = {s.model for s in SCENARIO_REGISTRY.values()}
+        assert {"BERT", "MBV2", "UNet", "GPT-Dec"} <= models
+        assert len(SCENARIO_REGISTRY) >= 8
+
+    def test_register_rejects_duplicates(self):
+        from repro.frontend import register_scenario
+
+        name = next(iter(SCENARIO_REGISTRY))
+        with pytest.raises(ValueError):
+            register_scenario(SCENARIO_REGISTRY[name])
+
+    def test_grid_cross_product(self):
+        grid = grid_scenarios(["TF", "UNet"], [1, 8], ["g-arch", "s-arch"])
+        assert len(grid) == 8
+        assert len({s.name for s in grid}) == 8
+
+    def test_grid_disambiguates_colliding_stems(self):
+        # A preset and a file can share a stem; names must stay unique.
+        grid = grid_scenarios(["UNet"], [1], ["g-arch", "dir/g-arch.json"])
+        assert len({s.name for s in grid}) == 2
+
+    def test_resolve_arch_presets_and_errors(self):
+        assert resolve_arch("g-arch").name == "G-Arch"
+        assert resolve_arch("S-ARCH").name == "S-Arch"
+        with pytest.raises(ValueError):
+            resolve_arch("warp-arch")
+
+
+class TestRunScenario:
+    def test_summary_and_artifacts(self, tmp_path):
+        sc = Scenario(name="t-unet", model="UNet", batch=2, **FAST)
+        summary = run_scenario(sc, out_dir=tmp_path)
+        assert summary["delay_s"] > 0
+        assert summary["energy_j"] > 0
+        assert summary["layers"] == 27
+        assert summary["arch"] == "g-arch"
+        sc_dir = tmp_path / "t-unet"
+        persisted = json.loads((sc_dir / "summary.json").read_text())
+        assert persisted["name"] == "t-unet"
+        assert (sc_dir / "mapping.json").exists()
+
+    def test_model_path_scenario(self, tmp_path):
+        from repro.io import save_graph
+        from repro.workloads.models import build
+
+        path = tmp_path / "m.json"
+        save_graph(build("UNet"), path)
+        sc = Scenario(name="t-file", model=str(path), batch=1, **FAST)
+        summary = run_scenario(sc)
+        assert summary["model_name"] == "unet"
+
+
+class TestRunSweep:
+    def scenarios(self):
+        return [
+            Scenario(name="s-unet", model="UNet", batch=1, **FAST),
+            Scenario(name="s-gpt", model="GPT-Dec", batch=1, **FAST),
+            Scenario(name="s-mbv2", model="MBV2", batch=1, **FAST),
+            Scenario(name="s-bert", model="BERT", batch=1, **FAST),
+        ]
+
+    def test_acceptance_four_new_scenarios(self, tmp_path):
+        # Acceptance criterion: >= 4 new scenarios through the
+        # evaluator with per-scenario artifacts.
+        summaries = run_sweep(self.scenarios(), out_dir=tmp_path)
+        assert len(summaries) == 4
+        for s in summaries:
+            assert s["delay_s"] > 0 and s["energy_j"] > 0
+            assert (tmp_path / s["name"] / "summary.json").exists()
+            assert (tmp_path / s["name"] / "mapping.json").exists()
+        csv_text = (tmp_path / "sweep.csv").read_text()
+        assert csv_text.splitlines()[0] == ",".join(SWEEP_COLUMNS)
+        assert len(csv_text.splitlines()) == 5
+
+    def test_parallel_matches_serial(self, tmp_path):
+        scenarios = self.scenarios()[:2]
+        serial = run_sweep(scenarios, workers=1)
+        parallel = run_sweep(scenarios, workers=2)
+        assert serial == parallel
+
+    def test_parallel_sweep_merges_perf_counters(self):
+        from repro.perf import PERF
+
+        PERF.reset()
+        run_sweep(self.scenarios()[:2], workers=2)
+        counters = PERF.snapshot()["counters"]
+        assert counters, "worker perf snapshots were not merged"
+        PERF.reset()
+
+    def test_duplicate_names_rejected(self):
+        sc = self.scenarios()[0]
+        with pytest.raises(ValueError):
+            run_sweep([sc, sc])
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([])
+
+    def test_slug_collisions_rejected(self):
+        a = Scenario(name="a b", model="UNet", batch=1, **FAST)
+        b = Scenario(name="a_b", model="UNet", batch=1, **FAST)
+        with pytest.raises(ValueError, match="collide"):
+            run_sweep([a, b])
+
+
+class TestCli:
+    def test_import_command_spec(self, tmp_path, capsys):
+        from repro.workloads.models.speczoo import SPEC_DIR
+
+        out = tmp_path / "graph.json"
+        rc = cli_main([
+            "import", str(SPEC_DIR / "unet.json"), "--out", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "frontend report" in printed
+        assert out.exists()
+        data = json.loads(out.read_text())
+        assert data["format"] == "dnn-graph"
+
+    def test_import_registry_name(self, capsys):
+        rc = cli_main(["import", "GPT-Dec"])
+        assert rc == 0
+        assert "gpt_decode" in capsys.readouterr().out
+
+    def test_import_unknown_source_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["import", "definitely-not-a-model"])
+
+    def test_map_accepts_spec_path(self, tmp_path, capsys):
+        from repro.workloads.models.speczoo import SPEC_DIR
+
+        rc = cli_main([
+            "map", "--model", str(SPEC_DIR / "gpt_decode.json"),
+            "--batch", "1", "--iters", "4",
+        ])
+        assert rc == 0
+        assert "delay_s" in capsys.readouterr().out
+
+    def test_sweep_command(self, tmp_path, capsys):
+        rc = cli_main([
+            "sweep", "--scenarios", "unet-b1", "gpt-dec-b1",
+            "--iters", "4", "--out", str(tmp_path / "sw"),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "2 scenario" in printed
+        assert (tmp_path / "sw" / "sweep.csv").exists()
+        assert (tmp_path / "sw" / "unet-b1" / "summary.json").exists()
+
+    def test_sweep_grid_flags(self, tmp_path, capsys):
+        rc = cli_main([
+            "sweep", "--models", "UNet", "--batches", "1",
+            "--archs", "g-arch", "--iters", "4",
+            "--out", str(tmp_path / "sw"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "sw" / "sweep.csv").exists()
+
+    def test_sweep_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--scenarios", "nope-b1"])
+
+    def test_sweep_unknown_model_exits_before_running(self, tmp_path):
+        out = tmp_path / "sw"
+        with pytest.raises(SystemExit, match="unknown model"):
+            cli_main(["sweep", "--models", "NOPE", "--batches", "1",
+                      "--out", str(out)])
+        assert not out.exists()
+
+    def test_sweep_unloadable_model_file_exits_before_running(self, tmp_path):
+        bad = tmp_path / "model.json"
+        bad.write_text("{not json")
+        out = tmp_path / "sw"
+        with pytest.raises(SystemExit, match="invalid JSON"):
+            cli_main(["sweep", "--models", str(bad), "--batches", "1",
+                      "--out", str(out)])
+        assert not out.exists()
+
+    def test_sweep_unknown_arch_exits_before_running(self, tmp_path):
+        out = tmp_path / "sw"
+        with pytest.raises(SystemExit, match="unknown architecture"):
+            cli_main(["sweep", "--models", "UNet", "--batches", "1",
+                      "--archs", "warp-arch", "--out", str(out)])
+        assert not out.exists()
+
+    def test_malformed_arch_json_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "arch.json"
+        bad.write_text('{"cores_x": 4}')
+        with pytest.raises(SystemExit, match="bad architecture record"):
+            cli_main(["map", "--model", "UNet", "--arch", str(bad),
+                      "--iters", "2"])

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch import ArchConfig, MeshTopology, g_arch
-from repro.core import LayerGroup
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
 from repro.sim import (

@@ -13,7 +13,7 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.arch import ArchConfig, MeshTopology
+from repro.arch import ArchConfig
 from repro.core.encoding import (
     IMPLICIT,
     FlowOfData,

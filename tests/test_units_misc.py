@@ -1,6 +1,5 @@
 """Tests for units, errors, graph-partition internals and presets."""
 
-import math
 
 import pytest
 
