@@ -1,0 +1,539 @@
+"""The resumable, sharded campaign runner.
+
+A *campaign* is a named DSE: a candidate grid x a workload list x one
+search configuration, bound to a directory.  The runner
+
+* computes the content key of every candidate up front and records them
+  in an atomic ``manifest.json`` (so ``status`` and ``export`` never
+  need to re-enumerate the grid or re-load models);
+* shards the *pending* candidates — keys missing from the store —
+  across a process pool, checkpointing each result into the store the
+  moment it arrives;
+* on restart with the same spec, serves every completed candidate from
+  the store and evaluates only what is missing: resuming after a crash
+  re-evaluates **zero** finished candidates and reproduces the exact
+  report an uninterrupted run would have produced;
+* warm-starts the SA from stored mappings of *nearby* architectures
+  (same core count, different bandwidths/cuts).  Warm sources are
+  snapshotted into the manifest when the campaign is first created, so
+  an interrupted-and-resumed run sees exactly the warm sources the
+  uninterrupted run saw — determinism survives the crash.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.arch.params import ArchConfig
+from repro.campaign import keys as ck
+from repro.campaign.store import (
+    KIND_CANDIDATE,
+    KIND_MAPPING,
+    ResultStore,
+)
+from repro.core.sa import SASettings
+from repro.dse.explorer import (
+    CandidateResult,
+    DesignSpaceExplorer,
+    Workload,
+    _evaluate_in_worker,
+    _init_worker,
+)
+from repro.dse.objective import OBJECTIVE_MCED, Objective
+from repro.dse.pareto import AXES, pareto_front
+from repro.errors import ReproError
+from repro.io.atomic import atomic_write_json
+from repro.io.serialization import (
+    arch_from_dict,
+    arch_to_dict,
+    candidate_result_from_dict,
+    candidate_result_summary,
+)
+from repro.perf import PERF
+
+MANIFEST_NAME = "manifest.json"
+STORE_DIR = "store"
+
+
+class CampaignError(ReproError):
+    """The campaign directory disagrees with the requested spec."""
+
+
+class CampaignInterrupted(ReproError):
+    """Raised by the fault-injection hook after N checkpointed results.
+
+    Everything evaluated before the interruption is already durable in
+    the store; re-running the campaign resumes from there.
+    """
+
+
+@dataclass
+class CampaignSpec:
+    """Everything that defines a campaign's work list."""
+
+    name: str
+    candidates: list[ArchConfig]
+    workloads: list[Workload]
+    sa: SASettings = field(default_factory=lambda: SASettings(iterations=100))
+    objective: Objective = OBJECTIVE_MCED
+    max_group_layers: int = 10
+    seed_stride: int = 0
+    warm_start: bool = True
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one (possibly resumed) campaign run."""
+
+    name: str
+    #: Aligned with the spec's candidate list; ``None`` where the
+    #: candidate failed (failures are retried on the next run).
+    results: list[CandidateResult | None]
+    objective: Objective
+    evaluated: int
+    store_hits: int
+    failed: int
+
+    @property
+    def done(self) -> list[CandidateResult]:
+        return [r for r in self.results if r is not None]
+
+    @property
+    def best(self) -> CandidateResult:
+        return min(self.done, key=lambda r: r.score)
+
+    def best_per_objective(self) -> dict[str, CandidateResult]:
+        out = {}
+        for axis, keyfn in AXES.items():
+            if self.done:
+                out[axis] = min(self.done, key=keyfn)
+        return out
+
+    def pareto(self, axes=("edp", "mc")) -> list[CandidateResult]:
+        return pareto_front(self.done, axes)
+
+
+class CampaignRunner:
+    """Drives one campaign inside a campaigns *home* directory.
+
+    Layout of ``home``::
+
+        home/store/...              result store SHARED by every campaign
+        home/<name>/manifest.json   one manifest per campaign
+        home/<name>/export/...      default export destination
+
+    Sharing the store is what powers warm starts: a new campaign's
+    manifest snapshots whatever mappings earlier campaigns (same grid
+    family, other bandwidths/cuts, other SA budgets) already published
+    for its workloads.
+    """
+
+    def __init__(self, spec: CampaignSpec, home: str | Path):
+        if not spec.candidates:
+            raise CampaignError("campaign needs at least one candidate")
+        self.spec = spec
+        self.home = Path(home)
+        self.root = self.home / spec.name
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(self.home / STORE_DIR)
+        self.explorer = DesignSpaceExplorer(
+            spec.workloads,
+            objective=spec.objective,
+            sa_settings=spec.sa,
+            max_group_layers=spec.max_group_layers,
+            seed_stride=spec.seed_stride,
+        )
+        # Warm sources come from the manifest when resuming (pinned at
+        # first start) and from a store snapshot when creating.  The
+        # per-candidate warm *selection* is folded into each candidate
+        # key: a warm-started evaluation is a different computation
+        # than a cold one, so the two never share a store record.
+        self.warm_sources = self._initial_warm_sources()
+        self._warm_archs = self._parse_warm_archs()
+        self.warm_selection = [
+            self._select_warm_keys(arch) for arch in spec.candidates
+        ]
+        self.candidate_keys = [
+            self.explorer.candidate_key(arch, i, warm_keys=sel or None)
+            for i, (arch, sel) in enumerate(
+                zip(spec.candidates, self.warm_selection)
+            )
+        ]
+        self.manifest = self._load_or_create_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _read_manifest(self) -> dict | None:
+        import json
+
+        path = self._manifest_path()
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def _load_or_create_manifest(self) -> dict:
+        manifest = self._read_manifest()
+        if manifest is not None:
+            if manifest.get("candidate_keys") != self.candidate_keys:
+                raise CampaignError(
+                    f"campaign directory {self.root} was created for a "
+                    "different spec (grid, workloads, settings or warm "
+                    "sources changed); use a fresh campaign name or the "
+                    "original arguments"
+                )
+            return manifest
+        manifest = {
+            "name": self.spec.name,
+            "version": ck.CODE_MODEL_VERSION,
+            "candidate_keys": self.candidate_keys,
+            "archs": [arch_to_dict(a) for a in self.spec.candidates],
+            "workload_names": [wl.name for wl in self.spec.workloads],
+            "workload_digests": self.explorer.workload_digests(),
+            "settings_digest": ck.settings_digest(
+                self.spec.sa, self.spec.max_group_layers, self.spec.objective
+            ),
+            "warm_start": self.spec.warm_start,
+            "warm_sources": self.warm_sources,
+        }
+        atomic_write_json(self._manifest_path(), manifest)
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Warm starts
+    # ------------------------------------------------------------------
+
+    def _initial_warm_sources(self) -> dict[str, list[str]]:
+        """Eligible mapping keys per workload digest.
+
+        Loaded from the manifest when resuming — the snapshot is pinned
+        at the campaign's first start, so resumed runs see exactly what
+        the uninterrupted run saw.  On a fresh campaign, snapshot the
+        store as it is *now*.
+        """
+        if not self.spec.warm_start:
+            return {wd: [] for wd in self.explorer.workload_digests()}
+        manifest = self._read_manifest()
+        if manifest is not None and "warm_sources" in manifest:
+            return manifest["warm_sources"]
+        warm_sources: dict[str, list[str]] = {}
+        for wd in self.explorer.workload_digests():
+            eligible = []
+            for mkey in sorted(self.store.keys(KIND_MAPPING)):
+                rec = self.store.get(KIND_MAPPING, mkey)
+                if rec.get("workload_digest") == wd:
+                    eligible.append(mkey)
+            warm_sources[wd] = eligible
+        return warm_sources
+
+    def _parse_warm_archs(self) -> dict[str, tuple[str, ArchConfig]]:
+        """``mapping key -> (family, source arch)``, parsed once.
+
+        Selection visits every warm source once per candidate; parsing
+        the arch dicts here keeps construction O(candidates x sources)
+        comparisons instead of O(candidates x sources) JSON rebuilds.
+        """
+        parsed: dict[str, tuple[str, ArchConfig]] = {}
+        for mkeys in self.warm_sources.values():
+            for mkey in mkeys:
+                if mkey in parsed:
+                    continue
+                rec = self.store.get(KIND_MAPPING, mkey)
+                if rec is None or "family" not in rec:
+                    continue
+                try:
+                    parsed[mkey] = (rec["family"], arch_from_dict(rec["arch"]))
+                except (ReproError, KeyError):
+                    continue
+        return parsed
+
+    def _select_warm_keys(self, arch: ArchConfig) -> dict[str, str]:
+        """The nearest snapshotted mapping key per workload name."""
+        if not self.spec.warm_start:
+            return {}
+        selection: dict[str, str] = {}
+        family = ck.arch_family(arch)
+        digests = self.explorer.workload_digests()
+        for wl, wd in zip(self.spec.workloads, digests):
+            best_key, best_dist = None, None
+            for mkey in self.warm_sources.get(wd, ()):
+                src = self._warm_archs.get(mkey)
+                if src is None or src[0] != family:
+                    continue
+                dist = ck.arch_distance(arch, src[1])
+                if best_dist is None or (dist, mkey) < (best_dist, best_key):
+                    best_key, best_dist = mkey, dist
+            if best_key is not None:
+                selection[wl.name] = best_key
+        return selection
+
+    def _warm_for(self, index: int) -> dict[str, list] | None:
+        """The selected warm mappings of candidate ``index``, as LMS
+        dict lists ready to ship to a worker."""
+        warm = {
+            name: self.store.get(KIND_MAPPING, mkey)["lmss"]
+            for name, mkey in self.warm_selection[index].items()
+            if self.store.has(KIND_MAPPING, mkey)
+        }
+        return warm or None
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def pending(self) -> list[tuple[int, ArchConfig]]:
+        """Candidates whose key is not yet in the store."""
+        return [
+            (i, arch)
+            for i, (arch, key) in enumerate(
+                zip(self.spec.candidates, self.candidate_keys)
+            )
+            if not self.store.has(KIND_CANDIDATE, key)
+        ]
+
+    def _checkpoint(self, index: int, arch: ArchConfig,
+                    result: CandidateResult) -> None:
+        self.explorer.publish(
+            self.store, arch, index, result,
+            key=self.candidate_keys[index],
+        )
+        PERF.add("campaign.evaluated")
+
+    def _record_failure(self, index: int, error: Exception) -> None:
+        self.store.record_failure(
+            KIND_CANDIDATE, self.candidate_keys[index],
+            f"{type(error).__name__}: {error}",
+        )
+        PERF.add("campaign.failed")
+
+    def run(
+        self,
+        workers: int | None = 1,
+        fail_after: int | None = None,
+    ) -> CampaignReport:
+        """Evaluate every pending candidate, checkpointing continuously.
+
+        ``fail_after`` is the fault-injection hook used by the crash
+        tests and the CI smoke job: after that many *fresh* evaluations
+        have been checkpointed, :class:`CampaignInterrupted` is raised —
+        at an arbitrary-looking but fully durable point, exactly like a
+        kill signal between two checkpoints.
+        """
+        import os
+
+        todo = self.pending()
+        hits = len(self.spec.candidates) - len(todo)
+        PERF.add("campaign.store_hits", hits)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = max(1, min(workers, len(todo) or 1))
+        tasks = [(i, arch, self._warm_for(i)) for i, arch in todo]
+        completed = failed = 0
+        try:
+            if workers == 1:
+                for i, arch, warm in tasks:
+                    try:
+                        result = self.explorer.evaluate_candidate(
+                            arch, index=i, warm=warm
+                        )
+                    except ReproError as exc:
+                        self._record_failure(i, exc)
+                        failed += 1
+                        continue
+                    self._checkpoint(i, arch, result)
+                    completed += 1
+                    if fail_after is not None and completed >= fail_after:
+                        raise CampaignInterrupted(
+                            f"fault injection after {completed} candidates"
+                        )
+            elif tasks:
+                completed, failed = self._run_pool(
+                    tasks, workers, fail_after
+                )
+        finally:
+            self.store.write_index()
+        return self.report(evaluated=completed, store_hits=hits,
+                           failed=failed)
+
+    def _run_pool(self, tasks, workers: int,
+                  fail_after: int | None) -> tuple[int, int]:
+        """Shard ``tasks`` over a pool, checkpointing as results land."""
+        completed = failed = 0
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.explorer,),
+        ) as pool:
+            futures = {
+                pool.submit(_evaluate_in_worker, task): task
+                for task in tasks
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                # Checkpoint the whole finished batch before honoring
+                # the fault injection — results that already exist must
+                # never be thrown away.
+                for fut in finished:
+                    i, arch, _ = futures[fut]
+                    try:
+                        result, snapshot = fut.result()
+                    except ReproError as exc:
+                        self._record_failure(i, exc)
+                        failed += 1
+                        continue
+                    PERF.merge(snapshot)
+                    self._checkpoint(i, arch, result)
+                    completed += 1
+                if fail_after is not None and completed >= fail_after:
+                    for f in outstanding:
+                        f.cancel()
+                    raise CampaignInterrupted(
+                        f"fault injection after {completed} candidates"
+                    )
+        return completed, failed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self, evaluated: int = 0, store_hits: int = 0,
+               failed: int = 0) -> CampaignReport:
+        """Assemble the campaign report from the store (candidate order)."""
+        results: list[CandidateResult | None] = []
+        for key in self.candidate_keys:
+            rec = self.store.get(KIND_CANDIDATE, key)
+            results.append(
+                None if rec is None else candidate_result_from_dict(rec)
+            )
+        return CampaignReport(
+            name=self.spec.name,
+            results=results,
+            objective=self.spec.objective,
+            evaluated=evaluated,
+            store_hits=store_hits,
+            failed=failed,
+        )
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Directory-level status / export (no models or grids needed)
+# ----------------------------------------------------------------------
+
+
+def _load_manifest(home: str | Path, name: str) -> dict:
+    import json
+
+    path = Path(home) / name / MANIFEST_NAME
+    if not path.exists():
+        raise CampaignError(f"no campaign manifest at {path}")
+    return json.loads(path.read_text())
+
+
+def campaign_status(home: str | Path, name: str) -> dict:
+    """Done/pending/failed counts + best-so-far per objective axis.
+
+    Works purely from the manifest and the store — models are never
+    loaded, so status on a huge campaign is instant.
+    """
+    manifest = _load_manifest(home, name)
+    store = ResultStore(Path(home) / STORE_DIR)
+    keys = manifest["candidate_keys"]
+    done_results = []
+    for key in keys:
+        rec = store.get(KIND_CANDIDATE, key)
+        if rec is not None:
+            done_results.append(candidate_result_from_dict(rec))
+    key_set = set(keys)
+    failed = {
+        k for k in store.failed_keys(KIND_CANDIDATE) if k in key_set
+    }
+    best = {}
+    for axis, keyfn in AXES.items():
+        if done_results:
+            r = min(done_results, key=keyfn)
+            best[axis] = {
+                "arch": r.arch.paper_tuple(),
+                "value": keyfn(r),
+            }
+    return {
+        "name": manifest["name"],
+        "total": len(keys),
+        "done": len(done_results),
+        "failed": len(failed),
+        "pending": len(keys) - len(done_results),
+        "warm_started": sum(1 for r in done_results if r.warm_started),
+        "best": best,
+    }
+
+
+def export_campaign(
+    home: str | Path,
+    name: str,
+    dest: str | Path | None = None,
+    pareto_axes=("edp", "mc"),
+) -> dict[str, Path]:
+    """Write the full result table + Pareto front as CSV and JSON.
+
+    Rows are summaries (no wall-clock fields), so two stores holding the
+    same evaluations export byte-identical files — the property the
+    resume tests pin down.
+    """
+    from repro.reporting import write_csv
+
+    manifest = _load_manifest(home, name)
+    store = ResultStore(Path(home) / STORE_DIR)
+    dest = Path(dest) if dest is not None else Path(home) / name / "export"
+    dest.mkdir(parents=True, exist_ok=True)
+
+    indexed: list[tuple[int, CandidateResult]] = []
+    for i, key in enumerate(manifest["candidate_keys"]):
+        rec = store.get(KIND_CANDIDATE, key)
+        if rec is not None:
+            indexed.append((i, candidate_result_from_dict(rec)))
+
+    def row_dict(i: int, r: CandidateResult) -> dict:
+        out = {"candidate": i, **candidate_result_summary(r)}
+        out["edp"] = r.edp
+        out["warm_started"] = r.warm_started
+        for name, (e, d) in sorted(r.per_workload.items()):
+            out[f"{name}.energy_j"] = e
+            out[f"{name}.delay_s"] = d
+        return out
+
+    full = [row_dict(i, r) for i, r in indexed]
+    front_results = pareto_front([r for _, r in indexed], pareto_axes)
+    front_ids = {id(r) for r in front_results}
+    front = [row for (i, r), row in zip(indexed, full) if id(r) in front_ids]
+
+    paths: dict[str, Path] = {}
+    for label, rows in (("campaign", full), ("pareto", front)):
+        headers = list(rows[0].keys()) if rows else ["candidate"]
+        csv_path = dest / f"{label}.csv"
+        write_csv(csv_path, headers, [list(r.values()) for r in rows])
+        json_path = dest / f"{label}.json"
+        atomic_write_json(json_path, {
+            "name": manifest["name"],
+            "pareto_axes": list(pareto_axes),
+            "rows": rows,
+        })
+        paths[f"{label}.csv"] = csv_path
+        paths[f"{label}.json"] = json_path
+    return paths

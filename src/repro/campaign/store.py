@@ -1,0 +1,185 @@
+"""The persistent campaign result store.
+
+Layout of a store directory::
+
+    store/
+      segments/seg-<pid>-<nonce>.jsonl   append-only record segments
+      index.json                         atomic key -> segment index
+
+Records are one compact JSON object per line: ``{"kind", "key",
+"payload"}``.  Each :class:`ResultStore` instance appends to its *own*
+segment file, named after the process id plus a random nonce, so any
+number of worker processes can publish into the same store without a
+lock: no two writers ever touch the same file, and readers simply scan
+every segment.  A crash can at worst leave a torn final line in one
+segment; the loader skips unparseable trailing data, so everything
+checkpointed before the crash survives.
+
+``index.json`` is a derived artifact — the segments are the source of
+truth — rewritten atomically on :meth:`ResultStore.write_index`; it
+gives external tooling (and ``repro campaign status``) a cheap summary
+without parsing payloads.
+
+Keys come from :mod:`repro.campaign.keys`: content digests over the
+evaluation inputs.  Two processes that compute the same key would store
+bit-identical payloads, so duplicate appends are harmless (last record
+wins on load, and all of them agree).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.io.atomic import atomic_write_json
+
+#: Record kinds.
+KIND_CANDIDATE = "candidate"
+KIND_MAPPING = "mapping"
+KIND_SCENARIO = "scenario"
+KIND_FAILURE = "failure"
+
+
+class StoreError(ReproError):
+    """The store directory is unusable or a record is malformed."""
+
+
+class ResultStore:
+    """Append-only, content-addressed result store over JSONL segments."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.segments_dir = self.root / "segments"
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        self._records: dict[tuple[str, str], dict] = {}
+        self._locations: dict[tuple[str, str], str] = {}
+        self._skipped_lines = 0
+        self._fh = None
+        self._segment_path = self.segments_dir / (
+            f"seg-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+        )
+        self.reload()
+
+    # -- loading -------------------------------------------------------
+
+    def reload(self) -> None:
+        """(Re)scan every segment; picks up other processes' appends."""
+        self._records.clear()
+        self._locations.clear()
+        self._skipped_lines = 0
+        for seg in sorted(self.segments_dir.glob("*.jsonl")):
+            self._scan_segment(seg)
+
+    def _scan_segment(self, seg: Path) -> None:
+        try:
+            text = seg.read_text()
+        except OSError as exc:
+            raise StoreError(f"cannot read segment {seg}: {exc}") from exc
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                kind, key, payload = rec["kind"], rec["key"], rec["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # Torn tail of a crashed writer (or foreign junk): the
+                # record was never acknowledged, so dropping it is safe.
+                self._skipped_lines += 1
+                continue
+            self._records[(kind, key)] = payload
+            self._locations[(kind, key)] = seg.name
+
+    @property
+    def skipped_lines(self) -> int:
+        """Unparseable lines tolerated during the last scan."""
+        return self._skipped_lines
+
+    # -- writing -------------------------------------------------------
+
+    def put(self, kind: str, key: str, payload: dict) -> None:
+        """Durably append one record and make it visible immediately."""
+        line = json.dumps(
+            {"kind": kind, "key": key, "payload": payload},
+            separators=(",", ":"),
+        )
+        if "\n" in line:
+            raise StoreError("record serialization produced a newline")
+        if self._fh is None:
+            self._fh = open(self._segment_path, "a")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records[(kind, key)] = payload
+        self._locations[(kind, key)] = self._segment_path.name
+
+    # -- reading -------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> dict | None:
+        return self._records.get((kind, key))
+
+    def has(self, kind: str, key: str) -> bool:
+        return (kind, key) in self._records
+
+    def keys(self, kind: str) -> set[str]:
+        return {k for (kd, k) in self._records if kd == kind}
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for kind, _ in self._records:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- failures ------------------------------------------------------
+
+    def record_failure(self, kind: str, key: str, error: str) -> None:
+        """Remember that computing ``(kind, key)`` raised ``error``.
+
+        Failure records never shadow results: a later successful record
+        under the real kind supersedes the failure (see
+        :meth:`failed_keys`), and failed keys count as pending again on
+        the next run.
+        """
+        self.put(KIND_FAILURE, key, {"for_kind": kind, "error": error})
+
+    def failed_keys(self, kind: str) -> set[str]:
+        """Keys whose last computation failed and has not succeeded since."""
+        failed = set()
+        for (kd, key), payload in self._records.items():
+            if kd == KIND_FAILURE and payload.get("for_kind") == kind:
+                if not self.has(kind, key):
+                    failed.add(key)
+        return failed
+
+    # -- index ---------------------------------------------------------
+
+    def write_index(self) -> Path:
+        """Atomically rewrite ``index.json`` from the in-memory state."""
+        index = {
+            "counts": self.counts(),
+            "skipped_lines": self._skipped_lines,
+            "keys": {},
+        }
+        for (kind, key), seg in sorted(self._locations.items()):
+            index["keys"].setdefault(kind, {})[key] = seg
+        return atomic_write_json(self.root / "index.json", index)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        # An unused writer never created its segment; don't index it.
+        self.write_index()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

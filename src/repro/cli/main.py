@@ -18,7 +18,19 @@ Beyond the artifact, the workload frontend adds:
 * ``python -m repro import``   — ingest an ONNX model / declarative
   spec, print the lowering report, optionally save the graph JSON;
 * ``python -m repro sweep``    — run a scenario grid (model x batch x
-  arch) with per-scenario artifacts and a sweep.csv.
+  arch) with per-scenario artifacts and a sweep.csv; ``--resume``
+  re-evaluates only scenarios missing from the result store.
+
+Durable, resumable exploration lives under ``repro campaign``:
+
+* ``python -m repro campaign run``    — evaluate a named candidate
+  grid against a workload list, checkpointing every result into a
+  persistent store; interrupt it and re-run with the same arguments to
+  resume with zero re-evaluation;
+* ``python -m repro campaign status`` — done/pending/failed counts and
+  best-so-far per objective, straight from the store;
+* ``python -m repro campaign export`` — Pareto front + full table as
+  CSV/JSON.
 
 Wherever a model is expected, a registry abbreviation, an ``.onnx``
 file, a spec ``.json``/``.yaml`` or a saved graph JSON all work.
@@ -115,22 +127,30 @@ def profile_report(args, extra: dict | None = None) -> None:
     print(f"wrote profile to {path}")
 
 
-def cmd_dse(args) -> int:
-    if args.full:
-        grid = DseGrid.paper_grid(args.tops)
+def table1_candidates(tops: int, full: bool) -> list:
+    """The Table-I grid (``full``) or its fast laptop-scale subset —
+    shared by ``dse`` and ``campaign run`` so the two commands can
+    never drift apart (campaign keys digest the grid)."""
+    if full:
+        grid = DseGrid.paper_grid(tops)
     else:
-        cuts = (1, 2, 3, 6) if args.tops == 72 else (1, 2, 4)
+        cuts = (1, 2, 3, 6) if tops == 72 else (1, 2, 4)
         grid = DseGrid(
-            tops=args.tops, cuts=cuts, dram_bw_per_tops=(2.0,),
+            tops=tops, cuts=cuts, dram_bw_per_tops=(2.0,),
             noc_bw_gbps=(32, 64), d2d_ratio=(0.5,),
             glb_kb=(1024, 2048), macs_per_core=(1024, 2048),
         )
-    candidates = enumerate_candidates(grid)
+    return enumerate_candidates(grid)
+
+
+def cmd_dse(args) -> int:
+    candidates = table1_candidates(args.tops, args.full)
     print(f"exploring {len(candidates)} candidates at {args.tops} TOPs "
           f"(SA x{args.iters}, {args.workers or 'all'} worker(s))")
     explorer = DesignSpaceExplorer(
         [Workload(resolve_model(m), args.batch) for m in args.models],
         sa_settings=SASettings(iterations=args.iters),
+        record_mappings=False,  # no store attached; keep IPC lean
     )
     report = explorer.explore(candidates, workers=args.workers or None)
     outdir = Path(args.out)
@@ -268,19 +288,116 @@ def cmd_sweep(args) -> int:
         except ReproError as exc:
             raise SystemExit(f"model {model!r}: {exc}") from exc
     print(f"sweeping {len(scenarios)} scenario(s) on "
-          f"{args.workers or 'all'} worker(s)")
+          f"{args.workers or 'all'} worker(s)"
+          + (" [resume]" if args.resume else ""))
     try:
         summaries = run_sweep(
-            scenarios, out_dir=args.out, workers=args.workers or None
+            scenarios, out_dir=args.out, workers=args.workers or None,
+            resume=args.resume,
         )
     except (ValueError, ReproError) as exc:
         raise SystemExit(str(exc)) from exc
     print(format_table(list(SWEEP_COLUMNS), sweep_rows(summaries)))
+    if args.resume:
+        from repro.perf import PERF
+
+        print(f"\nevaluated {PERF.get('sweep.evaluated'):.0f}, served "
+              f"{PERF.get('sweep.store_hits'):.0f} from {args.out}/store")
     print(f"\nwrote {Path(args.out) / 'sweep.csv'} and "
           f"{len(summaries)} scenario dir(s) under {args.out}/")
     if args.profile:
         profile_report(args, {"scenarios": len(summaries),
                               "workers": args.workers})
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import (
+        CampaignInterrupted,
+        CampaignRunner,
+        CampaignSpec,
+    )
+    from repro.errors import ReproError
+
+    candidates = table1_candidates(args.tops, args.full)
+    if args.max_candidates:
+        candidates = candidates[: args.max_candidates]
+    spec = CampaignSpec(
+        name=args.name,
+        candidates=candidates,
+        workloads=[Workload(resolve_model(m), args.batch)
+                   for m in args.models],
+        sa=SASettings(iterations=args.iters, seed=args.seed),
+        seed_stride=args.seed_stride,
+        warm_start=not args.no_warm_start,
+    )
+    try:
+        with CampaignRunner(spec, args.out) as runner:
+            pending = len(runner.pending())
+            total = len(candidates)
+            print(f"campaign {args.name!r}: {total} candidate(s), "
+                  f"{total - pending} stored, {pending} pending "
+                  f"({args.workers or 'all'} worker(s))")
+            report = runner.run(
+                workers=args.workers or None, fail_after=args.fail_after
+            )
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}")
+        print(f"re-run the same command to resume: "
+              f"repro campaign run --name {args.name} --out {args.out} ...")
+        return 130
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"evaluated {report.evaluated}, served {report.store_hits} from "
+          f"the store, {report.failed} failed")
+    done = report.done
+    if done:
+        rows = [list(candidate_result_summary(r).values())
+                for r in sorted(done, key=lambda r: r.score)[:10]]
+        headers = list(candidate_result_summary(done[0]).keys())
+        print(format_table(headers, rows))
+        print(f"\nbest architecture: {report.best.arch.paper_tuple()}")
+    if args.profile:
+        profile_report(args, {
+            "campaign": args.name,
+            "candidates": len(candidates),
+            "evaluated": report.evaluated,
+            "store_hits": report.store_hits,
+            "workers": args.workers,
+        })
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import CampaignError, campaign_status
+    from repro.dse.pareto import AXES
+
+    try:
+        status = campaign_status(args.out, args.name)
+    except CampaignError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"campaign {status['name']!r}: {status['done']}/{status['total']} "
+          f"done, {status['pending']} pending, {status['failed']} failed, "
+          f"{status['warm_started']} warm-started")
+    rows = [
+        [axis, status["best"][axis]["arch"], status["best"][axis]["value"]]
+        for axis in AXES if axis in status["best"]
+    ]
+    if rows:
+        print()
+        print(format_table(["objective", "best arch", "value"], rows))
+    return 0
+
+
+def cmd_campaign_export(args) -> int:
+    from repro.campaign import CampaignError, export_campaign
+
+    try:
+        paths = export_campaign(args.out, args.name, dest=args.dest)
+    except CampaignError as exc:
+        raise SystemExit(str(exc)) from exc
+    for label, path in sorted(paths.items()):
+        print(f"wrote {path}")
     return 0
 
 
@@ -302,14 +419,21 @@ def cmd_heatmap(args) -> int:
         graph, evaluator, [tangram], args.batch,
         SASettings(iterations=args.iters),
     ).run()[0]
+    lines = []
     for label, lms in (("Tangram", tangram), ("Gemini", gemini)):
         parsed = parse_lms(graph, lms)
         intra = evaluator._intra_results(parsed)
         traffic = GroupTrafficAnalyzer(graph, arch, evaluator.topo).analyze(
             parsed, lms, intra, {}
         )
-        print(f"\n{label} SPM ({json.dumps(heat_summary(traffic.traffic))}):")
-        print(render_ascii(traffic.traffic))
+        lines.append(f"\n{label} SPM ({json.dumps(heat_summary(traffic.traffic))}):")
+        lines.append(render_ascii(traffic.traffic))
+    print("\n".join(lines))
+    if args.out:
+        from repro.io import atomic_write_text
+
+        atomic_write_text(args.out, "\n".join(lines) + "\n")
+        print(f"\nwrote {args.out}")
     return 0
 
 
@@ -408,9 +532,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="sweep_out")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel scenario runners (0 = all CPUs)")
+    p.add_argument("--resume", action="store_true",
+                   help="checkpoint into <out>/store and skip scenarios "
+                        "already evaluated there")
     p.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable, resumable evaluation campaigns",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="run (or resume) a campaign")
+    c.add_argument("--name", required=True, help="campaign name")
+    c.add_argument("--out", default="campaigns",
+                   help="campaigns home directory (shared result store)")
+    c.add_argument("--tops", type=int, default=72, choices=(72, 128, 512))
+    c.add_argument("--full", action="store_true",
+                   help="use the full Table-I grid (slow)")
+    c.add_argument("--max-candidates", type=int, default=0,
+                   help="truncate the grid to its first N candidates "
+                        "(smoke tests)")
+    c.add_argument("--models", nargs="+", default=["TF"],
+                   help="registry names or model files")
+    c.add_argument("--batch", type=int, default=64)
+    c.add_argument("--iters", type=int, default=80)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--seed-stride", type=int, default=0)
+    c.add_argument("--workers", type=int, default=1,
+                   help="parallel candidate evaluators (0 = all CPUs)")
+    c.add_argument("--no-warm-start", action="store_true",
+                   help="disable SA warm starts from stored mappings")
+    c.add_argument("--fail-after", type=int, default=None,
+                   help="fault injection: interrupt after N fresh "
+                        "evaluations (CI smoke / crash drills)")
+    c.add_argument("--profile", action="store_true",
+                   help="print perf counters and write BENCH_perf.json")
+    c.set_defaults(func=cmd_campaign_run, command="campaign-run")
+
+    c = csub.add_parser("status", help="campaign progress + best-so-far")
+    c.add_argument("--name", required=True)
+    c.add_argument("--out", default="campaigns")
+    c.set_defaults(func=cmd_campaign_status, command="campaign-status")
+
+    c = csub.add_parser("export", help="Pareto front + full table")
+    c.add_argument("--name", required=True)
+    c.add_argument("--out", default="campaigns")
+    c.add_argument("--dest", default=None,
+                   help="destination directory (default <out>/<name>/export)")
+    c.set_defaults(func=cmd_campaign_export, command="campaign-export")
 
     p = sub.add_parser("heatmap", help="Fig 9 traffic heatmaps")
     p.add_argument("--model", default="TF",
@@ -418,6 +590,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="g-arch")
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=400)
+    p.add_argument("--out", default=None,
+                   help="also write the rendered heatmaps to this file")
     p.set_defaults(func=cmd_heatmap)
 
     p = sub.add_parser("space", help="Sec IV-B space sizes")

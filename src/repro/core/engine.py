@@ -88,11 +88,45 @@ class MappingEngine:
                 validate_lms(graph, lms, self.arch.n_cores, self.arch.n_dram)
         return lmss
 
-    def map(self, graph: DNNGraph, batch: int) -> MappingResult:
-        """Full Gemini mapping flow for one DNN."""
+    def _check_initial(
+        self, graph: DNNGraph, lmss: list[LayerGroupMapping]
+    ) -> None:
+        """Validate an injected starting point (e.g. a warm start)."""
+        from repro.errors import InvalidMappingError
+
+        covered: list[str] = []
+        for lms in lmss:
+            covered.extend(lms.group.layers)
+        if sorted(covered) != sorted(graph.layer_names()):
+            raise InvalidMappingError(
+                "initial mapping does not cover the graph's layers "
+                "exactly once"
+            )
+        for lms in lmss:
+            validate_lms(graph, lms, self.arch.n_cores, self.arch.n_dram)
+
+    def map(
+        self,
+        graph: DNNGraph,
+        batch: int,
+        initial: list[LayerGroupMapping] | None = None,
+    ) -> MappingResult:
+        """Full Gemini mapping flow for one DNN.
+
+        ``initial`` replaces the graph-partition + stripe-heuristic
+        starting point — campaigns pass the stored mapping of a nearby
+        architecture here to warm-start the SA.  It is validated against
+        *this* architecture and must cover the graph exactly; raises
+        :class:`~repro.errors.InvalidMappingError` otherwise (callers
+        fall back to a cold start).
+        """
         from dataclasses import replace as dc_replace
 
-        lmss = self.initial_mapping(graph, batch)
+        if initial is None:
+            lmss = self.initial_mapping(graph, batch)
+        else:
+            lmss = list(initial)
+            self._check_initial(graph, lmss)
         stats = None
         if self.settings.sa.iterations > 0:
             best_lmss, best_cost = None, None

@@ -51,6 +51,10 @@ class SAStats:
     proposed: int = 0
     accepted: int = 0
     improved: int = 0
+    #: 1-based iteration at which the best solution was last improved;
+    #: 0 means the initial mapping was never beaten.  Campaigns compare
+    #: this between warm- and cold-started runs.
+    best_iteration: int = 0
     operator_uses: dict[str, int] = field(default_factory=dict)
     initial_cost: float = 0.0
     final_cost: float = 0.0
@@ -197,6 +201,7 @@ class SAController:
             self.best[gi] = candidate
             self.best_costs[gi] = new_cost
             self.stats.improved += 1
+            self.stats.best_iteration = iteration + 1
         return True
 
     def run(self) -> list[LayerGroupMapping]:

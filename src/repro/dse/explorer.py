@@ -53,6 +53,13 @@ class CandidateResult:
     score: float
     per_workload: dict[str, tuple[float, float]] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    #: Winning mapping per workload name, as JSON-ready LMS dicts —
+    #: what the campaign store persists and warm starts reuse.
+    mappings: dict[str, list] = field(default_factory=dict)
+    #: 1-based SA iteration of the last improvement, per workload.
+    iters_to_best: dict[str, int] = field(default_factory=dict)
+    #: True when at least one workload annealed from a warm start.
+    warm_started: bool = False
 
     @property
     def edp(self) -> float:
@@ -101,11 +108,11 @@ def _init_worker(explorer: "DesignSpaceExplorer") -> None:
 
 
 def _evaluate_in_worker(
-    args: tuple[int, ArchConfig]
+    args: tuple[int, ArchConfig] | tuple[int, ArchConfig, dict | None]
 ) -> tuple[CandidateResult, dict]:
-    index, arch = args
+    index, arch, warm = args if len(args) == 3 else (*args, None)
     PERF.reset()  # process-local; each candidate ships its own delta
-    result = _WORKER_EXPLORER.evaluate_candidate(arch, index=index)
+    result = _WORKER_EXPLORER.evaluate_candidate(arch, index=index, warm=warm)
     return result, PERF.snapshot()
 
 
@@ -128,6 +135,7 @@ class DesignSpaceExplorer:
         sa_settings: SASettings | None = None,
         max_group_layers: int = 10,
         seed_stride: int = 0,
+        record_mappings: bool = True,
     ):
         if not workloads:
             raise ValueError("DSE needs at least one workload")
@@ -137,6 +145,11 @@ class DesignSpaceExplorer:
         self.sa_settings = sa_settings or SASettings(iterations=100)
         self.max_group_layers = max_group_layers
         self.seed_stride = seed_stride
+        #: Serialize each candidate's winning mappings into
+        #: :attr:`CandidateResult.mappings` (needed when publishing to a
+        #: store / warm-starting campaigns).  Disable on plain
+        #: exploration to keep worker IPC and report memory lean.
+        self.record_mappings = record_mappings
 
     # ------------------------------------------------------------------
 
@@ -150,8 +163,26 @@ class DesignSpaceExplorer:
         )
 
     def evaluate_candidate(
-        self, arch: ArchConfig, index: int = 0
+        self,
+        arch: ArchConfig,
+        index: int = 0,
+        warm: dict[str, list] | None = None,
     ) -> CandidateResult:
+        """Map every workload onto ``arch`` and score the candidate.
+
+        ``warm`` optionally maps workload names to serialized LMS lists
+        (:func:`repro.io.serialization.lms_to_dict` records) used to
+        seed the SA instead of the stripe-heuristic initial mapping.  A
+        warm mapping that fails validation against this architecture
+        falls back to a cold start (counted under ``sa.warm.rejected``).
+        """
+        from repro.errors import InvalidMappingError
+        from repro.io.serialization import (
+            SerializationError,
+            lms_from_dict,
+            lms_to_dict,
+        )
+
         t0 = time.perf_counter()
         engine = MappingEngine(
             arch,
@@ -161,10 +192,34 @@ class DesignSpaceExplorer:
             ),
         )
         per: dict[str, tuple[float, float]] = {}
+        mappings: dict[str, list] = {}
+        iters_to_best: dict[str, int] = {}
+        warm_started = False
         energies, delays = [], []
         for wl in self.workloads:
-            result = engine.map(wl.graph, wl.batch)
+            result, used_warm = None, False
+            if warm and wl.name in warm:
+                # Warm data is advisory: a record that fails to parse
+                # or validate falls back to a cold start, never to a
+                # failed candidate.
+                try:
+                    initial = [lms_from_dict(d) for d in warm[wl.name]]
+                    result = engine.map(wl.graph, wl.batch, initial=initial)
+                    used_warm = True
+                except (InvalidMappingError, SerializationError):
+                    PERF.add("sa.warm.rejected")
+            if result is None:
+                result = engine.map(wl.graph, wl.batch)
+            warm_started = warm_started or used_warm
             per[wl.name] = (result.energy, result.delay)
+            if self.record_mappings:
+                mappings[wl.name] = [lms_to_dict(l) for l in result.lmss]
+            if result.sa_stats is not None:
+                iters_to_best[wl.name] = result.sa_stats.best_iteration
+                mode = "warm" if used_warm else "cold"
+                PERF.add(f"sa.iters_to_best.{mode}",
+                         result.sa_stats.best_iteration)
+                PERF.add(f"sa.iters_to_best.{mode}.runs")
             energies.append(result.energy)
             delays.append(result.delay)
         mc = self.mc_evaluator.evaluate(arch)
@@ -179,53 +234,162 @@ class DesignSpaceExplorer:
             score=self.objective.score(mc.total, energy, delay),
             per_workload=per,
             wall_time_s=time.perf_counter() - t0,
+            mappings=mappings,
+            iters_to_best=iters_to_best,
+            warm_started=warm_started,
         )
 
     # ------------------------------------------------------------------
+    # Store integration
+    # ------------------------------------------------------------------
 
-    def _explore_serial(self, candidates) -> list[CandidateResult]:
-        return [
-            self.evaluate_candidate(a, index=i)
-            for i, a in enumerate(candidates)
-        ]
+    def workload_digests(self) -> list[str]:
+        """Content digests of the workloads, in evaluation order."""
+        if getattr(self, "_workload_digests", None) is None:
+            from repro.campaign.keys import workload_digest
 
-    def _explore_parallel(self, candidates, workers: int) -> list[CandidateResult]:
+            self._workload_digests = [
+                workload_digest(wl.graph, wl.batch) for wl in self.workloads
+            ]
+        return self._workload_digests
+
+    def candidate_key(
+        self,
+        arch: ArchConfig,
+        index: int = 0,
+        warm_keys: dict[str, str] | None = None,
+    ) -> str:
+        """Store key of candidate ``index``: inputs + effective settings.
+
+        ``warm_keys`` (workload name -> mapping key the SA is seeded
+        from) must be passed when the evaluation warm-starts: it is part
+        of what gets computed, so it is part of the key.
+        """
+        from repro.campaign.keys import candidate_key
+
+        return candidate_key(
+            arch,
+            self.workload_digests(),
+            self._candidate_settings(index),
+            self.max_group_layers,
+            self.objective,
+            mc_evaluator=self.mc_evaluator,
+            warm_keys=warm_keys,
+        )
+
+    def publish(self, store, arch: ArchConfig, index: int,
+                result: CandidateResult, key: str | None = None) -> None:
+        """Write a candidate's full result + winning mappings to a store.
+
+        ``key`` overrides the computed candidate key — the campaign
+        runner passes its warm-provenance-aware key here.
+        """
+        from repro.campaign import keys as ck
+        from repro.campaign.store import KIND_CANDIDATE, KIND_MAPPING
+        from repro.io.serialization import arch_to_dict, candidate_result_to_dict
+
+        cand_key = key or self.candidate_key(arch, index)
+        store.put(KIND_CANDIDATE, cand_key, candidate_result_to_dict(result))
+        digests = self.workload_digests()
+        for wl, wd in zip(self.workloads, digests):
+            if wl.name not in result.mappings:
+                continue
+            mkey = ck.mapping_key(cand_key, wd)
+            store.put(KIND_MAPPING, mkey, {
+                "family": ck.arch_family(arch),
+                "arch": arch_to_dict(arch),
+                "workload": wl.name,
+                "workload_digest": wd,
+                "lmss": result.mappings[wl.name],
+            })
+
+    # ------------------------------------------------------------------
+
+    def _explore_serial(self, tasks, on_result=None) -> list[CandidateResult]:
+        results = []
+        for i, a, w in tasks:
+            result = self.evaluate_candidate(a, index=i, warm=w)
+            results.append(result)
+            if on_result is not None:
+                on_result(i, a, result)
+        return results
+
+    def _explore_parallel(
+        self, tasks, workers: int, on_result=None
+    ) -> list[CandidateResult]:
+        results = []
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(self,),
         ) as pool:
-            outcomes = list(
-                pool.map(
-                    _evaluate_in_worker,
-                    list(enumerate(candidates)),
-                    chunksize=max(1, len(candidates) // (workers * 4)),
-                )
+            # pool.map yields lazily in task order, so results are
+            # handed to on_result (e.g. a store publish) as the ordered
+            # stream advances instead of after the whole batch.
+            outcomes = pool.map(
+                _evaluate_in_worker,
+                tasks,
+                chunksize=max(1, len(tasks) // (workers * 4)),
             )
-        for _, snapshot in outcomes:
-            PERF.merge(snapshot)
-        return [result for result, _ in outcomes]
+            for (i, a, _), (result, snapshot) in zip(tasks, outcomes):
+                PERF.merge(snapshot)
+                results.append(result)
+                if on_result is not None:
+                    on_result(i, a, result)
+        return results
 
     def explore(
-        self, candidates: list[ArchConfig], workers: int | None = 1
+        self,
+        candidates: list[ArchConfig],
+        workers: int | None = 1,
+        store=None,
     ) -> DseReport:
         """Explore every candidate; ``workers`` > 1 uses a process pool.
 
         ``workers=None`` uses every available CPU.  Results (order,
         scores, winning candidate) are identical for any worker count;
         only ``wall_time_s`` depends on the machine.
+
+        With a :class:`~repro.campaign.store.ResultStore` attached,
+        candidates whose key is already stored are served from it
+        (``dse.store_hits``) and every fresh evaluation is published
+        back as soon as it is collected, so an interrupted exploration
+        re-run against the same store re-evaluates at most the
+        candidates that had not been checkpointed yet.
         """
         if not candidates:
             raise ValueError("no candidates to explore")
         if workers is None:
             workers = os.cpu_count() or 1
-        workers = min(workers, len(candidates))
         t0 = time.perf_counter()
         with PERF.time("dse.explore"):
-            if workers > 1:
-                results = self._explore_parallel(candidates, workers)
-            else:
-                results = self._explore_serial(candidates)
+            slots: list[CandidateResult | None] = [None] * len(candidates)
+            if store is not None:
+                from repro.io.serialization import candidate_result_from_dict
+                from repro.campaign.store import KIND_CANDIDATE
+
+                for i, arch in enumerate(candidates):
+                    rec = store.get(KIND_CANDIDATE, self.candidate_key(arch, i))
+                    if rec is not None:
+                        slots[i] = candidate_result_from_dict(rec)
+                        PERF.add("dse.store_hits")
+            tasks = [
+                (i, arch, None)
+                for i, arch in enumerate(candidates)
+                if slots[i] is None
+            ]
+            def collect(i, arch, result):
+                slots[i] = result
+                if store is not None:
+                    self.publish(store, arch, i, result)
+
+            if tasks:
+                workers = min(workers, len(tasks))
+                if workers > 1:
+                    self._explore_parallel(tasks, workers, on_result=collect)
+                else:
+                    self._explore_serial(tasks, on_result=collect)
+            results = slots
         best = min(results, key=lambda r: r.score)
         return DseReport(
             best=best,

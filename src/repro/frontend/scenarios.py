@@ -14,7 +14,6 @@ worker processes and compose into larger campaigns.
 
 from __future__ import annotations
 
-import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, replace
@@ -23,6 +22,7 @@ from pathlib import Path
 from repro.arch import g_arch, g_arch_120, s_arch, t_arch
 from repro.arch.params import ArchConfig
 from repro.core import MappingEngine, MappingEngineSettings, SASettings
+from repro.io.atomic import atomic_write_json
 from repro.io.serialization import (
     load_arch,
     mapping_result_summary,
@@ -131,9 +131,12 @@ def grid_scenarios(
 # ----------------------------------------------------------------------
 
 
-def run_scenario(scenario: Scenario, out_dir: str | Path | None = None) -> dict:
-    """Map one scenario; optionally write its artifact directory."""
+def _run_scenario_full(
+    scenario: Scenario, out_dir: str | Path | None = None
+) -> tuple[dict, list]:
+    """Map one scenario; returns (summary, serialized winning mapping)."""
     from repro.frontend.loader import load_model
+    from repro.io.serialization import lms_to_dict
 
     arch = resolve_arch(scenario.arch)
     graph, report = load_model(scenario.model)
@@ -156,27 +159,32 @@ def run_scenario(scenario: Scenario, out_dir: str | Path | None = None) -> dict:
     if out_dir is not None:
         sc_dir = Path(out_dir) / scenario.slug()
         sc_dir.mkdir(parents=True, exist_ok=True)
-        (sc_dir / "summary.json").write_text(json.dumps(summary, indent=2))
+        atomic_write_json(sc_dir / "summary.json", summary)
         save_mapping(result.lmss, sc_dir / "mapping.json")
-    return summary
+    return summary, [lms_to_dict(l) for l in result.lmss]
 
 
-def _run_scenario_task(args: tuple[Scenario, str | None]) -> dict:
+def run_scenario(scenario: Scenario, out_dir: str | Path | None = None) -> dict:
+    """Map one scenario; optionally write its artifact directory."""
+    return _run_scenario_full(scenario, out_dir)[0]
+
+
+def _run_scenario_task(args: tuple[Scenario, str | None]) -> tuple[dict, list]:
     scenario, out_dir = args
-    return run_scenario(scenario, out_dir)
+    return _run_scenario_full(scenario, out_dir)
 
 
 def _run_scenario_in_worker(
     args: tuple[Scenario, str | None]
-) -> tuple[dict, dict]:
-    """Pool entry: (summary, perf snapshot) — counters are process-
-    local, so each task ships its delta back to the parent (the DSE
-    pool does the same)."""
+) -> tuple[tuple[dict, list], dict]:
+    """Pool entry: ((summary, lmss), perf snapshot) — counters are
+    process-local, so each task ships its delta back to the parent (the
+    DSE pool does the same)."""
     from repro.perf import PERF
 
     PERF.reset()
-    summary = _run_scenario_task(args)
-    return summary, PERF.snapshot()
+    outcome = _run_scenario_task(args)
+    return outcome, PERF.snapshot()
 
 
 #: Column order of sweep.csv (stable for downstream tooling).
@@ -191,10 +199,54 @@ def sweep_rows(summaries: list[dict]) -> list[list]:
     return [[s.get(col, "") for col in SWEEP_COLUMNS] for s in summaries]
 
 
+def _materialize_hit(
+    scenario: Scenario,
+    summary: dict,
+    lmss: list | None,
+    out_dir: str | Path | None,
+) -> None:
+    """(Re)write the artifact directory of a store-served scenario.
+
+    A renamed scenario is served from the store under its new name, so
+    its artifact directory must be created here — the evaluation path
+    that normally writes it never runs.  Idempotent and atomic.
+    """
+    if out_dir is None:
+        return
+    from repro.io.serialization import lms_from_dict
+
+    sc_dir = Path(out_dir) / scenario.slug()
+    sc_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(sc_dir / "summary.json", summary)
+    if lmss is not None:
+        save_mapping([lms_from_dict(d) for d in lmss],
+                     sc_dir / "mapping.json")
+
+
+def _scenario_keys(scenarios: list[Scenario]) -> dict[str, str]:
+    """Content key per scenario name (arch + workload + search budget).
+
+    The scenario *name* is cosmetic and deliberately not part of the
+    key: renaming a scenario must not force a re-evaluation.
+    """
+    from repro.campaign.keys import scenario_key
+    from repro.frontend.loader import load_model
+
+    keys = {}
+    for sc in scenarios:
+        arch = resolve_arch(sc.arch)
+        graph, _ = load_model(sc.model)
+        keys[sc.name] = scenario_key(
+            arch, graph, sc.batch, sc.iters, sc.seed
+        )
+    return keys
+
+
 def run_sweep(
     scenarios: list[Scenario],
     out_dir: str | Path | None = None,
     workers: int | None = 1,
+    resume: bool = False,
 ) -> list[dict]:
     """Run every scenario; ``workers`` > 1 fans out over processes.
 
@@ -202,6 +254,13 @@ def run_sweep(
     are deterministic per scenario, so worker count never changes
     them).  With ``out_dir`` set, also writes ``sweep.csv`` plus one
     artifact directory per scenario.
+
+    With ``resume=True`` (requires ``out_dir``), summaries are also
+    checkpointed into a campaign result store under
+    ``out_dir/store/``; re-running the sweep — e.g. after appending one
+    scenario or after an interruption — evaluates only the scenarios
+    whose content key is not stored yet (``sweep.store_hits`` vs
+    ``sweep.evaluated`` in :data:`~repro.perf.PERF`).
     """
     if not scenarios:
         raise ValueError("no scenarios to sweep")
@@ -215,23 +274,64 @@ def run_sweep(
         raise ValueError(
             f"scenario names collide after slugging: {sorted(slugs)}"
         )
+    if resume and out_dir is None:
+        raise ValueError("resume=True needs an out_dir to hold the store")
     if out_dir is not None:
         Path(out_dir).mkdir(parents=True, exist_ok=True)
     if workers is None:
         workers = os.cpu_count() or 1
-    workers = min(workers, len(scenarios))
     out_str = None if out_dir is None else str(out_dir)
-    tasks = [(s, out_str) for s in scenarios]
-    if workers > 1:
-        from repro.perf import PERF
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_run_scenario_in_worker, tasks))
-        for _, snapshot in outcomes:
-            PERF.merge(snapshot)
-        summaries = [summary for summary, _ in outcomes]
+    from repro.perf import PERF
+
+    store = keys = None
+    slots: dict[str, dict] = {}
+    pending = list(scenarios)
+    if resume:
+        from repro.campaign.store import KIND_SCENARIO, ResultStore
+
+        store = ResultStore(Path(out_dir) / "store")
+        keys = _scenario_keys(scenarios)
+        pending = []
+        for sc in scenarios:
+            rec = store.get(KIND_SCENARIO, keys[sc.name])
+            if rec is not None:
+                summary = dict(rec["summary"])
+                # The stored summary keeps its content; the display
+                # name follows the *current* scenario list.
+                summary["name"] = sc.name
+                slots[sc.name] = summary
+                _materialize_hit(sc, summary, rec.get("lmss"), out_dir)
+                PERF.add("sweep.store_hits")
+            else:
+                pending.append(sc)
+
+    def checkpoint(sc: Scenario, summary: dict, lmss: list) -> None:
+        slots[sc.name] = summary
+        PERF.add("sweep.evaluated")
+        if store is not None:
+            from repro.campaign.store import KIND_SCENARIO
+
+            store.put(KIND_SCENARIO, keys[sc.name],
+                      {"summary": summary, "lmss": lmss})
+
+    # Each result is checkpointed as soon as it is collected, so an
+    # interrupted resumable sweep keeps everything already evaluated.
+    tasks = [(s, out_str) for s in pending]
+    if len(tasks) > 1 and (workers or 1) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            outcomes = pool.map(_run_scenario_in_worker, tasks)
+            for sc, ((summary, lmss), snapshot) in zip(pending, outcomes):
+                PERF.merge(snapshot)
+                checkpoint(sc, summary, lmss)
     else:
-        summaries = [_run_scenario_task(t) for t in tasks]
+        for sc, task in zip(pending, tasks):
+            summary, lmss = _run_scenario_task(task)
+            checkpoint(sc, summary, lmss)
+    if store is not None:
+        store.close()
+
+    summaries = [slots[s.name] for s in scenarios]
     if out_dir is not None:
         from repro.reporting import write_csv
 

@@ -1,0 +1,53 @@
+"""Crash-safe file writes: write-to-temp + ``os.replace``.
+
+Every file the CLI and the campaign store emit (summaries, reports,
+sweep tables, checkpoints) goes through these helpers so a killed run
+can never leave a truncated artifact behind: readers observe either the
+previous complete file or the new complete file, nothing in between.
+
+The module deliberately has no intra-package imports — :mod:`repro.perf`
+and :mod:`repro.io.serialization` both build on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path``'s contents with ``text``.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: str | Path,
+    obj,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+) -> Path:
+    """Atomically serialize ``obj`` as JSON into ``path``."""
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys)
+    if not text.endswith("\n"):
+        text += "\n"
+    return atomic_write_text(path, text)

@@ -21,6 +21,7 @@ from repro.core.encoding import (
     Partition,
 )
 from repro.errors import ReproError
+from repro.io.atomic import atomic_write_json
 from repro.workloads.graph import DNNGraph
 from repro.workloads.layer import Layer, LayerType
 
@@ -56,7 +57,7 @@ def arch_from_dict(data: dict) -> ArchConfig:
 
 
 def save_arch(arch: ArchConfig, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(arch_to_dict(arch), indent=2))
+    atomic_write_json(path, arch_to_dict(arch))
 
 
 def load_arch(path: str | Path) -> ArchConfig:
@@ -112,7 +113,7 @@ def graph_from_dict(data: dict) -> DNNGraph:
 
 
 def save_graph(graph: DNNGraph, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+    atomic_write_json(path, graph_to_dict(graph))
 
 
 def load_graph(path: str | Path) -> DNNGraph:
@@ -155,9 +156,7 @@ def lms_from_dict(data: dict) -> LayerGroupMapping:
 
 
 def save_mapping(lmss: list[LayerGroupMapping], path: str | Path) -> None:
-    Path(path).write_text(
-        json.dumps([lms_to_dict(l) for l in lmss], indent=2)
-    )
+    atomic_write_json(path, [lms_to_dict(l) for l in lmss])
 
 
 def load_mapping(path: str | Path) -> list[LayerGroupMapping]:
@@ -165,6 +164,80 @@ def load_mapping(path: str | Path) -> list[LayerGroupMapping]:
     if not isinstance(data, list):
         raise SerializationError("mapping file must hold a list of groups")
     return [lms_from_dict(d) for d in data]
+
+
+# ----------------------------------------------------------------------
+# MCReport / CandidateResult (campaign store records)
+# ----------------------------------------------------------------------
+
+
+def mc_report_to_dict(mc) -> dict:
+    return {
+        "silicon": mc.silicon,
+        "dram": mc.dram,
+        "packaging": mc.packaging,
+        "die_areas_mm2": list(mc.die_areas_mm2),
+    }
+
+
+def mc_report_from_dict(data: dict):
+    from repro.cost.mc import MCReport
+
+    try:
+        return MCReport(
+            silicon=data["silicon"],
+            dram=data["dram"],
+            packaging=data["packaging"],
+            die_areas_mm2=tuple(data["die_areas_mm2"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad MC record: {exc}") from exc
+
+
+def candidate_result_to_dict(result) -> dict:
+    """Full round-trippable record of a DSE :class:`CandidateResult`.
+
+    JSON floats round-trip exactly (``repr`` semantics), so a result
+    read back from the store is bit-identical to the freshly computed
+    one — the property campaign resume relies on.
+    """
+    return {
+        "arch": arch_to_dict(result.arch),
+        "mc": mc_report_to_dict(result.mc),
+        "energy": result.energy,
+        "delay": result.delay,
+        "score": result.score,
+        "per_workload": {
+            name: list(pair) for name, pair in result.per_workload.items()
+        },
+        "wall_time_s": result.wall_time_s,
+        "mappings": result.mappings,
+        "iters_to_best": result.iters_to_best,
+        "warm_started": result.warm_started,
+    }
+
+
+def candidate_result_from_dict(data: dict):
+    from repro.dse.explorer import CandidateResult
+
+    try:
+        return CandidateResult(
+            arch=arch_from_dict(data["arch"]),
+            mc=mc_report_from_dict(data["mc"]),
+            energy=data["energy"],
+            delay=data["delay"],
+            score=data["score"],
+            per_workload={
+                name: tuple(pair)
+                for name, pair in data["per_workload"].items()
+            },
+            wall_time_s=data.get("wall_time_s", 0.0),
+            mappings=data.get("mappings", {}),
+            iters_to_best=data.get("iters_to_best", {}),
+            warm_started=data.get("warm_started", False),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad candidate record: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

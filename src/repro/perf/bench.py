@@ -10,10 +10,10 @@ any existing file so independent runs compose into one record.
 from __future__ import annotations
 
 import json
-import os
 import platform
-import tempfile
 from pathlib import Path
+
+from repro.io.atomic import atomic_write_text
 
 DEFAULT_BENCH_PATH = "BENCH_perf.json"
 
@@ -40,28 +40,10 @@ def emit_bench(section: str, payload: dict,
             data = {}
     data.setdefault("machine", _machine_info())
     data[section] = payload
-    _atomic_write_text(
+    atomic_write_text(
         path, json.dumps(data, indent=2, sort_keys=True) + "\n"
     )
     return path
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write-to-temp + ``os.replace`` so a killed run can never leave a
-    truncated file behind (readers see the old or the new JSON, whole)."""
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as f:
-            f.write(text)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 
 def read_bench(path: str | Path = DEFAULT_BENCH_PATH) -> dict:

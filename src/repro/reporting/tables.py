@@ -36,10 +36,10 @@ def to_csv(headers: list[str], rows: list[list]) -> str:
 
 
 def write_csv(path: str, headers: list[str], rows: list[list]) -> None:
-    with open(path, "w", newline="") as f:
-        writer = csv.writer(f)
-        writer.writerow(headers)
-        writer.writerows(rows)
+    """Atomically write a CSV so a killed run never truncates a table."""
+    from repro.io.atomic import atomic_write_text
+
+    atomic_write_text(path, to_csv(headers, rows))
 
 
 @dataclass(frozen=True)

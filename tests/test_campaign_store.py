@@ -1,0 +1,117 @@
+"""ResultStore behavior: durability, concurrency, torn-tail tolerance."""
+
+import json
+
+from repro.campaign.store import (
+    KIND_CANDIDATE,
+    KIND_MAPPING,
+    ResultStore,
+)
+
+
+class TestBasicRoundTrip:
+    def test_put_get_across_instances(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put(KIND_CANDIDATE, "k1", {"score": 1.5})
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KIND_CANDIDATE, "k1") == {"score": 1.5}
+        assert fresh.has(KIND_CANDIDATE, "k1")
+        assert not fresh.has(KIND_MAPPING, "k1")
+
+    def test_kinds_are_separate_namespaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KIND_CANDIDATE, "k", {"a": 1})
+        store.put(KIND_MAPPING, "k", {"b": 2})
+        assert store.get(KIND_CANDIDATE, "k") == {"a": 1}
+        assert store.get(KIND_MAPPING, "k") == {"b": 2}
+        assert store.counts() == {KIND_CANDIDATE: 1, KIND_MAPPING: 1}
+        assert len(store) == 2
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KIND_CANDIDATE, "nope") is None
+        assert store.keys(KIND_CANDIDATE) == set()
+        assert store.counts() == {}
+
+
+class TestConcurrency:
+    def test_two_writers_own_segments(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        a.put(KIND_CANDIDATE, "ka", {"v": "a"})
+        b.put(KIND_CANDIDATE, "kb", {"v": "b"})
+        segs = list((tmp_path / "segments").glob("*.jsonl"))
+        assert len(segs) == 2
+        merged = ResultStore(tmp_path)
+        assert merged.keys(KIND_CANDIDATE) == {"ka", "kb"}
+
+    def test_reload_sees_other_writers(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        b.put(KIND_CANDIDATE, "kb", {"v": 1})
+        assert not a.has(KIND_CANDIDATE, "kb")
+        a.reload()
+        assert a.has(KIND_CANDIDATE, "kb")
+
+    def test_duplicate_appends_are_harmless(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        a.put(KIND_CANDIDATE, "k", {"v": 1})
+        b.put(KIND_CANDIDATE, "k", {"v": 1})
+        merged = ResultStore(tmp_path)
+        assert merged.get(KIND_CANDIDATE, "k") == {"v": 1}
+        assert merged.counts() == {KIND_CANDIDATE: 1}
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KIND_CANDIDATE, "good", {"v": 1})
+        store.close()
+        seg = next((tmp_path / "segments").glob("*.jsonl"))
+        with open(seg, "a") as f:
+            f.write('{"kind": "candidate", "key": "torn", "payl')
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KIND_CANDIDATE, "good") == {"v": 1}
+        assert not fresh.has(KIND_CANDIDATE, "torn")
+        assert fresh.skipped_lines == 1
+
+    def test_appends_survive_without_close(self, tmp_path):
+        """No close() (a kill) must not lose acknowledged puts."""
+        store = ResultStore(tmp_path)
+        store.put(KIND_CANDIDATE, "k", {"v": 1})
+        # Deliberately never close.
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KIND_CANDIDATE, "k") == {"v": 1}
+
+
+class TestFailures:
+    def test_failure_then_success_supersedes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record_failure(KIND_CANDIDATE, "k", "boom")
+        assert store.failed_keys(KIND_CANDIDATE) == {"k"}
+        store.put(KIND_CANDIDATE, "k", {"v": 1})
+        assert store.failed_keys(KIND_CANDIDATE) == set()
+
+    def test_failures_scoped_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record_failure(KIND_MAPPING, "k", "boom")
+        assert store.failed_keys(KIND_CANDIDATE) == set()
+        assert store.failed_keys(KIND_MAPPING) == {"k"}
+
+
+class TestIndex:
+    def test_index_written_and_parseable(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put(KIND_CANDIDATE, "k", {"v": 1})
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["counts"] == {KIND_CANDIDATE: 1}
+        assert "k" in index["keys"][KIND_CANDIDATE]
+
+    def test_index_is_derived_not_authoritative(self, tmp_path):
+        """Deleting the index loses nothing — segments are the truth."""
+        with ResultStore(tmp_path) as store:
+            store.put(KIND_CANDIDATE, "k", {"v": 1})
+        (tmp_path / "index.json").unlink()
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KIND_CANDIDATE, "k") == {"v": 1}

@@ -107,12 +107,12 @@ class TestBenchEmission:
 
     def test_write_is_atomic(self, tmp_path, monkeypatch):
         """A crash mid-write must leave the previous JSON intact."""
-        import repro.perf.bench as bench_mod
+        import repro.io.atomic as atomic_mod
 
         path = tmp_path / "BENCH_perf.json"
         emit_bench("one", {"v": 1}, path)
 
-        real_fdopen = bench_mod.os.fdopen
+        real_fdopen = atomic_mod.os.fdopen
 
         class Exploding:
             def __init__(self, f):
@@ -130,7 +130,7 @@ class TestBenchEmission:
                 raise RuntimeError("killed mid-write")
 
         monkeypatch.setattr(
-            bench_mod.os, "fdopen",
+            atomic_mod.os, "fdopen",
             lambda fd, mode: Exploding(real_fdopen(fd, mode)),
         )
         with pytest.raises(RuntimeError):
