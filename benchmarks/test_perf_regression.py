@@ -1,18 +1,30 @@
-"""SA-loop throughput guard and incremental-evaluation equivalence.
+"""SA-loop throughput guard and evaluation-path equivalence.
 
-The incremental evaluation path (parse/intra/traffic-block/GroupEval
-caches) must (a) return *identical* results to the full path and (b)
-keep the SA hot loop fast.  This bench measures iterations/sec on the
-Fig 5 workloads with caching off and on, asserts a conservative
-speedup floor (the measured factor is recorded, not asserted, so CI
-noise cannot flake the suite), and writes everything to
-``BENCH_perf.json``.
+Three evaluator configurations are raced on the Fig 5 workloads:
 
-``seed_reference_iters_per_sec`` are the throughputs of the pre-refactor
-seed evaluator measured on the development machine (single-CPU
-container, best of 3); they anchor the recorded ``speedup_vs_seed``
-ratios.  On other machines the cached/uncached ratio is the robust
-number — both sides run in the same process seconds apart.
+* **uncached** — the object path with every cache off (the reference
+  semantics);
+* **cached** — the PR-3 object path with its four cache layers (the
+  baseline the compiled path is measured against);
+* **compiled** — the array-native evaluation core with delta sessions.
+
+The bench asserts (a) the three paths produce *identical* annealing
+trajectories, (b) conservative speedup floors that machine noise cannot
+flake, and records the measured ratios (including how many models meet
+the 2x compiled-vs-cached target) in ``BENCH_perf.json``.
+
+``seed_reference_iters_per_sec`` are the throughputs of the
+pre-refactor seed evaluator measured on the development machine
+(single-CPU container, best of 3); they anchor the recorded
+``speedup_vs_seed`` ratios.  On other machines the same-process ratios
+are the robust numbers — all configurations run seconds apart.
+
+The DSE scaling bench uses the persistent worker pool: spawn cost is
+paid once, so the *warm* wall time is the honest per-batch number.
+Worker counts above ``os.cpu_count()`` only add contention and are
+flagged as skipped instead of timed; on single-CPU boxes the recorded
+number is the amortized per-candidate dispatch overhead, not a
+meaningless "speedup".
 """
 
 import os
@@ -31,23 +43,42 @@ from repro.perf import emit_bench
 from repro.reporting import format_table
 
 #: Seed-evaluator throughput (iterations/sec) on the dev container,
-#: Fig 5 models at batch 64, g-arch, SASettings(iterations=400, seed=3).
-SEED_REFERENCE_ITERS_PER_SEC = {"RN-50": 341, "TF": 620, "IRes": 334}
+#: measured before the PR-1 refactor (batch 64, g-arch, seed 3); only
+#: the models benchmarked back then have a reference.
+SEED_REFERENCE_ITERS_PER_SEC = {"RN-50": 341, "IRes": 334, "TF": 620}
 
-#: Conservative floor for cached-vs-uncached speedup asserted in CI.
-MIN_CACHED_SPEEDUP = 1.3
+#: Conservative floors asserted in CI (measured ratios are recorded,
+#: and sit well above these on every machine tried).  Ratios are
+#: computed from process CPU time — wall clock on shared runners can
+#: stall one configuration's run by 2x and flake any floor.
+MIN_CACHED_SPEEDUP = 1.25          # cached object path vs uncached
+MIN_COMPILED_SPEEDUP = 1.6         # compiled path vs uncached
+MIN_COMPILED_VS_CACHED = 1.1       # compiled path vs cached baseline
+
+#: The tentpole target recorded (not asserted — wall-clock on shared
+#: runners is too noisy to gate on): compiled >= 2x cached.
+COMPILED_TARGET_VS_CACHED = 2.0
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
 
+CONFIGS = (
+    ("uncached", dict(cache=False)),
+    ("cached", dict(cache=True, compiled=False)),
+    ("compiled", dict(cache=True)),
+)
 
-def _sa_run(graph, arch, lmss, batch, iterations, cache):
-    evaluator = Evaluator(arch, cache=cache)
+
+def _sa_run(graph, arch, lmss, batch, iterations, **evkw):
+    """Run one annealing loop; returns (controller, CPU iters/sec)."""
+    evaluator = Evaluator(arch, **evkw)
     controller = SAController(
         graph, evaluator, list(lmss), batch,
         SASettings(iterations=iterations, seed=3),
     )
+    t0 = time.process_time()
     controller.run()
-    return controller
+    cpu = time.process_time() - t0
+    return controller, iterations / cpu if cpu > 0 else 0.0
 
 
 def test_sa_throughput_and_equivalence(models, benchmark):
@@ -57,53 +88,86 @@ def test_sa_throughput_and_equivalence(models, benchmark):
 
     def run():
         rows, record = [], {}
-        for name in ("RN-50", "TF", "IRes"):
+        for name in ("RN-50", "RNX", "IRes", "PNas", "TF"):
             graph = models[name]
             groups = partition_graph(graph, arch, batch=batch)
             lmss = [initial_lms(graph, g, arch) for g in groups]
-            # Warm-up parse/graph state so both timed runs start equal.
-            best = {False: 0.0, True: 0.0}
+            best = {label: 0.0 for label, _ in CONFIGS}
+            wall = {label: 0.0 for label, _ in CONFIGS}
             ctls = {}
-            for _ in range(2):
-                for cache in (False, True):
-                    ctl = _sa_run(graph, arch, lmss, batch, iterations, cache)
-                    ctls[cache] = ctl
-                    best[cache] = max(best[cache], ctl.stats.iters_per_sec)
-            # Incremental path == full path, bit for bit.
-            assert ctls[True].best_costs == ctls[False].best_costs
-            assert ctls[True].stats.final_cost == ctls[False].stats.final_cost
-            assert ctls[True].stats.accepted == ctls[False].stats.accepted
-            seed_ref = SEED_REFERENCE_ITERS_PER_SEC[name]
+            # Interleave the configurations so host-speed drift hits
+            # them equally; keep the best of three runs each.
+            for _ in range(3):
+                for label, kw in CONFIGS:
+                    ctl, cpu_ips = _sa_run(
+                        graph, arch, lmss, batch, iterations, **kw
+                    )
+                    ctls[label] = ctl
+                    best[label] = max(best[label], cpu_ips)
+                    wall[label] = max(wall[label], ctl.stats.iters_per_sec)
+            # All three paths: identical trajectories, bit for bit.
+            for label in ("cached", "compiled"):
+                assert ctls[label].best_costs == ctls["uncached"].best_costs
+                assert ctls[label].stats.final_cost == \
+                    ctls["uncached"].stats.final_cost
+                assert ctls[label].stats.accepted == \
+                    ctls["uncached"].stats.accepted
+            seed_ref = SEED_REFERENCE_ITERS_PER_SEC.get(name)
             record[name] = {
-                "uncached_iters_per_sec": best[False],
-                "cached_iters_per_sec": best[True],
-                "speedup_cached_vs_uncached": best[True] / best[False],
-                "seed_reference_iters_per_sec": seed_ref,
-                "speedup_vs_seed": best[True] / seed_ref,
+                "uncached_iters_per_sec": best["uncached"],
+                "cached_iters_per_sec": best["cached"],
+                "compiled_iters_per_sec": best["compiled"],
+                "compiled_wall_iters_per_sec": wall["compiled"],
+                "speedup_cached_vs_uncached": best["cached"] / best["uncached"],
+                "speedup_compiled_vs_uncached":
+                    best["compiled"] / best["uncached"],
+                "speedup_compiled_vs_cached":
+                    best["compiled"] / best["cached"],
             }
+            if seed_ref is not None:
+                record[name]["seed_reference_iters_per_sec"] = seed_ref
+                record[name]["speedup_vs_seed"] = best["compiled"] / seed_ref
             rows.append([
-                name, f"{best[False]:.0f}", f"{best[True]:.0f}",
-                f"{best[True] / best[False]:.2f}x",
-                f"{best[True] / seed_ref:.2f}x",
+                name, f"{best['uncached']:.0f}", f"{best['cached']:.0f}",
+                f"{best['compiled']:.0f}",
+                f"{best['compiled'] / best['cached']:.2f}x",
+                f"{best['compiled'] / seed_ref:.2f}x" if seed_ref else "-",
             ])
         return rows, record
 
     rows, record = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_banner("SA-loop throughput: incremental vs full evaluation")
+    print_banner("SA-loop throughput: uncached vs cached vs compiled")
     print(format_table(
-        ["model", "full it/s", "incremental it/s", "speedup", "vs seed ref"],
+        ["model", "uncached it/s", "cached it/s", "compiled it/s",
+         "compiled/cached", "vs seed ref"],
         rows,
     ))
+    met_2x = [
+        name for name, rec in record.items()
+        if rec["speedup_compiled_vs_cached"] >= COMPILED_TARGET_VS_CACHED
+    ]
+    print(f"models meeting the {COMPILED_TARGET_VS_CACHED}x "
+          f"compiled-vs-cached target: {met_2x or 'none this run'}")
     emit_bench("sa_throughput", {
         "iterations": iterations,
         "batch": batch,
         "arch": "g-arch",
         "models": record,
+        "compiled_vs_cached_target": COMPILED_TARGET_VS_CACHED,
+        "models_meeting_target": met_2x,
     }, BENCH_PATH)
     for name, rec in record.items():
         assert rec["speedup_cached_vs_uncached"] >= MIN_CACHED_SPEEDUP, (
             f"{name}: cached SA loop only "
             f"{rec['speedup_cached_vs_uncached']:.2f}x faster than uncached"
+        )
+        assert rec["speedup_compiled_vs_uncached"] >= MIN_COMPILED_SPEEDUP, (
+            f"{name}: compiled SA loop only "
+            f"{rec['speedup_compiled_vs_uncached']:.2f}x faster than uncached"
+        )
+        assert rec["speedup_compiled_vs_cached"] >= MIN_COMPILED_VS_CACHED, (
+            f"{name}: compiled SA loop only "
+            f"{rec['speedup_compiled_vs_cached']:.2f}x faster than cached"
         )
 
 
@@ -113,16 +177,16 @@ def test_group_eval_identity_on_seeded_run(tf_model):
     graph = tf_model
     groups = partition_graph(graph, arch, batch=16)
     lmss = [initial_lms(graph, g, arch) for g in groups]
-    cached_ev = Evaluator(arch, cache=True)
+    compiled_ev = Evaluator(arch, cache=True)
     controller = SAController(
-        graph, cached_ev, lmss, 16,
+        graph, compiled_ev, lmss, 16,
         SASettings(iterations=max(20, int(sa_settings(60).iterations)), seed=5),
     )
     annealed = controller.run()
     uncached_ev = Evaluator(arch, cache=False)
     stored = {}
     for lms in annealed:
-        a = cached_ev.evaluate_group(graph, lms, 16, stored)
+        a = compiled_ev.evaluate_group(graph, lms, 16, stored)
         b = uncached_ev.evaluate_group(graph, lms, 16, stored)
         assert a.delay == b.delay
         assert a.energy.total == b.energy.total
@@ -142,38 +206,87 @@ def test_group_eval_identity_on_seeded_run(tf_model):
 
 
 def test_dse_worker_scaling(tf_model, benchmark):
-    """Parallel DSE equivalence + recorded (not asserted) scaling."""
+    """Parallel DSE equivalence + amortized persistent-pool scaling."""
     grid = DseGrid(
-        tops=72, cuts=(1, 2), dram_bw_per_tops=(2.0,), noc_bw_gbps=(32,),
-        d2d_ratio=(0.5,), glb_kb=(2048,), macs_per_core=(2048,),
+        tops=72, cuts=(1, 2, 3), dram_bw_per_tops=(2.0,), noc_bw_gbps=(32,),
+        d2d_ratio=(0.5,), glb_kb=(2048,), macs_per_core=(1024, 2048),
     )
     candidates = enumerate_candidates(grid)
     explorer = DesignSpaceExplorer(
-        [Workload(tf_model, batch=8)], sa_settings=sa_settings(30),
+        [Workload(tf_model, batch=8)], sa_settings=sa_settings(25),
     )
+    cpus = os.cpu_count() or 1
+    requested = (2, 4)
+    # Worker counts beyond the visible CPUs only measure contention —
+    # flag them as skipped; on a single-CPU box measure a 1-worker
+    # pool instead, whose only honest number is dispatch overhead.
+    usable = [w for w in requested if w <= cpus] or [1]
+    skipped = [w for w in requested if w > cpus]
 
     def run():
-        times = {}
+        t0 = time.perf_counter()
+        serial = explorer.explore(candidates, workers=1)
+        t_serial = time.perf_counter() - t0
+        timings = {}
         reports = {}
-        for workers in (1, 2, 4):
+        for w in usable:
             t0 = time.perf_counter()
-            reports[workers] = explorer.explore(candidates, workers=workers)
-            times[workers] = time.perf_counter() - t0
-        return times, reports
+            explorer.explore(candidates, workers=w, force_pool=True)
+            cold = time.perf_counter() - t0  # pool spawn + run
+            t0 = time.perf_counter()
+            reports[w] = explorer.explore(
+                candidates, workers=w, force_pool=True
+            )
+            warm = time.perf_counter() - t0
+            timings[w] = (cold, warm)
+        explorer.close()
+        return serial, t_serial, timings, reports
 
-    times, reports = benchmark.pedantic(run, rounds=1, iterations=1)
-    for workers in (2, 4):
-        assert [r.score for r in reports[workers].results] == \
-            [r.score for r in reports[1].results]
-        assert reports[workers].best.arch == reports[1].best.arch
-    print_banner("DSE worker scaling (bounded by available CPUs)")
-    rows = [[w, f"{t:.2f}s", f"{times[1] / t:.2f}x"]
-            for w, t in sorted(times.items())]
-    print(format_table(["workers", "wall", "speedup"], rows))
-    print(f"cpus available: {os.cpu_count()}")
-    emit_bench("dse_worker_scaling", {
-        "cpus": os.cpu_count(),
+    serial, t_serial, timings, reports = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    for w, report in reports.items():
+        assert [r.score for r in report.results] == \
+            [r.score for r in serial.results]
+        assert report.best.arch == serial.best.arch
+
+    print_banner("DSE worker scaling (persistent pool, amortized)")
+    rows = [["serial", f"{t_serial:.2f}s", "", "1.00x"]]
+    record = {
+        "cpus": cpus,
         "candidates": len(candidates),
-        "wall_time_s": {str(w): t for w, t in times.items()},
-        "speedup_vs_serial": {str(w): times[1] / t for w, t in times.items()},
-    }, BENCH_PATH)
+        "serial_wall_s": t_serial,
+        "skipped_over_cpu_count": skipped,
+        "workers": {},
+    }
+    for w, (cold, warm) in sorted(timings.items()):
+        speedup = t_serial / warm
+        parallelism = min(w, cpus)
+        # What each dispatched candidate pays beyond its share of the
+        # serial work once the pool is warm — the honest number on
+        # boxes where real parallel speedup is impossible.
+        overhead = max(0.0, warm - t_serial / parallelism) / len(candidates)
+        record["workers"][str(w)] = {
+            "cold_wall_s": cold,
+            "warm_wall_s": warm,
+            "pool_spawn_overhead_s": max(0.0, cold - warm),
+            "amortized_dispatch_overhead_s_per_candidate": overhead,
+            "speedup_vs_serial": speedup,
+        }
+        rows.append([
+            f"{w} workers", f"{warm:.2f}s (cold {cold:.2f}s)",
+            f"{overhead * 1000:.1f}ms/cand", f"{speedup:.2f}x",
+        ])
+    print(format_table(
+        ["config", "wall (warm pool)", "dispatch overhead", "speedup"], rows,
+    ))
+    if skipped:
+        print(f"skipped worker counts beyond the {cpus} visible CPU(s): "
+              f"{skipped}")
+    emit_bench("dse_worker_scaling", record, BENCH_PATH)
+    if cpus >= 2 and 2 in timings:
+        speedup = t_serial / timings[2][1]
+        assert speedup >= 1.0, (
+            f"2-worker DSE with a warm persistent pool is slower than "
+            f"serial ({speedup:.2f}x) despite {cpus} CPUs"
+        )

@@ -160,6 +160,23 @@ class MeshTopology:
             )
         return self._link_arrays
 
+    def link_index_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(noc_idx, d2d_idx, io_idx)`` link-index arrays.
+
+        Integer-index gathers select links in the same ascending order
+        as the boolean masks they replace, so aggregate sums over them
+        are bit-identical — just without re-deriving the selection per
+        query (the SA loop sums these on every evaluation).
+        """
+        if getattr(self, "_link_index_arrays", None) is None:
+            _, is_d2d, is_io = self.link_arrays()
+            self._link_index_arrays = (
+                np.nonzero(~is_d2d)[0],
+                np.nonzero(is_d2d)[0],
+                np.nonzero(is_io)[0],
+            )
+        return self._link_index_arrays
+
     # ------------------------------------------------------------------
     # Routing (deterministic XY, Sec VII-C assumes XY routing)
     # ------------------------------------------------------------------

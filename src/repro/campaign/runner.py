@@ -22,7 +22,7 @@ search configuration, bound to a directory.  The runner
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -38,8 +38,6 @@ from repro.dse.explorer import (
     CandidateResult,
     DesignSpaceExplorer,
     Workload,
-    _evaluate_in_worker,
-    _init_worker,
 )
 from repro.dse.objective import OBJECTIVE_MCED, Objective
 from repro.dse.pareto import AXES, pareto_front
@@ -363,42 +361,42 @@ class CampaignRunner:
 
     def _run_pool(self, tasks, workers: int,
                   fail_after: int | None) -> tuple[int, int]:
-        """Shard ``tasks`` over a pool, checkpointing as results land."""
+        """Shard ``tasks`` over the persistent pool, checkpointing as
+        results land.
+
+        The pool lives on the explorer and survives this call: resumed
+        runs, multi-campaign sessions and the store-hit/pending split
+        all dispatch into already-warm workers (fork-inherited compiled
+        tables) instead of respawning per run.
+        """
         completed = failed = 0
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self.explorer,),
-        ) as pool:
-            futures = {
-                pool.submit(_evaluate_in_worker, task): task
-                for task in tasks
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
+        pool = self.explorer.pool(workers)
+        futures = {pool.submit(task): task for task in tasks}
+        outstanding = set(futures)
+        while outstanding:
+            finished, outstanding = wait(
+                outstanding, return_when=FIRST_COMPLETED
+            )
+            # Checkpoint the whole finished batch before honoring
+            # the fault injection — results that already exist must
+            # never be thrown away.
+            for fut in finished:
+                i, arch, _ = futures[fut]
+                try:
+                    result, snapshot = fut.result()
+                except ReproError as exc:
+                    self._record_failure(i, exc)
+                    failed += 1
+                    continue
+                PERF.merge(snapshot)
+                self._checkpoint(i, arch, result)
+                completed += 1
+            if fail_after is not None and completed >= fail_after:
+                for f in outstanding:
+                    f.cancel()
+                raise CampaignInterrupted(
+                    f"fault injection after {completed} candidates"
                 )
-                # Checkpoint the whole finished batch before honoring
-                # the fault injection — results that already exist must
-                # never be thrown away.
-                for fut in finished:
-                    i, arch, _ = futures[fut]
-                    try:
-                        result, snapshot = fut.result()
-                    except ReproError as exc:
-                        self._record_failure(i, exc)
-                        failed += 1
-                        continue
-                    PERF.merge(snapshot)
-                    self._checkpoint(i, arch, result)
-                    completed += 1
-                if fail_after is not None and completed >= fail_after:
-                    for f in outstanding:
-                        f.cancel()
-                    raise CampaignInterrupted(
-                        f"fault injection after {completed} candidates"
-                    )
         return completed, failed
 
     # ------------------------------------------------------------------
@@ -424,6 +422,7 @@ class CampaignRunner:
         )
 
     def close(self) -> None:
+        self.explorer.close()
         self.store.close()
 
     def __enter__(self) -> "CampaignRunner":

@@ -98,11 +98,13 @@ def resolve_model(spec: str) -> DNNGraph:
     return graph
 
 
-def engine_for(arch: ArchConfig, iterations: int, seed: int = 0) -> MappingEngine:
+def engine_for(arch: ArchConfig, iterations: int, seed: int = 0,
+               proposal_batch: int = 1) -> MappingEngine:
     return MappingEngine(
         arch,
         settings=MappingEngineSettings(
-            sa=SASettings(iterations=iterations, seed=seed)
+            sa=SASettings(iterations=iterations, seed=seed,
+                          proposal_batch=proposal_batch)
         ),
     )
 
@@ -121,8 +123,20 @@ def profile_report(args, extra: dict | None = None) -> None:
     if rows:
         print()
         print(format_table(["kind", "name", "value"], rows))
+    caches = PERF.cache_stats()
+    if caches:
+        print()
+        print(format_table(
+            ["cache", "hits", "misses", "hit rate"],
+            [
+                [name, int(s["hits"]), int(s["misses"]),
+                 f"{s['hit_rate']:.1%}"]
+                for name, s in sorted(caches.items())
+            ],
+        ))
     payload = dict(extra or {})
     payload["perf"] = snap
+    payload["caches"] = caches
     path = emit_bench(f"cli.{args.command}", payload)
     print(f"wrote profile to {path}")
 
@@ -147,12 +161,12 @@ def cmd_dse(args) -> int:
     candidates = table1_candidates(args.tops, args.full)
     print(f"exploring {len(candidates)} candidates at {args.tops} TOPs "
           f"(SA x{args.iters}, {args.workers or 'all'} worker(s))")
-    explorer = DesignSpaceExplorer(
+    with DesignSpaceExplorer(
         [Workload(resolve_model(m), args.batch) for m in args.models],
         sa_settings=SASettings(iterations=args.iters),
         record_mappings=False,  # no store attached; keep IPC lean
-    )
-    report = explorer.explore(candidates, workers=args.workers or None)
+    ) as explorer:
+        report = explorer.explore(candidates, workers=args.workers or None)
     outdir = Path(args.out)
     outdir.mkdir(parents=True, exist_ok=True)
     rows = [list(candidate_result_summary(r).values())
@@ -175,7 +189,9 @@ def cmd_dse(args) -> int:
 def cmd_map(args) -> int:
     arch = resolve_arch(args.arch)
     graph = resolve_model(args.model)
-    result = engine_for(arch, args.iters).map(graph, args.batch)
+    result = engine_for(
+        arch, args.iters, proposal_batch=args.proposal_batch
+    ).map(graph, args.batch)
     summary = mapping_result_summary(result)
     print(format_table(
         ["field", "value"], [[k, v] for k, v in summary.items()],
@@ -496,6 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="g-arch")
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=200)
+    p.add_argument("--proposal-batch", type=int, default=1,
+                   help="SA proposals scored per iteration (best-of-K "
+                        "delta evaluation; 1 = the paper's plain walk)")
     p.add_argument("--save-mapping")
     p.add_argument("--profile", action="store_true",
                    help="print SA throughput / perf counters and write "

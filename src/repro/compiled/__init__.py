@@ -1,0 +1,18 @@
+"""Array-native evaluation core (compiled graph + mapping tables).
+
+``compile_graph`` lowers a DNN once into flat numpy tables;
+:class:`CompiledEval` evaluates layer groups over them bit-identically
+to the object path, and :class:`GroupSession` adds delta evaluation for
+the SA loop.  See :mod:`repro.compiled.evalcore` for the contract.
+"""
+
+from repro.compiled.evalcore import CompiledEval, CompiledLayer, GroupSession
+from repro.compiled.graph import CompiledGraph, compile_graph
+
+__all__ = [
+    "CompiledEval",
+    "CompiledGraph",
+    "CompiledLayer",
+    "GroupSession",
+    "compile_graph",
+]

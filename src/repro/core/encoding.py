@@ -52,6 +52,15 @@ class Partition:
         if min(self.h, self.w, self.b, self.k) < 1:
             raise InvalidMappingError("partition counts must be >= 1")
 
+    def __hash__(self) -> int:
+        # Partitions key the compiled-path caches on every SA
+        # evaluation — memoize the (immutable) hash like MappingScheme.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.h, self.w, self.b, self.k))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def n_parts(self) -> int:
         return self.h * self.w * self.b * self.k
@@ -160,7 +169,14 @@ class LayerGroupMapping:
     """``LMS``: the full LP SPM scheme of one layer group."""
 
     def __init__(self, group: LayerGroup, schemes: dict[str, MappingScheme]):
-        if set(schemes) != set(group.layers):
+        # dict-keys == frozenset is a set comparison; reusing the
+        # group's cached member set keeps this hot constructor (every
+        # SA operator builds mappings) from re-deriving a set per call.
+        members = group.__dict__.get("_member_set")
+        if members is None:
+            members = frozenset(group.layers)
+            object.__setattr__(group, "_member_set", members)
+        if schemes.keys() != members:
             raise InvalidMappingError(
                 "schemes must cover exactly the group's layers"
             )

@@ -29,18 +29,29 @@ from repro.workloads.graph import DNNGraph
 from repro.workloads.layer import Layer
 
 
+#: Core counts repeat endlessly in the SA operators' partition
+#: re-draws; factorizations are tiny, so memoize them outright.
+_PRIME_FACTORS: dict[int, list[int]] = {}
+
+
 def prime_factors(n: int) -> list[int]:
     """Prime factorization (descending), e.g. 12 -> [3, 2, 2]."""
+    cached = _PRIME_FACTORS.get(n)
+    if cached is not None:
+        return cached
     factors = []
+    m = n
     d = 2
-    while d * d <= n:
-        while n % d == 0:
+    while d * d <= m:
+        while m % d == 0:
             factors.append(d)
-            n //= d
+            m //= d
         d += 1
-    if n > 1:
-        factors.append(n)
-    return sorted(factors, reverse=True)
+    if m > 1:
+        factors.append(m)
+    factors = sorted(factors, reverse=True)
+    _PRIME_FACTORS[n] = factors
+    return factors
 
 
 def factor_partition(

@@ -17,7 +17,6 @@ comprehensiveness proof [1]):
 from __future__ import annotations
 
 import random
-from dataclasses import replace as dc_replace
 
 from repro.core.encoding import (
     LayerGroupMapping,
@@ -46,7 +45,11 @@ def op1_change_partition(
     part = _random_partition(graph, lms, name, scheme.n_cores, rng)
     if part is None or part == scheme.part:
         return None
-    return lms.with_scheme(name, dc_replace(scheme, part=part))
+    # Direct construction: dataclasses.replace re-derives the field
+    # list on every call, and operators run once per SA iteration.
+    return lms.with_scheme(
+        name, MappingScheme(part, scheme.core_group, scheme.fd)
+    )
 
 
 def op2_swap_within_layer(
@@ -60,7 +63,9 @@ def op2_swap_within_layer(
     i, j = rng.sample(range(scheme.n_cores), 2)
     cg = list(scheme.core_group)
     cg[i], cg[j] = cg[j], cg[i]
-    return lms.with_scheme(name, dc_replace(scheme, core_group=tuple(cg)))
+    return lms.with_scheme(
+        name, MappingScheme(scheme.part, tuple(cg), scheme.fd)
+    )
 
 
 def op3_swap_between_layers(
@@ -75,8 +80,8 @@ def op3_swap_between_layers(
     ib = rng.randrange(sb.n_cores)
     cga, cgb = list(sa_.core_group), list(sb.core_group)
     cga[ia], cgb[ib] = cgb[ib], cga[ia]
-    out = lms.with_scheme(a, dc_replace(sa_, core_group=tuple(cga)))
-    return out.with_scheme(b, dc_replace(sb, core_group=tuple(cgb)))
+    out = lms.with_scheme(a, MappingScheme(sa_.part, tuple(cga), sa_.fd))
+    return out.with_scheme(b, MappingScheme(sb.part, tuple(cgb), sb.fd))
 
 
 def op4_move_core(
@@ -126,7 +131,9 @@ def op5_change_flow(
     if getattr(scheme.fd, field) == value:
         return None
     fd = scheme.fd.replace(**{field: value})
-    return lms.with_scheme(name, dc_replace(scheme, fd=fd))
+    return lms.with_scheme(
+        name, MappingScheme(scheme.part, scheme.core_group, fd)
+    )
 
 
 #: Operator registry in paper order.

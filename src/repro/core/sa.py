@@ -41,6 +41,14 @@ class SASettings:
     #: Operator names to draw from (None = all five).  Used by the
     #: operator-ablation study; the paper's search always uses all five.
     operators: tuple[str, ...] | None = None
+    #: Proposals scored per iteration.  ``1`` (default) is the paper's
+    #: plain Metropolis walk.  ``K > 1`` draws K operator moves against
+    #: the current state, delta-evaluates them all against the shared
+    #: compiled group state, and runs the accept test on the cheapest —
+    #: a best-of-K walk that trades evaluations per iteration for
+    #: greedier descent.  Deterministic for a fixed seed, but a
+    #: *different* search trajectory than ``K=1``; opt-in.
+    proposal_batch: int = 1
 
 
 @dataclass
@@ -100,13 +108,36 @@ class SAController:
         self.current = list(lmss)
         self.best = list(lmss)
         # The SA loop revisits the same routes and layer shapes over and
-        # over — warm the evaluator's route cache before the first step.
-        evaluator.warm()
+        # over — warm the evaluator's route cache and the graph's
+        # compiled tables before the first step (idempotent).
+        evaluator.warm(graph)
         self._group_weights = self._space_weights()
+        # Cumulative weights + a reusable index list keep the
+        # per-iteration group draw from re-accumulating the weights.
+        cum = []
+        total = 0.0
+        for w in self._group_weights:
+            total += w
+            cum.append(total)
+        self._group_cum_weights = cum
+        self._group_indices = list(range(len(self.current)))
         self._stored_at = self._stored_at_map(self.current)
         self.current_costs = [self._cost(lms) for lms in self.current]
         self.best_costs = list(self.current_costs)
         self.stats = SAStats(initial_cost=sum(self.current_costs))
+        # Delta-evaluation sessions over the compiled tables: one per
+        # group, sharing the evaluator's block caches.  ``None`` when
+        # the evaluator runs the object path (cache off / maxmin).
+        compiled_for = getattr(evaluator, "compiled_for", None)
+        compiled = compiled_for(graph) if compiled_for is not None else None
+        self._sessions = None
+        if compiled is not None:
+            self._sessions = [
+                compiled.session(lms, batch, self._stored_at)
+                for lms in self.current
+            ]
+        self._delta_eval_s = 0.0
+        self._delta_evals = 0
 
     # ------------------------------------------------------------------
 
@@ -141,12 +172,16 @@ class SAController:
             else:
                 self._stored_at.pop(name, None)
 
+    def _objective(self, ev) -> float:
+        """The ``E^beta * D^gamma`` objective of one group evaluation."""
+        s = self.settings
+        return (ev.energy.total ** s.beta) * (ev.delay ** s.gamma)
+
     def _cost(self, lms: LayerGroupMapping) -> float:
         ev = self.evaluator.evaluate_group(
             self.graph, lms, self.batch, self._stored_at
         )
-        s = self.settings
-        return (ev.energy.total ** s.beta) * (ev.delay ** s.gamma)
+        return self._objective(ev)
 
     def _temperature(self, i: int) -> float:
         s = self.settings
@@ -157,7 +192,7 @@ class SAController:
 
     def _pick_group(self) -> int:
         return self.rng.choices(
-            range(len(self.current)), weights=self._group_weights
+            self._group_indices, cum_weights=self._group_cum_weights
         )[0]
 
     def _apply_operator(self, lms: LayerGroupMapping):
@@ -177,14 +212,25 @@ class SAController:
 
     # ------------------------------------------------------------------
 
-    def step(self, iteration: int) -> bool:
-        """One SA iteration; returns True when a move was accepted."""
-        gi = self._pick_group()
-        candidate = self._apply_operator(self.current[gi])
-        if candidate is None:
-            return False
-        self.stats.proposed += 1
-        new_cost = self._cost(candidate)
+    def _candidate_cost(self, gi: int, lms: LayerGroupMapping):
+        """Cost of a candidate: delta evaluation when a session exists.
+
+        Returns ``(cost, proposal)``; the proposal (``None`` on the
+        object path) must be committed into its session iff the move is
+        accepted.  Delta and full evaluation are bit-identical, so the
+        two paths produce the same annealing trajectory.
+        """
+        if self._sessions is None:
+            return self._cost(lms), None
+        t0 = time.perf_counter()
+        proposal = self._sessions[gi].propose(lms, self._stored_at)
+        self._delta_eval_s += time.perf_counter() - t0
+        self._delta_evals += 1
+        return self._objective(proposal.result), proposal
+
+    def _accept(self, gi: int, iteration: int, candidate, new_cost,
+                proposal) -> bool:
+        """Metropolis accept test + state bookkeeping for one move."""
         old_cost = self.current_costs[gi]
         accept = new_cost <= old_cost
         if not accept and old_cost > 0:
@@ -194,6 +240,8 @@ class SAController:
         if not accept:
             return False
         self.stats.accepted += 1
+        if proposal is not None:
+            self._sessions[gi].commit(proposal)
         self.current[gi] = candidate
         self.current_costs[gi] = new_cost
         self._update_stored_at(candidate)
@@ -204,6 +252,35 @@ class SAController:
             self.stats.best_iteration = iteration + 1
         return True
 
+    def step(self, iteration: int) -> bool:
+        """One SA iteration; returns True when a move was accepted."""
+        if self.settings.proposal_batch > 1:
+            return self._step_batched(iteration)
+        gi = self._pick_group()
+        candidate = self._apply_operator(self.current[gi])
+        if candidate is None:
+            return False
+        self.stats.proposed += 1
+        new_cost, proposal = self._candidate_cost(gi, candidate)
+        return self._accept(gi, iteration, candidate, new_cost, proposal)
+
+    def _step_batched(self, iteration: int) -> bool:
+        """Score ``proposal_batch`` moves against the shared group
+        state; the cheapest takes the accept test (ties -> first)."""
+        gi = self._pick_group()
+        candidates = []
+        for _ in range(self.settings.proposal_batch):
+            c = self._apply_operator(self.current[gi])
+            if c is not None:
+                candidates.append(c)
+        if not candidates:
+            return False
+        self.stats.proposed += len(candidates)
+        scored = [self._candidate_cost(gi, c) for c in candidates]
+        bi = min(range(len(scored)), key=lambda j: scored[j][0])
+        new_cost, proposal = scored[bi]
+        return self._accept(gi, iteration, candidates[bi], new_cost, proposal)
+
     def run(self) -> list[LayerGroupMapping]:
         t0 = time.perf_counter()
         for i in range(self.settings.iterations):
@@ -211,4 +288,9 @@ class SAController:
             self.step(i)
         self.stats.wall_time_s += time.perf_counter() - t0
         self.stats.final_cost = sum(self.best_costs)
+        if self._delta_evals:
+            from repro.perf import PERF
+
+            PERF.add_time("sa.delta_eval", self._delta_eval_s,
+                          self._delta_evals)
         return list(self.best)

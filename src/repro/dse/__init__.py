@@ -14,6 +14,7 @@ from repro.dse.joint import (
     JointExplorer,
     scale_with_chiplets,
 )
+from repro.dse.pool import PersistentEvalPool
 from repro.dse.pareto import (
     category_bests,
     dominates,
@@ -45,6 +46,7 @@ __all__ = [
     "OBJECTIVE_MC",
     "OBJECTIVE_MCED",
     "Objective",
+    "PersistentEvalPool",
     "Workload",
     "candidate_from",
     "category_bests",

@@ -18,7 +18,6 @@ from __future__ import annotations
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.arch.params import ArchConfig
@@ -150,6 +149,62 @@ class DesignSpaceExplorer:
         #: store / warm-starting campaigns).  Disable on plain
         #: exploration to keep worker IPC and report memory lean.
         self.record_mappings = record_mappings
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Compile every workload's graph tables (idempotent).
+
+        Called in the parent before pool workers exist so fork-based
+        workers inherit the compiled tables instead of rebuilding them
+        per candidate.
+        """
+        from repro.compiled import compile_graph
+
+        for wl in self.workloads:
+            compile_graph(wl.graph)
+
+    def pool(self, workers: int):
+        """The persistent worker pool, grown on demand.
+
+        A live pool with at least ``workers`` workers is reused
+        (amortizing spawn + explorer shipping across ``explore`` calls
+        and campaign runs — small follow-up batches must not tear a
+        warm pool down); only a request for *more* workers recreates
+        it.
+        """
+        from repro.dse.pool import PersistentEvalPool
+
+        if self._pool is not None and self._pool.workers < workers:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = PersistentEvalPool(self, workers)
+        else:
+            PERF.add("dse.pool.reused")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (if any)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "DesignSpaceExplorer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getstate__(self):
+        # Pools hold OS resources; workers re-derive state from the
+        # shipped explorer, never from its pool.
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -318,24 +373,16 @@ class DesignSpaceExplorer:
         self, tasks, workers: int, on_result=None
     ) -> list[CandidateResult]:
         results = []
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self,),
-        ) as pool:
-            # pool.map yields lazily in task order, so results are
-            # handed to on_result (e.g. a store publish) as the ordered
-            # stream advances instead of after the whole batch.
-            outcomes = pool.map(
-                _evaluate_in_worker,
-                tasks,
-                chunksize=max(1, len(tasks) // (workers * 4)),
-            )
-            for (i, a, _), (result, snapshot) in zip(tasks, outcomes):
-                PERF.merge(snapshot)
-                results.append(result)
-                if on_result is not None:
-                    on_result(i, a, result)
+        pool = self.pool(workers)
+        # map_tasks yields lazily in task order, so results are handed
+        # to on_result (e.g. a store publish) as the ordered stream
+        # advances instead of after the whole batch.
+        outcomes = pool.map_tasks(tasks)
+        for (i, a, _), (result, snapshot) in zip(tasks, outcomes):
+            PERF.merge(snapshot)
+            results.append(result)
+            if on_result is not None:
+                on_result(i, a, result)
         return results
 
     def explore(
@@ -343,12 +390,16 @@ class DesignSpaceExplorer:
         candidates: list[ArchConfig],
         workers: int | None = 1,
         store=None,
+        force_pool: bool = False,
     ) -> DseReport:
         """Explore every candidate; ``workers`` > 1 uses a process pool.
 
-        ``workers=None`` uses every available CPU.  Results (order,
-        scores, winning candidate) are identical for any worker count;
-        only ``wall_time_s`` depends on the machine.
+        ``workers=None`` uses every available CPU.  ``force_pool``
+        dispatches through the persistent pool even for one worker —
+        how the benchmark measures pure dispatch overhead on
+        single-CPU machines.  Results (order, scores, winning
+        candidate) are identical for any worker count; only
+        ``wall_time_s`` depends on the machine.
 
         With a :class:`~repro.campaign.store.ResultStore` attached,
         candidates whose key is already stored are served from it
@@ -385,7 +436,7 @@ class DesignSpaceExplorer:
 
             if tasks:
                 workers = min(workers, len(tasks))
-                if workers > 1:
+                if workers > 1 or force_pool:
                     self._explore_parallel(tasks, workers, on_result=collect)
                 else:
                     self._explore_serial(tasks, on_result=collect)

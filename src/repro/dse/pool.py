@@ -1,0 +1,134 @@
+"""Persistent DSE worker pool with fork-inherited explorer state.
+
+The old driver paid worker spawn + explorer shipping on every
+``explore()`` call, which made parallel DSE *slower* than serial for
+small candidate batches.  :class:`PersistentEvalPool` amortizes those
+costs across the pool's lifetime:
+
+* workers are spawned once and reused for every subsequent dispatch
+  (the explorer caches its pool, and the campaign runner shares it);
+* on platforms with ``fork`` (Linux), the explorer — including the
+  compiled graph tables built by :meth:`DesignSpaceExplorer.prepare`
+  and any warmed caches — is *inherited* by the forked workers through
+  copy-on-write memory: nothing is pickled, and every worker starts
+  with hot tables;
+* elsewhere the explorer is pickled once per worker process (at spawn),
+  not once per ``explore()`` call;
+* candidates are dispatched in chunks so per-task IPC overhead is paid
+  per chunk, not per candidate.
+
+The explorer must be treated as immutable once a pool exists — workers
+saw its state at fork/spawn time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from repro.perf import PERF
+
+#: Explorers registered for fork inheritance, keyed by token.  The
+#: parent keeps every live pool's explorer here so workers forked at
+#: any later submit still find their token (pools may interleave).
+_FORK_STATE: dict[int, object] = {}
+_TOKENS = itertools.count()
+
+
+def _init_fork_worker(token: int) -> None:
+    """Adopt the fork-inherited explorer as this worker's evaluator."""
+    from repro.dse import explorer as explorer_mod
+
+    explorer_mod._WORKER_EXPLORER = _FORK_STATE[token]
+
+
+def default_chunksize(n_tasks: int, workers: int) -> int:
+    """Chunked dispatch: ~4 chunks per worker balances skew vs. IPC."""
+    return max(1, n_tasks // (workers * 4))
+
+
+def _release(executor: ProcessPoolExecutor, token: int | None) -> None:
+    """Shut a pool's resources down (close() or garbage collection).
+
+    Registered as a ``weakref.finalize`` callback so an abandoned pool
+    (an explorer dropped without ``close()``) still stops its workers
+    and unpins its explorer from :data:`_FORK_STATE`.
+    """
+    executor.shutdown(wait=False, cancel_futures=True)
+    if token is not None:
+        _FORK_STATE.pop(token, None)
+
+
+class PersistentEvalPool:
+    """A long-lived process pool bound to one explorer."""
+
+    def __init__(self, explorer, workers: int):
+        if workers < 1:
+            raise ValueError("pool needs at least one worker")
+        self.workers = workers
+        self._token: int | None = None
+        # Compile the workloads' graph tables in the parent before any
+        # worker exists, so fork inheritance ships them for free.
+        explorer.prepare()
+        if "fork" in mp.get_all_start_methods():
+            self._token = next(_TOKENS)
+            _FORK_STATE[self._token] = explorer
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp.get_context("fork"),
+                initializer=_init_fork_worker,
+                initargs=(self._token,),
+            )
+        else:  # pragma: no cover - non-POSIX fallback
+            from repro.dse.explorer import _init_worker
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(explorer,),
+            )
+        self._finalizer = weakref.finalize(
+            self, _release, self._pool, self._token
+        )
+        self.dispatched = 0
+        PERF.add("dse.pool.created")
+
+    # ------------------------------------------------------------------
+
+    def map_tasks(self, tasks, chunksize: int | None = None):
+        """Ordered lazy map of ``(index, arch, warm)`` tasks.
+
+        Yields ``(result, perf_snapshot)`` pairs in task order as they
+        complete, like ``Executor.map`` — callers can checkpoint the
+        ordered stream as it advances.
+        """
+        from repro.dse.explorer import _evaluate_in_worker
+
+        if chunksize is None:
+            chunksize = default_chunksize(len(tasks), self.workers)
+        self.dispatched += len(tasks)
+        PERF.add("dse.pool.dispatched", len(tasks))
+        return self._pool.map(_evaluate_in_worker, tasks, chunksize=chunksize)
+
+    def submit(self, task) -> Future:
+        """Dispatch one ``(index, arch, warm)`` task (unordered use)."""
+        from repro.dse.explorer import _evaluate_in_worker
+
+        self.dispatched += 1
+        PERF.add("dse.pool.dispatched")
+        return self._pool.submit(_evaluate_in_worker, task)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self._finalizer.detach()
+        if self._token is not None:
+            _FORK_STATE.pop(self._token, None)
+            self._token = None
+
+    def __enter__(self) -> "PersistentEvalPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

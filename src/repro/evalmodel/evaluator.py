@@ -15,9 +15,17 @@ enabled by default, all disabled with ``cache=False``):
 4. whole :class:`GroupEval` records keyed by the LMS digest, the batch
    and the DRAM placement of the group's cross-group inputs.
 
-Every cache memoizes an immutable value of the same computation the
-uncached path runs, so cached and uncached evaluations are identical —
-the SA loop gets its speed from reuse, not from approximation.
+On top of the caches, the default configuration routes group
+evaluations through the **array-native compiled core**
+(:mod:`repro.compiled`): the graph is lowered once into flat numpy
+tables and the hot path never walks Python object graphs.  Flow
+collection (``keep_traffic`` / the max–min network model) stays on the
+object path.
+
+Every cache — and the compiled path — memoizes an immutable value of
+the same computation the uncached path runs, so all configurations are
+bit-identical; the SA loop gets its speed from reuse and array layout,
+not from approximation.
 """
 
 from __future__ import annotations
@@ -45,10 +53,14 @@ from repro.workloads.graph import DNNGraph
 class _GraphCaches:
     """Evaluation caches scoped to one (graph, evaluator) pair."""
 
-    parse: LruDict = field(default_factory=lambda: LruDict(32768))
-    intra: LruDict = field(default_factory=lambda: LruDict(32768))
-    traffic: LruDict = field(default_factory=lambda: LruDict(16384))
-    group: LruDict = field(default_factory=lambda: LruDict(8192))
+    parse: LruDict = field(
+        default_factory=lambda: LruDict(32768, name="eval.parse"))
+    intra: LruDict = field(
+        default_factory=lambda: LruDict(32768, name="eval.intra"))
+    traffic: LruDict = field(
+        default_factory=lambda: LruDict(16384, name="eval.traffic"))
+    group: LruDict = field(
+        default_factory=lambda: LruDict(8192, name="eval.group"))
     #: layer-group layers tuple -> sorted cross-group producer names
     ext_producers: dict = field(default_factory=dict)
 
@@ -83,6 +95,7 @@ class Evaluator:
         energy: EnergyModel = DEFAULT_ENERGY,
         network_model: str = "bound",
         cache: bool = True,
+        compiled: bool | None = None,
     ):
         if network_model not in ("bound", "maxmin"):
             raise ValueError(f"unknown network model {network_model!r}")
@@ -91,18 +104,57 @@ class Evaluator:
         self.energy = energy
         self.network_model = network_model
         self.cache_enabled = cache
+        # The array-native path needs its caches and computes only the
+        # analytic bound (flow collection stays on the object path);
+        # results are bit-identical either way, so it defaults on
+        # wherever it applies.  ``compiled=False`` pins the object path
+        # (the A/B baseline the perf benchmarks measure against).
+        if compiled is None:
+            compiled = True
+        self.compiled_enabled = (
+            compiled and cache and network_model == "bound"
+        )
         self.intracore = IntraCoreEngine(arch, energy)
         self._caches: WeakKeyDictionary[DNNGraph, _GraphCaches] = (
             WeakKeyDictionary()
         )
+        self._compiled: WeakKeyDictionary[DNNGraph, object] = (
+            WeakKeyDictionary()
+        )
+        self._routes_warmed = False
 
     # ------------------------------------------------------------------
 
-    def warm(self) -> None:
-        """Precompute the topology's XY route tables (SA hot-loop prep)."""
-        if self.cache_enabled:
-            self.topo.core_route_table()
-            self.topo.dram_route_tables()
+    def warm(self, graph: DNNGraph | None = None) -> None:
+        """Precompute route tables (and ``graph``'s compiled tables).
+
+        Idempotent: the SA controller (once per restart) and the
+        warm-start path both call this, so the route warming runs once
+        per evaluator and the table lowering once per (evaluator,
+        graph) — repeat calls are counted and skipped.
+        """
+        if self.cache_enabled and not self._routes_warmed:
+            with PERF.time("evaluator.warm.routes"):
+                self.topo.core_route_table()
+                self.topo.dram_route_tables()
+            self._routes_warmed = True
+        else:
+            PERF.add("evaluator.warm.skipped")
+        if graph is not None:
+            self.compiled_for(graph)
+
+    def compiled_for(self, graph: DNNGraph):
+        """The graph's :class:`~repro.compiled.CompiledEval`, or ``None``
+        when the array-native path does not apply to this evaluator."""
+        if not self.compiled_enabled:
+            return None
+        ce = self._compiled.get(graph)
+        if ce is None:
+            from repro.compiled import CompiledEval, compile_graph
+
+            ce = CompiledEval(self, compile_graph(graph))
+            self._compiled[graph] = ce
+        return ce
 
     def _graph_caches(self, graph: DNNGraph) -> _GraphCaches | None:
         if not self.cache_enabled:
@@ -213,14 +265,17 @@ class Evaluator:
                 lms_digest(lms), batch,
                 self._stored_slice(graph, lms, stored_at, caches),
             )
+            # The named LruDict tallies hits/misses (lru.eval.group).
             hit = caches.group.get_lru(key)
             if hit is not None:
-                PERF.add("evaluator.group.hits")
                 return hit
-            PERF.add("evaluator.group.misses")
-        ev = self._evaluate_group_uncached(
-            graph, lms, batch, stored_at, keep_traffic, caches
-        )
+        compiled = None if keep_traffic else self.compiled_for(graph)
+        if compiled is not None:
+            ev = compiled.evaluate_group(lms, batch, stored_at)
+        else:
+            ev = self._evaluate_group_uncached(
+                graph, lms, batch, stored_at, keep_traffic, caches
+            )
         if key is not None:
             caches.group.put(key, ev)
         return ev

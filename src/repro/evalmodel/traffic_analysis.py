@@ -159,6 +159,69 @@ def _dram_targets(
     return targets
 
 
+def dram_scatter_batch(
+    topo: MeshTopology,
+    fd: int,
+    cores: np.ndarray,
+    volumes: np.ndarray,
+    vol_slots: np.ndarray,
+    tally: np.ndarray,
+    write: bool,
+) -> None:
+    """Scatter-add core<->DRAM flows for many parts at once.
+
+    Additions into each per-link / per-DRAM slot happen in part order
+    (np.add.at is unbuffered and in index order), matching the per-part
+    loop of the flow-collecting path.  Shared by the object-graph
+    analyzer and the compiled evaluation core so the two paths cannot
+    drift numerically.
+    """
+    n_dram = len(topo.dram_nodes())
+    to_dram, to_lens, from_dram, from_lens = topo.dram_route_tables()
+    table, lens = (to_dram, to_lens) if write else (from_dram, from_lens)
+    for dram, share in _dram_targets(topo, fd):
+        d = dram[1]
+        v = volumes * share
+        rows = cores * n_dram + d
+        padded = table[rows].ravel()
+        vol_slots += np.bincount(
+            padded[padded >= 0],
+            weights=np.repeat(v, lens[rows]),
+            minlength=len(vol_slots),
+        )
+        # Sequential left-fold into the DRAM tally, exactly like the
+        # per-part ``dram_read[d] += v`` loop of the flow-collecting
+        # path (np.sum's pairwise reduction would associate
+        # differently); a Python loop beats np.add.at at these sizes.
+        t = tally[d]
+        for x in v.tolist():
+            t += x
+        tally[d] = t
+
+
+def core_scatter_batch(
+    topo: MeshTopology,
+    src_cores: np.ndarray,
+    dst_cores: np.ndarray,
+    volumes: np.ndarray,
+    vol_slots: np.ndarray,
+) -> None:
+    """Accumulate many core->core flows' routes in one scatter-add.
+
+    np.add.at / bincount apply increments in index order, so per-link
+    sums associate exactly like sequential ``add_flow`` calls.  Shared
+    by both evaluation paths (see :func:`dram_scatter_batch`).
+    """
+    table, lens = topo.core_route_table()
+    rows = src_cores * topo.arch.n_cores + dst_cores
+    padded = table[rows].ravel()
+    vol_slots += np.bincount(
+        padded[padded >= 0],
+        weights=np.repeat(volumes, lens[rows]),
+        minlength=len(vol_slots),
+    )
+
+
 def _conv_needs(
     consumer: Layer, dest_regions: np.ndarray, slice_lo: int, slice_hi: int
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -456,29 +519,11 @@ class GroupTrafficAnalyzer:
             self._from_dram(fd, int(cores[i]), volume, name, out)
 
     def _dram_flows_batch(self, fd, cores, volumes, out, write):
-        """Scatter-add core<->DRAM flows for many parts at once.
-
-        Additions into each per-link / per-DRAM slot happen in part
-        order (np.add.at is unbuffered and in index order), matching the
-        per-part loop of the flow-collecting path.
-        """
-        topo = self.topo
-        n_dram = len(topo.dram_nodes())
-        to_dram, to_lens, from_dram, from_lens = topo.dram_route_tables()
-        table, lens = (to_dram, to_lens) if write else (from_dram, from_lens)
+        """Scatter-add core<->DRAM flows (see :func:`dram_scatter_batch`)."""
         tally = out.dram_write if write else out.dram_read
-        vol_slots = out.traffic.volumes
-        for dram, share in _dram_targets(topo, fd):
-            d = dram[1]
-            v = volumes * share
-            rows = cores * n_dram + d
-            padded = table[rows].ravel()
-            vol_slots += np.bincount(
-                padded[padded >= 0],
-                weights=np.repeat(v, lens[rows]),
-                minlength=len(vol_slots),
-            )
-            np.add.at(tally, np.full(len(v), d, dtype=np.intp), v)
+        dram_scatter_batch(
+            self.topo, fd, cores, volumes, out.traffic.volumes, tally, write
+        )
 
     def _from_producer_parts(self, parsed, producer_name, need_arr, valid,
                              dest_layer, results, consumer_name, out):
@@ -508,19 +553,10 @@ class GroupTrafficAnalyzer:
         volumes = overlaps[di, sj] * bytes_per_elem * fetches[di]
         if out.flows is None:
             # Fast path: accumulate every flow's route in one unbuffered
-            # scatter-add.  np.add.at applies increments in index order,
-            # so per-link sums associate exactly like sequential
-            # ``add_flow`` calls.
-            table, lens = topo.core_route_table()
-            rows = src_cores[sj] * topo.arch.n_cores + dest_cores[di]
-            padded = table[rows].ravel()
-            vol_slots = out.traffic.volumes
-            # bincount accumulates in input order, matching sequential
-            # per-flow adds bit for bit.
-            vol_slots += np.bincount(
-                padded[padded >= 0],
-                weights=np.repeat(volumes, lens[rows]),
-                minlength=len(vol_slots),
+            # scatter-add (bit-identical to sequential add_flow calls).
+            core_scatter_batch(
+                topo, src_cores[sj], dest_cores[di], volumes,
+                out.traffic.volumes,
             )
             return
         for idx, (i, j) in enumerate(zip(di, sj)):

@@ -24,6 +24,7 @@ class TrafficMap:
         self.volumes = np.zeros(topo.n_links, dtype=np.float64)
         # Shared read-only views built once per topology.
         self._bandwidths, self._is_d2d, self._is_io = topo.link_arrays()
+        self._noc_idx, self._d2d_idx, self._io_idx = topo.link_index_arrays()
 
     # ------------------------------------------------------------------
     # Accumulation
@@ -73,15 +74,19 @@ class TrafficMap:
         return float(self.volumes.sum())
 
     def noc_byte_hops(self) -> float:
-        """Byte-hops on regular on-chip links only."""
-        return float(self.volumes[~self._is_d2d].sum())
+        """Byte-hops on regular on-chip links only.
+
+        Index gathers visit the same links in the same order as the
+        boolean-mask selection, so the sums are bit-identical.
+        """
+        return float(self.volumes[self._noc_idx].sum())
 
     def d2d_volume(self) -> float:
         """Bytes crossing D2D links (each crossing counted once)."""
-        return float(self.volumes[self._is_d2d].sum())
+        return float(self.volumes[self._d2d_idx].sum())
 
     def io_volume(self) -> float:
-        return float(self.volumes[self._is_io].sum())
+        return float(self.volumes[self._io_idx].sum())
 
     def utilizations(self, window_s: float) -> np.ndarray:
         """Per-link utilization over a time window (for heatmaps)."""

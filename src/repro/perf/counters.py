@@ -16,6 +16,12 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
+from weakref import WeakSet
+
+#: Live named LruDicts; their hit/miss tallies are folded into
+#: snapshots and :meth:`PerfRegistry.cache_stats` on demand, so the
+#: hot-path cost of instrumentation is two integer adds.
+_NAMED_LRUS: "WeakSet[LruDict]" = WeakSet()
 
 
 class LruDict(OrderedDict):
@@ -24,16 +30,33 @@ class LruDict(OrderedDict):
     Used by the evaluation caches (per-layer traffic blocks, group
     evaluations); recency is refreshed by :meth:`get_lru` and
     :meth:`put`, not by plain ``[]`` access.
+
+    Every dict tallies its own ``hits``/``misses``; a ``name``
+    additionally registers it so snapshots and ``--profile`` report the
+    tallies as ``lru.<name>.hits/.misses`` counters (summed over every
+    live cache sharing the name).
     """
 
-    def __init__(self, max_entries: int = 65536):
+    def __init__(self, max_entries: int = 65536, name: str | None = None):
         super().__init__()
         self.max_entries = max_entries
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        if name is not None:
+            _NAMED_LRUS.add(self)
+
+    # Identity hash (dict itself is unhashable) so instances can live
+    # in the registry WeakSet; value equality is never relied on.
+    __hash__ = object.__hash__
 
     def get_lru(self, key):
         value = self.get(key)
         if value is not None:
             self.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
         return value
 
     def put(self, key, value) -> None:
@@ -41,6 +64,17 @@ class LruDict(OrderedDict):
         self.move_to_end(key)
         while len(self) > self.max_entries:
             self.popitem(last=False)
+
+
+def _named_lru_counters() -> dict[str, float]:
+    """``lru.<name>.hits/.misses`` totals over the live named caches."""
+    out: dict[str, float] = {}
+    for d in _NAMED_LRUS:
+        hits_key = f"lru.{d.name}.hits"
+        misses_key = f"lru.{d.name}.misses"
+        out[hits_key] = out.get(hits_key, 0) + d.hits
+        out[misses_key] = out.get(misses_key, 0) + d.misses
+    return out
 
 
 class PerfRegistry:
@@ -75,6 +109,16 @@ class PerfRegistry:
             self._timers[label] = self._timers.get(label, 0.0) + dt
             self._timer_calls[label] = self._timer_calls.get(label, 0) + 1
 
+    def add_time(self, label: str, seconds: float, calls: int = 1) -> None:
+        """Fold externally measured wall time into a timer.
+
+        Hot loops (the SA delta evaluator) accumulate a local float and
+        report once per run instead of entering a context manager per
+        iteration.
+        """
+        self._timers[label] = self._timers.get(label, 0.0) + seconds
+        self._timer_calls[label] = self._timer_calls.get(label, 0) + calls
+
     def timer_seconds(self, label: str) -> float:
         return self._timers.get(label, 0.0)
 
@@ -90,9 +134,47 @@ class PerfRegistry:
         total = hits + misses
         return hits / total if total else 0.0
 
+    def cache_stats(self) -> dict[str, dict]:
+        """Hit/miss/ratio per cache reporting ``<prefix>.hits/.misses``.
+
+        Covers both the named :class:`LruDict` counters (``lru.*``,
+        live caches plus whatever worker snapshots merged in) and
+        hand-rolled pairs like ``intracore`` or ``traffic.layer``.
+        """
+        counters = dict(self._counters)
+        for name, value in _named_lru_counters().items():
+            counters[name] = counters.get(name, 0) + value
+        out: dict[str, dict] = {}
+        for name, value in counters.items():
+            if name.endswith(".hits"):
+                prefix = name[: -len(".hits")]
+            elif name.endswith(".misses"):
+                prefix = name[: -len(".misses")]
+            else:
+                continue
+            if prefix in out:
+                continue
+            hits = counters.get(f"{prefix}.hits", 0)
+            misses = counters.get(f"{prefix}.misses", 0)
+            total = hits + misses
+            out[prefix] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
+            }
+        return out
+
     def snapshot(self) -> dict:
-        """A JSON-friendly copy of every counter and timer."""
-        out: dict = {"counters": dict(self._counters), "timers": {}}
+        """A JSON-friendly copy of every counter and timer.
+
+        Live named-:class:`LruDict` tallies are folded in as
+        ``lru.*`` counters, so worker snapshots ship their cache
+        behaviour without per-access counter updates.
+        """
+        counters = dict(self._counters)
+        for name, value in _named_lru_counters().items():
+            counters[name] = counters.get(name, 0) + value
+        out: dict = {"counters": counters, "timers": {}}
         for label, secs in self._timers.items():
             out["timers"][label] = {
                 "seconds": secs,
@@ -114,6 +196,12 @@ class PerfRegistry:
         self._counters.clear()
         self._timers.clear()
         self._timer_calls.clear()
+        # Named caches survive a reset (they are long-lived working
+        # sets) but their tallies restart, so successive snapshots ship
+        # deltas rather than double-counting.
+        for d in _NAMED_LRUS:
+            d.hits = 0
+            d.misses = 0
 
     def rows(self) -> list[list]:
         """(kind, name, value) rows for tabular display."""

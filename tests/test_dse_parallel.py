@@ -95,3 +95,57 @@ class TestSerialParallelEquivalence:
     def test_empty_candidates_rejected(self):
         with pytest.raises(ValueError):
             make_explorer().explore([], workers=4)
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_explores(self):
+        from repro.perf import PERF
+
+        candidates = small_candidates()
+        explorer = make_explorer(iterations=4)
+        created0 = PERF.get("dse.pool.created")
+        serial = explorer.explore(candidates, workers=1)
+        first = explorer.explore(candidates, workers=2)
+        second = explorer.explore(candidates, workers=2)
+        explorer.close()
+        assert_reports_identical(serial, first)
+        assert_reports_identical(serial, second)
+        # One pool served both parallel explorations.
+        assert PERF.get("dse.pool.created") == created0 + 1
+
+    def test_different_worker_count_recreates_pool(self):
+        from repro.perf import PERF
+
+        candidates = small_candidates()
+        explorer = make_explorer(iterations=2)
+        created0 = PERF.get("dse.pool.created")
+        explorer.explore(candidates, workers=2)
+        explorer.explore(candidates, workers=3)
+        explorer.close()
+        assert PERF.get("dse.pool.created") == created0 + 2
+
+    def test_close_is_idempotent_and_context_manager(self):
+        candidates = small_candidates()[:2]
+        with make_explorer(iterations=2) as explorer:
+            report = explorer.explore(candidates, workers=2)
+            assert len(report.results) == 2
+            explorer.close()
+            explorer.close()
+
+    def test_explorer_picklable_with_live_pool(self):
+        """Worker shipping must not try to pickle the pool itself."""
+        import pickle
+
+        explorer = make_explorer(iterations=2)
+        explorer.explore(small_candidates()[:2], workers=2)
+        clone = pickle.loads(pickle.dumps(explorer))
+        assert clone._pool is None
+        explorer.close()
+
+    def test_prepare_compiles_workload_tables(self):
+        from repro.compiled.graph import _COMPILED
+
+        explorer = make_explorer()
+        explorer.prepare()
+        for wl in explorer.workloads:
+            assert wl.graph in _COMPILED

@@ -263,3 +263,66 @@ class TestRoutePrecompute:
                 assert tuple(from_dram[row, : from_lens[row]]) == topo.route(
                     topo.dram_node(d), topo.core_node(c)
                 )
+
+
+class TestNamedLruInstrumentation:
+    def test_named_dict_tallies_hits_and_misses(self):
+        d = LruDict(max_entries=4, name="test.cache")
+        d.put("a", 1)
+        assert d.get_lru("a") == 1
+        assert d.get_lru("b") is None
+        assert (d.hits, d.misses) == (1, 1)
+
+    def test_snapshot_folds_named_lru_counters(self):
+        reg = PerfRegistry()
+        d = LruDict(max_entries=4, name="snaptest")
+        d.put("a", 1)
+        d.get_lru("a")
+        d.get_lru("missing")
+        snap = reg.snapshot()
+        assert snap["counters"]["lru.snaptest.hits"] >= 1
+        assert snap["counters"]["lru.snaptest.misses"] >= 1
+
+    def test_cache_stats_merges_counters_and_live_dicts(self):
+        reg = PerfRegistry()
+        reg.add("intracore.hits", 3)
+        reg.add("intracore.misses", 1)
+        d = LruDict(max_entries=4, name="statstest")
+        d.put("k", 1)
+        d.get_lru("k")
+        stats = reg.cache_stats()
+        assert stats["intracore"]["hit_rate"] == pytest.approx(0.75)
+        assert stats["lru.statstest"]["hits"] >= 1
+
+    def test_reset_zeroes_live_tallies(self):
+        from repro.perf import PERF
+
+        d = LruDict(max_entries=4, name="resettest")
+        d.put("k", 1)
+        d.get_lru("k")
+        PERF.reset()
+        assert (d.hits, d.misses) == (0, 0)
+        # The working set survives; only the tallies restart.
+        assert d.get_lru("k") == 1
+
+    def test_add_time_accumulates(self):
+        reg = PerfRegistry()
+        reg.add_time("sa.delta_eval", 0.5, calls=10)
+        reg.add_time("sa.delta_eval", 0.25, calls=5)
+        assert reg.timer_seconds("sa.delta_eval") == pytest.approx(0.75)
+        assert reg.timer_calls("sa.delta_eval") == 15
+
+    def test_sa_run_reports_delta_eval_timer(self):
+        from repro.perf import PERF
+
+        graph = chain_graph(2)
+        arch = small_arch()
+        groups = partition_graph(graph, arch, batch=2)
+        lmss = [initial_lms(graph, g, arch) for g in groups]
+        before = PERF.timer_calls("sa.delta_eval")
+        ctl = SAController(
+            graph, Evaluator(arch), list(lmss), 2,
+            SASettings(iterations=15, seed=0),
+        )
+        ctl.run()
+        assert PERF.timer_calls("sa.delta_eval") > before
