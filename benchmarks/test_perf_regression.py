@@ -205,6 +205,65 @@ def test_group_eval_identity_on_seeded_run(tf_model):
                 stored[name] = of
 
 
+def test_fabric_sweep_throughput(tf_model, benchmark):
+    """Per-fabric compiled SA throughput (the `fabric_sweep` section).
+
+    Swapping the interconnect must keep the compiled hot path fast:
+    every registered fabric runs the same annealing loop on TF and the
+    measured iterations/sec land in ``BENCH_perf.json`` alongside each
+    fabric's route-table build time.  Identity is asserted per fabric
+    (compiled vs. uncached object path, same trajectory) — the fabric
+    axis must never cost correctness.
+    """
+    from repro.fabric import apply_fabric, build_topology
+    from repro.perf import PERF
+
+    fabrics = ("mesh", "folded-torus", "cmesh:c2", "ring")
+    iterations = max(30, int(sa_settings(120).iterations))
+    batch = 16
+    graph = tf_model
+
+    def run():
+        rows, record = [], {}
+        for fabric in fabrics:
+            arch = apply_fabric(g_arch(), fabric)
+            groups = partition_graph(graph, arch, batch=batch)
+            lmss = [initial_lms(graph, g, arch) for g in groups]
+            PERF.reset()
+            t0 = time.perf_counter()
+            build_topology(arch).core_route_table()
+            table_s = time.perf_counter() - t0
+            compiled, ips = _sa_run(
+                graph, arch, lmss, batch, iterations, cache=True
+            )
+            uncached, _ = _sa_run(
+                graph, arch, lmss, batch, iterations, cache=False
+            )
+            assert compiled.best_costs == uncached.best_costs, fabric
+            assert compiled.stats.final_cost == uncached.stats.final_cost
+            record[fabric] = {
+                "compiled_iters_per_sec": ips,
+                "route_table_build_s": table_s,
+            }
+            rows.append([fabric, f"{ips:.0f}", f"{table_s * 1000:.1f}ms"])
+        return rows, record
+
+    rows, record = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Fabric sweep: compiled SA throughput per interconnect")
+    print(format_table(
+        ["fabric", "compiled it/s", "route tables"], rows,
+    ))
+    emit_bench("fabric_sweep", {
+        "iterations": iterations,
+        "batch": batch,
+        "arch": "g-arch",
+        "model": "TF",
+        "fabrics": record,
+    }, BENCH_PATH)
+    for fabric, rec in record.items():
+        assert rec["compiled_iters_per_sec"] > 0, fabric
+
+
 def test_dse_worker_scaling(tf_model, benchmark):
     """Parallel DSE equivalence + amortized persistent-pool scaling."""
     grid = DseGrid(

@@ -11,7 +11,7 @@ Shape expectations: G wins delay and energy, at clearly lower MC.
 
 from conftest import print_banner, sa_settings
 
-from repro.arch import FoldedTorusTopology, g_arch_120, t_arch
+from repro.arch import g_arch_120, t_arch
 from repro.baselines import tangram_map
 from repro.core import MappingEngine, MappingEngineSettings
 from repro.cost import DEFAULT_MC
@@ -21,14 +21,14 @@ SA_ITERS = 300
 
 
 def run_comparison(tf_model):
+    # Both presets declare their folded-torus fabric, so the engines
+    # build the right topology without hand-constructed overrides.
     t = t_arch()
     g = g_arch_120()
-    baseline = tangram_map(
-        tf_model, t, batch=64, topo=FoldedTorusTopology(t)
-    )
+    assert t.fabric.kind == g.fabric.kind == "folded-torus"
+    baseline = tangram_map(tf_model, t, batch=64)
     engine = MappingEngine(
         g,
-        topo=FoldedTorusTopology(g),
         settings=MappingEngineSettings(sa=sa_settings(SA_ITERS, seed=5)),
     )
     gemini = engine.map(tf_model, batch=64)

@@ -29,8 +29,10 @@ Quickstart::
 
 from repro.arch import (
     ArchConfig,
+    FabricSpec,
     FoldedTorusTopology,
     MeshTopology,
+    build_topology,
     g_arch,
     g_arch_120,
     s_arch,
@@ -54,6 +56,7 @@ __all__ = [
     "DesignSpaceExplorer",
     "DseGrid",
     "Evaluator",
+    "FabricSpec",
     "FoldedTorusTopology",
     "MCEvaluator",
     "MappingEngine",
@@ -62,6 +65,7 @@ __all__ = [
     "MeshTopology",
     "SASettings",
     "Workload",
+    "build_topology",
     "enumerate_candidates",
     "g_arch",
     "g_arch_120",

@@ -6,6 +6,7 @@ from repro.arch.params import ArchConfig, arrange_cores, cores_for_tops
 from repro.arch.presets import g_arch, g_arch_120, s_arch, t_arch
 from repro.arch.topology import Link, MeshTopology, NodeId
 from repro.arch.torus import FoldedTorusTopology
+from repro.fabric import FabricSpec, Topology, build_topology
 
 __all__ = [
     "ArchConfig",
@@ -13,11 +14,14 @@ __all__ = [
     "DEFAULT_AREA",
     "DEFAULT_ENERGY",
     "EnergyModel",
+    "FabricSpec",
     "FoldedTorusTopology",
     "Link",
     "MeshTopology",
     "NodeId",
+    "Topology",
     "arrange_cores",
+    "build_topology",
     "cores_for_tops",
     "g_arch",
     "g_arch_120",

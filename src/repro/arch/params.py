@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass, replace
 
 from repro.errors import InvalidArchitectureError
+from repro.fabric.spec import DEFAULT_FABRIC, FabricSpec
 from repro.units import GB, GHZ
 
 #: Bandwidth supplied by one DRAM die (GDDR6, Sec V-C).
@@ -80,6 +81,10 @@ class ArchConfig:
     #: Tensix with five RISC-V CPUs per core) spend substantially more
     #: logic area per MAC.
     logic_overhead: float = 1.0
+    #: Interconnect fabric (topology kind + routing policy + knobs).
+    #: The default — mesh with XY routing — is the paper's template and
+    #: reproduces the pre-fabric evaluator bit for bit.
+    fabric: FabricSpec = DEFAULT_FABRIC
     name: str = ""
 
     def __post_init__(self):
@@ -103,6 +108,11 @@ class ArchConfig:
             )
         if self.n_chiplets > 1 and self.d2d_bw > self.noc_bw:
             raise InvalidArchitectureError("D2D bandwidth cannot exceed NoC")
+        if not isinstance(self.fabric, FabricSpec):
+            raise InvalidArchitectureError(
+                f"fabric must be a FabricSpec, got {type(self.fabric).__name__}"
+            )
+        self.fabric.validate(self.cores_x, self.cores_y)
 
     # ------------------------------------------------------------------
     # Derived geometry

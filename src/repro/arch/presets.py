@@ -16,6 +16,7 @@
 from __future__ import annotations
 
 from repro.arch.params import ArchConfig
+from repro.fabric.spec import FabricSpec
 from repro.units import GB, MB
 
 
@@ -64,6 +65,7 @@ def t_arch() -> ArchConfig:
         glb_bytes=1 * MB,
         macs_per_core=1024,
         logic_overhead=2.5,  # Tensix: general programmable cores
+        fabric=FabricSpec(kind="folded-torus"),  # Grayskull NoC
         name="T-Arch",
     )
 
@@ -80,5 +82,6 @@ def g_arch_120() -> ArchConfig:
         d2d_bw=32 * GB,
         glb_bytes=2 * MB,
         macs_per_core=2048,
+        fabric=FabricSpec(kind="folded-torus"),  # torus-template DSE
         name="G-Arch-120",
     )

@@ -1,289 +1,14 @@
-"""Mesh topology of the scalable hardware template (Sec III, Fig 2).
+"""Back-compat shim: the mesh topology now lives in :mod:`repro.fabric`.
 
-Computing cores form an ``X x Y`` mesh of routers.  ``XCut x YCut``
-chiplet divisions partition the mesh into equal rectangles; every mesh
-link crossing a division boundary is a D2D link (lower bandwidth, higher
-energy).  IO chiplets sit on the left and right edges: each DRAM die
-(one per 32 GB/s unit) attaches to an edge router through an IO link,
-which is itself a D2D link whenever the accelerator is multi-chiplet
-(the IO chiplet is then a separate die).
-
-Nodes are tagged tuples — ``("core", x, y)`` or ``("dram", i)`` — and
-every *directed* link carries a small integer id so traffic accounting
-can use flat numpy arrays.
+The interconnect became a pluggable subsystem (``src/repro/fabric/``):
+``FabricSpec`` on :class:`~repro.arch.params.ArchConfig` selects a
+registered topology kind and routing policy, and
+:func:`repro.fabric.build_topology` is the construction point every
+evaluation layer defaults to.  This module keeps the historical import
+path working.
 """
 
-from __future__ import annotations
+from repro.fabric.base import Link, NodeId, Topology
+from repro.fabric.mesh import MeshTopology
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.arch.params import ArchConfig
-
-NodeId = tuple
-
-
-@dataclass(frozen=True)
-class Link:
-    """One directed link of the interconnect."""
-
-    index: int
-    src: NodeId
-    dst: NodeId
-    bandwidth: float
-    is_d2d: bool
-    is_io: bool
-
-
-class MeshTopology:
-    """The template's default mesh interconnect."""
-
-    def __init__(self, arch: ArchConfig):
-        self.arch = arch
-        self._links: list[Link] = []
-        self._by_endpoints: dict[tuple[NodeId, NodeId], Link] = {}
-        self._dram_attach: dict[NodeId, NodeId] = {}
-        self._route_cache: dict[tuple[NodeId, NodeId], tuple[int, ...]] = {}
-        self._route_array_cache: dict[tuple[NodeId, NodeId], np.ndarray] = {}
-        self._link_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        self._core_route_table: tuple[np.ndarray, np.ndarray] | None = None
-        self._dram_route_tables: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
-        self._build_drams()
-        self._build_links()
-        self._core_node_list = tuple(
-            ("core", i % arch.cores_x, i // arch.cores_x)
-            for i in range(arch.n_cores)
-        )
-
-    # ------------------------------------------------------------------
-    # Construction
-    # ------------------------------------------------------------------
-
-    def _add_link(self, src: NodeId, dst: NodeId, bandwidth: float,
-                  is_d2d: bool, is_io: bool = False) -> None:
-        link = Link(len(self._links), src, dst, bandwidth, is_d2d, is_io)
-        self._links.append(link)
-        self._by_endpoints[(src, dst)] = link
-
-    def _crosses_cut(self, a: tuple[int, int], b: tuple[int, int]) -> bool:
-        return self.arch.chiplet_of(*a) != self.arch.chiplet_of(*b)
-
-    def _build_drams(self) -> None:
-        """Spread DRAM attach points over the left and right edge routers."""
-        arch = self.arch
-        n = arch.n_dram
-        left = (n + 1) // 2
-        right = n - left
-        attach: list[NodeId] = []
-        for count, x_edge in ((left, 0), (right, arch.cores_x - 1)):
-            for j in range(count):
-                y = min(arch.cores_y - 1, (2 * j + 1) * arch.cores_y // (2 * count))
-                attach.append(("core", x_edge, y))
-        self._dram_nodes = tuple(("dram", i) for i in range(n))
-        for i, node in enumerate(self._dram_nodes):
-            self._dram_attach[node] = attach[i]
-
-    def _mesh_neighbors(self, x: int, y: int):
-        if x + 1 < self.arch.cores_x:
-            yield (x + 1, y)
-        if y + 1 < self.arch.cores_y:
-            yield (x, y + 1)
-
-    def _build_links(self) -> None:
-        arch = self.arch
-        for y in range(arch.cores_y):
-            for x in range(arch.cores_x):
-                for nx, ny in self._mesh_neighbors(x, y):
-                    d2d = self._crosses_cut((x, y), (nx, ny))
-                    bw = arch.d2d_bw if d2d else arch.noc_bw
-                    a, b = ("core", x, y), ("core", nx, ny)
-                    self._add_link(a, b, bw, d2d)
-                    self._add_link(b, a, bw, d2d)
-        io_is_d2d = not arch.is_monolithic
-        io_bw = arch.d2d_bw if io_is_d2d else arch.noc_bw
-        for dram in self._dram_nodes:
-            router = self._dram_attach[dram]
-            self._add_link(dram, router, io_bw, io_is_d2d, is_io=True)
-            self._add_link(router, dram, io_bw, io_is_d2d, is_io=True)
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-
-    @property
-    def links(self) -> list[Link]:
-        return self._links
-
-    @property
-    def n_links(self) -> int:
-        return len(self._links)
-
-    def core_node(self, index: int) -> NodeId:
-        """Core node for a row-major core index (0-based)."""
-        return self._core_node_list[index]
-
-    def core_index(self, node: NodeId) -> int:
-        _, x, y = node
-        return y * self.arch.cores_x + x
-
-    def core_nodes(self) -> list[NodeId]:
-        return [self.core_node(i) for i in range(self.arch.n_cores)]
-
-    def dram_node(self, index: int) -> NodeId:
-        return self._dram_nodes[index]
-
-    def dram_nodes(self) -> tuple[NodeId, ...]:
-        return self._dram_nodes
-
-    def attach_router(self, dram: NodeId) -> NodeId:
-        return self._dram_attach[dram]
-
-    def link_between(self, src: NodeId, dst: NodeId) -> Link:
-        return self._by_endpoints[(src, dst)]
-
-    def d2d_link_indices(self) -> list[int]:
-        return [l.index for l in self._links if l.is_d2d]
-
-    def link_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Shared per-link (bandwidth, is_d2d, is_io) arrays.
-
-        Built once per topology; :class:`~repro.noc.traffic.TrafficMap`
-        instances alias them read-only, so constructing a map per layer
-        block costs only one ``np.zeros``.
-        """
-        if self._link_arrays is None:
-            self._link_arrays = (
-                np.array([l.bandwidth for l in self._links], dtype=np.float64),
-                np.array([l.is_d2d for l in self._links], dtype=bool),
-                np.array([l.is_io for l in self._links], dtype=bool),
-            )
-        return self._link_arrays
-
-    def link_index_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cached ``(noc_idx, d2d_idx, io_idx)`` link-index arrays.
-
-        Integer-index gathers select links in the same ascending order
-        as the boolean masks they replace, so aggregate sums over them
-        are bit-identical — just without re-deriving the selection per
-        query (the SA loop sums these on every evaluation).
-        """
-        if getattr(self, "_link_index_arrays", None) is None:
-            _, is_d2d, is_io = self.link_arrays()
-            self._link_index_arrays = (
-                np.nonzero(~is_d2d)[0],
-                np.nonzero(is_d2d)[0],
-                np.nonzero(is_io)[0],
-            )
-        return self._link_index_arrays
-
-    # ------------------------------------------------------------------
-    # Routing (deterministic XY, Sec VII-C assumes XY routing)
-    # ------------------------------------------------------------------
-
-    def _step_toward(self, x: int, y: int, tx: int, ty: int) -> tuple[int, int]:
-        """One XY-routing hop from (x, y) toward (tx, ty)."""
-        if x != tx:
-            return (x + (1 if tx > x else -1), y)
-        return (x, y + (1 if ty > y else -1))
-
-    def _router_path(self, a: NodeId, b: NodeId) -> list[NodeId]:
-        """Router-level XY path from core a to core b, inclusive."""
-        (_, x, y), (_, tx, ty) = a, b
-        path = [a]
-        while (x, y) != (tx, ty):
-            x, y = self._step_toward(x, y, tx, ty)
-            path.append(("core", x, y))
-        return path
-
-    def route(self, src: NodeId, dst: NodeId) -> tuple[int, ...]:
-        """Directed link indices along the deterministic path src -> dst."""
-        key = (src, dst)
-        cached = self._route_cache.get(key)
-        if cached is not None:
-            return cached
-        if src == dst:
-            self._route_cache[key] = ()
-            return ()
-        hops: list[int] = []
-        a, b = src, dst
-        if a[0] == "dram":
-            router = self._dram_attach[a]
-            hops.append(self._by_endpoints[(a, router)].index)
-            a = router
-        tail: list[int] = []
-        if b[0] == "dram":
-            router = self._dram_attach[b]
-            tail.append(self._by_endpoints[(router, b)].index)
-            b = router
-        path = self._router_path(a, b)
-        for u, v in zip(path, path[1:]):
-            hops.append(self._by_endpoints[(u, v)].index)
-        hops.extend(tail)
-        result = tuple(hops)
-        self._route_cache[key] = result
-        return result
-
-    def route_array(self, src: NodeId, dst: NodeId) -> np.ndarray:
-        """The route as a cached int index array (hot-path accounting).
-
-        XY routes never revisit a link, so the array can be used for
-        fancy-index accumulation (``volumes[arr] += v``) directly.
-        """
-        key = (src, dst)
-        cached = self._route_array_cache.get(key)
-        if cached is None:
-            cached = np.asarray(self.route(src, dst), dtype=np.intp)
-            self._route_array_cache[key] = cached
-        return cached
-
-    def _build_route_table(self, pairs) -> tuple[np.ndarray, np.ndarray]:
-        """``(padded[len(pairs), max_hops], lens)`` for node pairs.
-
-        Each row holds the directed link indices of the XY route,
-        right-padded with ``-1``.  Traffic analysis uses the tables to
-        scatter-add many flows in one vector operation.
-        """
-        routes = [self.route_array(s, d) for s, d in pairs]
-        lens = np.array([len(r) for r in routes], dtype=np.intp)
-        width = int(lens.max()) if len(lens) else 0
-        table = np.full((len(routes), width), -1, dtype=np.intp)
-        for i, r in enumerate(routes):
-            table[i, : len(r)] = r
-        return table, lens
-
-    def core_route_table(self) -> tuple[np.ndarray, np.ndarray]:
-        """Core-to-core route table; row ``src * n_cores + dst``."""
-        if self._core_route_table is None:
-            n = self.arch.n_cores
-            self._core_route_table = self._build_route_table([
-                (self.core_node(s), self.core_node(d))
-                for s in range(n) for d in range(n)
-            ])
-        return self._core_route_table
-
-    def dram_route_tables(
-        self,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Padded core<->DRAM route tables.
-
-        Returns ``(to_dram, to_lens, from_dram, from_lens)``; row
-        ``core * n_dram + dram`` of ``to_dram`` holds the route
-        core -> DRAM (``from_dram`` the reverse).
-        """
-        if self._dram_route_tables is None:
-            n = self.arch.n_cores
-            n_dram = len(self._dram_nodes)
-            to_dram = self._build_route_table([
-                (self.core_node(c), self._dram_nodes[d])
-                for c in range(n) for d in range(n_dram)
-            ])
-            from_dram = self._build_route_table([
-                (self._dram_nodes[d], self.core_node(c))
-                for c in range(n) for d in range(n_dram)
-            ])
-            self._dram_route_tables = (*to_dram, *from_dram)
-        return self._dram_route_tables
-
-    def hop_count(self, src: NodeId, dst: NodeId) -> int:
-        return len(self.route(src, dst))
+__all__ = ["Link", "MeshTopology", "NodeId", "Topology"]

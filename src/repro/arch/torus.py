@@ -1,52 +1,5 @@
-"""Folded-torus topology variant (Sec VI-B2).
+"""Back-compat shim: the folded torus now lives in :mod:`repro.fabric`."""
 
-The paper demonstrates the template's generality by swapping the mesh for
-a folded torus and comparing against a Tenstorrent-Grayskull-like
-configuration.  A folded torus adds per-dimension wraparound links while
-keeping physical hop lengths short (nodes are interleaved), so we model
-wrap links with the same bandwidth/energy class as regular links and use
-per-dimension shortest-direction routing (X first, then Y, matching the
-mesh's deterministic XY discipline).
-"""
+from repro.fabric.torus import FoldedTorusTopology
 
-from __future__ import annotations
-
-from repro.arch.topology import MeshTopology
-
-
-class FoldedTorusTopology(MeshTopology):
-    """Mesh plus wraparound links, with modulo shortest-path routing."""
-
-    def _build_links(self) -> None:
-        super()._build_links()
-        arch = self.arch
-        # Wraparound columns (x = X-1 -> x = 0) and rows.
-        for y in range(arch.cores_y):
-            a, b = ("core", arch.cores_x - 1, y), ("core", 0, y)
-            if (a, b) in self._by_endpoints:  # 1-wide dimension
-                continue
-            d2d = self._crosses_cut(a[1:], b[1:])
-            bw = arch.d2d_bw if d2d else arch.noc_bw
-            self._add_link(a, b, bw, d2d)
-            self._add_link(b, a, bw, d2d)
-        for x in range(arch.cores_x):
-            a, b = ("core", x, arch.cores_y - 1), ("core", x, 0)
-            if (a, b) in self._by_endpoints:
-                continue
-            d2d = self._crosses_cut(a[1:], b[1:])
-            bw = arch.d2d_bw if d2d else arch.noc_bw
-            self._add_link(a, b, bw, d2d)
-            self._add_link(b, a, bw, d2d)
-
-    def _step_toward(self, x: int, y: int, tx: int, ty: int):
-        """One hop along the per-dimension shortest wrap-aware direction."""
-        nx_size, ny_size = self.arch.cores_x, self.arch.cores_y
-        if x != tx:
-            forward = (tx - x) % nx_size
-            backward = (x - tx) % nx_size
-            step = 1 if forward <= backward else -1
-            return ((x + step) % nx_size, y)
-        forward = (ty - y) % ny_size
-        backward = (y - ty) % ny_size
-        step = 1 if forward <= backward else -1
-        return (x, (y + step) % ny_size)
+__all__ = ["FoldedTorusTopology"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
 from repro.arch.params import ArchConfig
-from repro.arch.topology import MeshTopology
+from repro.fabric import Topology
 from repro.core.engine import MappingEngine, MappingEngineSettings, MappingResult
 from repro.core.sa import SASettings
 from repro.workloads.graph import DNNGraph
@@ -20,7 +20,7 @@ from repro.workloads.graph import DNNGraph
 def tangram_engine(
     arch: ArchConfig,
     energy: EnergyModel = DEFAULT_ENERGY,
-    topo: MeshTopology | None = None,
+    topo: Topology | None = None,
     max_group_layers: int = 10,
 ) -> MappingEngine:
     """A Mapping Engine configured as the Tangram baseline."""
@@ -40,7 +40,7 @@ def tangram_map(
     arch: ArchConfig,
     batch: int,
     energy: EnergyModel = DEFAULT_ENERGY,
-    topo: MeshTopology | None = None,
+    topo: Topology | None = None,
     max_group_layers: int = 10,
 ) -> MappingResult:
     """Map ``graph`` with the T-Map baseline and evaluate it."""

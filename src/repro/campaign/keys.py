@@ -23,6 +23,7 @@ from dataclasses import asdict
 from repro.arch.params import ArchConfig
 from repro.core.sa import SASettings
 from repro.dse.objective import Objective
+from repro.fabric.spec import DEFAULT_FABRIC
 from repro.io.serialization import arch_to_dict, graph_to_dict
 from repro.workloads.graph import DNNGraph
 
@@ -68,9 +69,21 @@ def content_digest(obj) -> str:
 
 
 def arch_digest(arch: ArchConfig) -> str:
-    """Digest of an architecture, ignoring the cosmetic ``name``."""
+    """Digest of an architecture, ignoring the cosmetic ``name``.
+
+    The fabric participates by *content*: a different kind, routing
+    policy or knob changes the digest, while the fabric's cosmetic
+    ``name`` — like the architecture's — does not.  A fabric whose
+    content equals the default (mesh + XY) digests exactly as if the
+    field were absent, so records stored before the fabric existed
+    keep matching.
+    """
     data = arch_to_dict(arch)
     data.pop("name", None)
+    data.pop("fabric", None)
+    fab = arch.fabric.content()  # normalized, name-free
+    if fab != DEFAULT_FABRIC.content():
+        data["fabric"] = fab
     return content_digest(data)
 
 
@@ -203,7 +216,8 @@ def arch_distance(a: ArchConfig, b: ArchConfig) -> float:
     is closer.  Bandwidth and buffer deltas count logarithmically,
     differing chiplet cuts add a fixed penalty each (a cut changes the
     D2D topology, which perturbs the cost surface more than a bandwidth
-    scale).
+    scale), and a different interconnect fabric adds a larger one still
+    (swapping the mesh for a torus reshapes every route).
     """
     d = (
         _log_ratio(a.dram_bw, b.dram_bw)
@@ -216,4 +230,6 @@ def arch_distance(a: ArchConfig, b: ArchConfig) -> float:
         d += 1.0
     if (a.cores_x, a.cores_y) != (b.cores_x, b.cores_y):
         d += 1.0
+    if a.fabric.content() != b.fabric.content():
+        d += 2.0
     return d

@@ -43,7 +43,6 @@ import json
 import sys
 from pathlib import Path
 
-from repro.arch import s_arch
 from repro.arch.params import ArchConfig
 from repro.baselines import tangram_map
 from repro.core import MappingEngine, MappingEngineSettings, SASettings
@@ -83,6 +82,56 @@ def resolve_arch(spec: str) -> ArchConfig:
         return _resolve_arch(spec)
     except (ValueError, ReproError) as exc:
         raise SystemExit(str(exc)) from exc
+
+
+def fabric_overridden(arch: ArchConfig, args) -> ArchConfig:
+    """``arch`` with the ``--fabric`` / ``--routing`` flags applied."""
+    from repro.errors import ReproError
+    from repro.fabric import apply_fabric
+
+    try:
+        return apply_fabric(
+            arch,
+            fabric=getattr(args, "fabric", None),
+            routing=getattr(args, "routing", None),
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def fabric_axis(args) -> list | None:
+    """Parsed ``--fabric`` list for grid commands (None = mesh only)."""
+    from dataclasses import replace
+
+    from repro.errors import ReproError
+    from repro.fabric import parse_fabric
+
+    if not getattr(args, "fabric", None):
+        return None
+    try:
+        specs = [parse_fabric(f) for f in args.fabric]
+        if getattr(args, "routing", None):
+            specs = [replace(s, routing=args.routing) for s in specs]
+        return specs
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def add_fabric_flags(p, multiple: bool = False) -> None:
+    from repro.fabric import ROUTING_POLICIES, fabric_kinds
+
+    kinds = ", ".join(fabric_kinds())
+    if multiple:
+        p.add_argument("--fabric", nargs="+", default=None,
+                       help=f"interconnect fabric axis ({kinds}); each "
+                            "entry is kind[:routing][:cN][:wrap=dims] and "
+                            "the grid is crossed with every entry")
+    else:
+        p.add_argument("--fabric", default=None,
+                       help=f"interconnect fabric ({kinds}), as "
+                            "kind[:routing][:cN][:wrap=dims]")
+    p.add_argument("--routing", default=None, choices=ROUTING_POLICIES,
+                   help="deterministic routing policy override")
 
 
 def resolve_model(spec: str) -> DNNGraph:
@@ -141,10 +190,13 @@ def profile_report(args, extra: dict | None = None) -> None:
     print(f"wrote profile to {path}")
 
 
-def table1_candidates(tops: int, full: bool) -> list:
+def table1_candidates(tops: int, full: bool, fabrics: list | None = None) -> list:
     """The Table-I grid (``full``) or its fast laptop-scale subset —
     shared by ``dse`` and ``campaign run`` so the two commands can
-    never drift apart (campaign keys digest the grid)."""
+    never drift apart (campaign keys digest the grid).  ``fabrics``
+    (a list of :class:`~repro.fabric.FabricSpec`) crosses the grid
+    with an interconnect axis; fabrics alternate innermost, so a
+    truncated grid still covers each one."""
     if full:
         grid = DseGrid.paper_grid(tops)
     else:
@@ -154,11 +206,17 @@ def table1_candidates(tops: int, full: bool) -> list:
             noc_bw_gbps=(32, 64), d2d_ratio=(0.5,),
             glb_kb=(1024, 2048), macs_per_core=(1024, 2048),
         )
+    if fabrics:
+        from dataclasses import replace
+
+        grid = replace(grid, fabrics=tuple(fabrics))
     return enumerate_candidates(grid)
 
 
 def cmd_dse(args) -> int:
-    candidates = table1_candidates(args.tops, args.full)
+    candidates = table1_candidates(args.tops, args.full, fabric_axis(args))
+    if args.max_candidates:
+        candidates = candidates[: args.max_candidates]
     print(f"exploring {len(candidates)} candidates at {args.tops} TOPs "
           f"(SA x{args.iters}, {args.workers or 'all'} worker(s))")
     with DesignSpaceExplorer(
@@ -187,7 +245,7 @@ def cmd_dse(args) -> int:
 
 
 def cmd_map(args) -> int:
-    arch = resolve_arch(args.arch)
+    arch = fabric_overridden(resolve_arch(args.arch), args)
     graph = resolve_model(args.model)
     result = engine_for(
         arch, args.iters, proposal_batch=args.proposal_batch
@@ -211,19 +269,40 @@ def cmd_map(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    g = resolve_arch(args.arch)
-    s = s_arch()
-    headers = ["dnn", "batch", "sarch_tmap_delay", "sarch_tmap_energy",
-               "sarch_gmap_delay", "sarch_gmap_energy",
+    """Fig 5 comparison; with ``--fabric`` also the Sec VI-B2 study.
+
+    ``--baseline`` swaps the S-Arch reference (e.g. ``t-arch``, the
+    Grayskull-like folded-torus accelerator), and ``--fabric`` applies
+    an interconnect override to *both* architectures, so::
+
+        repro compare --fabric folded-torus --baseline t-arch \\
+            --arch g-arch-120
+
+    reproduces the paper's T-Arch vs G-Arch-120 torus comparison.
+    ``--quick`` shrinks the run to one model at batch 1 with a tiny SA
+    budget (CI smoke).
+    """
+    g = fabric_overridden(resolve_arch(args.arch), args)
+    s = fabric_overridden(resolve_arch(args.baseline), args)
+    models = args.models
+    batches: tuple[int, ...] = (64, 1)
+    iters = args.iters
+    if args.quick:
+        models = models[:1]
+        batches = (1,)
+        iters = min(iters, 8)
+    base_label = s.name or args.baseline
+    headers = ["dnn", "batch", "base_tmap_delay", "base_tmap_energy",
+               "base_gmap_delay", "base_gmap_energy",
                "garch_gmap_delay", "garch_gmap_energy"]
     rows = []
     perf, eff = [], []
-    for seed, model in enumerate(args.models):
+    for seed, model in enumerate(models):
         graph = resolve_model(model)
-        for batch in (64, 1):
+        for batch in batches:
             base = tangram_map(graph, s, batch)
-            sg = engine_for(s, args.iters, seed).map(graph, batch)
-            gg = engine_for(g, args.iters, seed + 50).map(graph, batch)
+            sg = engine_for(s, iters, seed).map(graph, batch)
+            gg = engine_for(g, iters, seed + 50).map(graph, batch)
             rows.append([
                 model, batch, base.delay, base.energy,
                 sg.delay, sg.energy, gg.delay, gg.energy,
@@ -234,10 +313,15 @@ def cmd_compare(args) -> int:
     write_csv(out, headers, rows)
     mc_ratio = DEFAULT_MC.evaluate(g).total / DEFAULT_MC.evaluate(s).total
     print(format_table(headers, rows))
+    from repro.fabric import format_fabric
+
     print(
-        f"\nG-Arch+G-Map vs S-Arch+T-Map: {geomean(perf):.2f}x performance, "
-        f"{geomean(eff):.2f}x energy efficiency, {mc_ratio - 1:+.1%} MC "
-        f"(paper: 1.98x, 1.41x, +14.3%)"
+        f"\n{g.name or args.arch}+G-Map vs {base_label}+T-Map "
+        f"(fabric {format_fabric(g.fabric)}): "
+        f"{geomean(perf):.2f}x performance, "
+        f"{geomean(eff):.2f}x energy efficiency, {mc_ratio - 1:+.1%} MC"
+        + (" (paper: 1.98x, 1.41x, +14.3%)"
+           if args.baseline == "s-arch" and not args.fabric else "")
     )
     print(f"wrote {out}")
     return 0
@@ -272,7 +356,36 @@ def cmd_import(args) -> int:
     return 0
 
 
+def sweep_fabrics(args) -> list[str] | None:
+    """``--fabric``/``--routing`` as scenario fabric strings.
+
+    ``--routing`` folds into every entry (a routing override with no
+    ``--fabric`` applies to the default mesh), so neither flag is ever
+    silently dropped.  Bad specs abort before any scenario runs.
+    """
+    from dataclasses import replace
+
+    from repro.errors import ReproError
+    from repro.fabric import format_fabric, parse_fabric
+
+    if not args.fabric and not args.routing:
+        return None
+    try:
+        out = []
+        for entry in args.fabric or ["mesh"]:
+            spec = parse_fabric(entry)
+            if args.routing:
+                spec = replace(spec, routing=args.routing)
+            out.append(format_fabric(spec))
+        return out
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def cmd_sweep(args) -> int:
+    from repro.errors import ReproError as _ReproError
+
+    fabrics = sweep_fabrics(args)
     if args.scenarios:
         missing = [n for n in args.scenarios if n not in SCENARIO_REGISTRY]
         if missing:
@@ -281,14 +394,31 @@ def cmd_sweep(args) -> int:
                 f"{sorted(SCENARIO_REGISTRY)}"
             )
         scenarios = [SCENARIO_REGISTRY[n] for n in args.scenarios]
+        overrides = {}
         if args.iters:
+            overrides["iters"] = args.iters
+        if fabrics:
+            # Registered scenarios keep their names, so only a single
+            # fabric override is unambiguous here; use the grid flags
+            # (--models/--batches/--archs) for a fabric dimension.
+            if len(fabrics) > 1:
+                raise SystemExit(
+                    "--fabric accepts one value with --scenarios; use "
+                    "--models/--batches/--archs for a fabric axis"
+                )
+            overrides["fabric"] = fabrics[0]
+        if overrides:
             from repro.frontend.scenarios import scaled
 
-            scenarios = [scaled(s, iters=args.iters) for s in scenarios]
+            scenarios = [scaled(s, **overrides) for s in scenarios]
     else:
-        scenarios = grid_scenarios(
-            args.models, args.batches, args.archs, iters=args.iters or 100
-        )
+        try:
+            scenarios = grid_scenarios(
+                args.models, args.batches, args.archs,
+                iters=args.iters or 100, fabrics=fabrics,
+            )
+        except _ReproError as exc:
+            raise SystemExit(str(exc)) from exc
     # Pre-flight: fail with a clean message before any scenario runs
     # (a bad name or unloadable file surfacing from a worker process
     # mid-sweep wastes the scenarios already mapped).
@@ -298,6 +428,13 @@ def cmd_sweep(args) -> int:
 
     for arch in {sc.arch for sc in scenarios}:
         resolve_arch(arch)
+    for fabric in {sc.fabric for sc in scenarios if sc.fabric}:
+        try:
+            from repro.fabric import parse_fabric
+
+            parse_fabric(fabric)
+        except ReproError as exc:
+            raise SystemExit(f"fabric {fabric!r}: {exc}") from exc
     for model in {sc.model for sc in scenarios}:
         try:
             validate_model_source(model)
@@ -335,7 +472,7 @@ def cmd_campaign_run(args) -> int:
     )
     from repro.errors import ReproError
 
-    candidates = table1_candidates(args.tops, args.full)
+    candidates = table1_candidates(args.tops, args.full, fabric_axis(args))
     if args.max_candidates:
         candidates = candidates[: args.max_candidates]
     spec = CampaignSpec(
@@ -425,7 +562,7 @@ def cmd_heatmap(args) -> int:
     from repro.evalmodel import Evaluator, GroupTrafficAnalyzer
     from repro.reporting import heat_summary, render_ascii
 
-    arch = resolve_arch(args.arch)
+    arch = fabric_overridden(resolve_arch(args.arch), args)
     graph = resolve_model(args.model)
     evaluator = Evaluator(arch)
     groups = partition_graph(graph, arch, batch=args.batch)
@@ -501,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="parallel candidate evaluators (0 = all CPUs); "
                         "results are identical for any worker count")
+    p.add_argument("--max-candidates", type=int, default=0,
+                   help="truncate the grid to its first N candidates "
+                        "(smoke tests; fabrics alternate, so every "
+                        "--fabric entry stays represented)")
+    add_fabric_flags(p, multiple=True)
     p.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
     p.set_defaults(func=cmd_dse)
@@ -515,19 +657,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--proposal-batch", type=int, default=1,
                    help="SA proposals scored per iteration (best-of-K "
                         "delta evaluation; 1 = the paper's plain walk)")
+    add_fabric_flags(p)
     p.add_argument("--save-mapping")
     p.add_argument("--profile", action="store_true",
                    help="print SA throughput / perf counters and write "
                         "BENCH_perf.json")
     p.set_defaults(func=cmd_map)
 
-    p = sub.add_parser("compare", help="reproduce the Fig 5 comparison")
+    p = sub.add_parser("compare", help="reproduce the Fig 5 comparison "
+                                       "(or, with --fabric, Sec VI-B2)")
     p.add_argument("--arch", default="g-arch",
                    help="the G-Arch (preset or best_arch.json)")
+    p.add_argument("--baseline", default="s-arch",
+                   help="baseline architecture (preset or JSON; t-arch "
+                        "for the Sec VI-B2 torus comparison)")
     p.add_argument("--models", nargs="+",
                    default=["RN-50", "RNX", "IRes", "PNas", "TF"],
                    help="registry names or model files")
     p.add_argument("--iters", type=int, default=150)
+    add_fabric_flags(p)
+    p.add_argument("--quick", action="store_true",
+                   help="one model at batch 1 with a tiny SA budget "
+                        "(smoke runs)")
     p.add_argument("--out", default="fig5.csv")
     p.set_defaults(func=cmd_compare)
 
@@ -548,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--archs", nargs="+", default=["g-arch"])
     p.add_argument("--iters", type=int, default=0,
                    help="SA budget per layer group (0 = scenario default)")
+    add_fabric_flags(p, multiple=True)
     p.add_argument("--out", default="sweep_out")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel scenario runners (0 = all CPUs)")
@@ -580,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--iters", type=int, default=80)
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--seed-stride", type=int, default=0)
+    add_fabric_flags(c, multiple=True)
     c.add_argument("--workers", type=int, default=1,
                    help="parallel candidate evaluators (0 = all CPUs)")
     c.add_argument("--no-warm-start", action="store_true",
@@ -609,6 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="g-arch")
     p.add_argument("--batch", type=int, default=64)
     p.add_argument("--iters", type=int, default=400)
+    add_fabric_flags(p)
     p.add_argument("--out", default=None,
                    help="also write the rendered heatmaps to this file")
     p.set_defaults(func=cmd_heatmap)

@@ -21,7 +21,11 @@ path uses (:func:`~repro.evalmodel.traffic_analysis.core_scatter_batch`
 delay/energy reduction reuses the object path's stage-time and energy
 functions, so compiled results are **bit-identical** to the object path
 (asserted over the whole model zoo in
-``tests/test_compiled_identity.py``).
+``tests/test_compiled_identity.py``).  The core is fabric-agnostic: it
+consumes only the :class:`~repro.fabric.Topology` surface of
+``evaluator.topo`` (padded route tables, link arrays, multicast
+trees), so every registered interconnect — mesh, folded torus,
+concentrated mesh, ring — runs through the same compiled hot path.
 
 On top of the stateless path, :class:`GroupSession` adds delta
 evaluation for the SA loop: a proposal recomputes only the per-layer

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
 from repro.arch.params import ArchConfig
-from repro.arch.topology import MeshTopology
+from repro.fabric import Topology
 from repro.core.encoding import LayerGroup, LayerGroupMapping, validate_lms
 from repro.core.graphpart import partition_graph
 from repro.core.initial import initial_lms
@@ -65,7 +65,7 @@ class MappingEngine:
         self,
         arch: ArchConfig,
         energy: EnergyModel = DEFAULT_ENERGY,
-        topo: MeshTopology | None = None,
+        topo: Topology | None = None,
         settings: MappingEngineSettings | None = None,
     ):
         self.arch = arch

@@ -5,6 +5,13 @@ valid when the MAC/core choice divides the target computing power into an
 integer core count, the core array arranges near-square, and XCut / YCut
 divide the per-edge core counts.  D2D bandwidth candidates are expressed
 relative to the NoC bandwidth (NoC/4, NoC/2, NoC).
+
+Beyond Table I, the grid carries an interconnect-fabric axis
+(``DseGrid.fabrics``): every parameter combination is crossed with each
+fabric spec, making the topology an explored variable in the spirit of
+the paper's Sec VI-B2 generality study.  The fabric axis iterates
+innermost, so consecutive candidates alternate fabrics and a truncated
+grid (``--max-candidates``) still covers every fabric.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.arch.params import ArchConfig, arrange_cores, cores_for_tops
 from repro.errors import InvalidArchitectureError
+from repro.fabric.spec import DEFAULT_FABRIC, FabricSpec
 from repro.units import GB, KB
 
 
@@ -28,6 +36,9 @@ class DseGrid:
     d2d_ratio: tuple[float, ...] = (0.25, 0.5, 1.0)
     glb_kb: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
     macs_per_core: tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+    #: Interconnect fabrics to cross the grid with (default: the
+    #: paper's mesh only, keeping Table-I candidate lists unchanged).
+    fabrics: tuple[FabricSpec, ...] = (DEFAULT_FABRIC,)
 
     @staticmethod
     def paper_grid(tops: int) -> "DseGrid":
@@ -45,8 +56,13 @@ def candidate_from(
     noc_gbps: float,
     d2d_ratio: float,
     glb_kb: int,
+    fabric: FabricSpec = DEFAULT_FABRIC,
 ) -> ArchConfig | None:
-    """Build one candidate; ``None`` when the combination is invalid."""
+    """Build one candidate; ``None`` when the combination is invalid.
+
+    Invalid includes fabric/geometry mismatches (e.g. a concentration
+    factor that does not divide the arranged core array).
+    """
     n_cores = cores_for_tops(tops, macs_per_core)
     if n_cores is None:
         return None
@@ -67,6 +83,7 @@ def candidate_from(
             d2d_bw=d2d_bw,
             glb_bytes=glb_kb * KB,
             macs_per_core=macs_per_core,
+            fabric=fabric,
         )
     except InvalidArchitectureError:
         return None
@@ -76,18 +93,19 @@ def enumerate_candidates(grid: DseGrid) -> list[ArchConfig]:
     """All valid, de-duplicated candidates of a grid."""
     seen: set[tuple] = set()
     out: list[ArchConfig] = []
-    for macs, xcut, ycut, dram, noc, ratio, glb in itertools.product(
+    for macs, xcut, ycut, dram, noc, ratio, glb, fabric in itertools.product(
         grid.macs_per_core, grid.cuts, grid.cuts, grid.dram_bw_per_tops,
-        grid.noc_bw_gbps, grid.d2d_ratio, grid.glb_kb,
+        grid.noc_bw_gbps, grid.d2d_ratio, grid.glb_kb, grid.fabrics,
     ):
         arch = candidate_from(
-            grid.tops, macs, xcut, ycut, dram, noc, ratio, glb
+            grid.tops, macs, xcut, ycut, dram, noc, ratio, glb, fabric
         )
         if arch is None:
             continue
         key = (
             arch.cores_x, arch.cores_y, arch.xcut, arch.ycut, arch.dram_bw,
             arch.noc_bw, arch.d2d_bw, arch.glb_bytes, arch.macs_per_core,
+            tuple(sorted(arch.fabric.content().items())),
         )
         if key in seen:
             continue  # monolithic candidates collapse the D2D ratios

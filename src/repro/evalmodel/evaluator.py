@@ -36,8 +36,8 @@ from weakref import WeakKeyDictionary
 
 from repro.arch.energy import DEFAULT_ENERGY, EnergyModel
 from repro.arch.params import ArchConfig
-from repro.arch.topology import MeshTopology
 from repro.core.encoding import INTERLEAVED, LayerGroupMapping
+from repro.fabric import Topology, build_topology
 from repro.core.parser import parse_lms
 from repro.evalmodel.breakdown import EnergyBreakdown, GroupEval, MappingEval
 from repro.evalmodel.delay import group_delay, stage_times_from_compute
@@ -91,7 +91,7 @@ class Evaluator:
     def __init__(
         self,
         arch: ArchConfig,
-        topo: MeshTopology | None = None,
+        topo: Topology | None = None,
         energy: EnergyModel = DEFAULT_ENERGY,
         network_model: str = "bound",
         cache: bool = True,
@@ -100,7 +100,7 @@ class Evaluator:
         if network_model not in ("bound", "maxmin"):
             raise ValueError(f"unknown network model {network_model!r}")
         self.arch = arch
-        self.topo = topo if topo is not None else MeshTopology(arch)
+        self.topo = topo if topo is not None else build_topology(arch)
         self.energy = energy
         self.network_model = network_model
         self.cache_enabled = cache

@@ -35,13 +35,14 @@ SA loop's incremental evaluation path fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from repro.arch.params import ArchConfig
-from repro.arch.topology import MeshTopology, NodeId
 from repro.core.encoding import INTERLEAVED, LayerGroupMapping
 from repro.core.parser import ParsedGroup
+from repro.fabric import NodeId, Topology
 from repro.intracore.result import IntraCoreResult
 from repro.noc.multicast import multicast_tree
 from repro.noc.traffic import TrafficMap
@@ -132,17 +133,15 @@ def round_flows(flows, topo) -> list["FlowRecord"]:
     return kept
 
 
-_DRAM_TARGET_CACHE: "WeakKeyDictionary[MeshTopology, dict]" = None
+#: Per-topology memo of FD-selector targets (topologies are shared
+#: across evaluators; dead ones drop their entries with the weak key).
+_DRAM_TARGET_CACHE: "WeakKeyDictionary[Topology, dict]" = WeakKeyDictionary()
 
 
 def _dram_targets(
-    topo: MeshTopology, fd_value: int
+    topo: Topology, fd_value: int
 ) -> tuple[tuple[NodeId, float], ...]:
     """(dram node, share) pairs for an FD selector (memoized per topo)."""
-    global _DRAM_TARGET_CACHE
-    if _DRAM_TARGET_CACHE is None:
-        from weakref import WeakKeyDictionary
-        _DRAM_TARGET_CACHE = WeakKeyDictionary()
     per_topo = _DRAM_TARGET_CACHE.get(topo)
     if per_topo is None:
         per_topo = {}
@@ -160,7 +159,7 @@ def _dram_targets(
 
 
 def dram_scatter_batch(
-    topo: MeshTopology,
+    topo: Topology,
     fd: int,
     cores: np.ndarray,
     volumes: np.ndarray,
@@ -200,7 +199,7 @@ def dram_scatter_batch(
 
 
 def core_scatter_batch(
-    topo: MeshTopology,
+    topo: Topology,
     src_cores: np.ndarray,
     dst_cores: np.ndarray,
     volumes: np.ndarray,
@@ -304,7 +303,7 @@ class GroupTrafficAnalyzer:
         self,
         graph: DNNGraph,
         arch: ArchConfig,
-        topo: MeshTopology,
+        topo: Topology,
         collect_flows: bool = False,
     ):
         self.graph = graph

@@ -1,0 +1,131 @@
+"""Concentrated mesh: ``c x c`` cores share one router.
+
+Concentration trades per-core router area for hop count: a 6x6 core
+array at ``concentration=2`` routes over a 3x3 router grid, so the
+average core-to-core distance drops while each router (and each grid
+link) aggregates the traffic of four cores.  Router nodes are tagged
+``("rtr", rx, ry)``; every core connects to its tile's router with a
+local NoC-class link, and the router grid carries dimension-ordered
+routes exactly like the mesh (the spec's routing policy applies to the
+router grid).
+
+A routed transfer is ``core -> router -> ... -> router -> core``;
+cores in the same tile exchange data through their shared router in
+two hops.  DRAM attach points spread over the left and right edge
+*routers*.  Links (local or grid) whose endpoints' owning chiplets
+differ are D2D-class; tiles may span chiplet cuts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidArchitectureError
+from repro.fabric.base import NodeId
+from repro.fabric.mesh import GridTopology
+
+
+class ConcentratedMeshTopology(GridTopology):
+    """Mesh over a coarser router grid with core-concentration tiles."""
+
+    kind = "cmesh"
+
+    def __init__(self, arch):
+        c = arch.fabric.concentration if arch.fabric.kind == self.kind else 1
+        self.concentration = max(1, c)
+        if arch.cores_x % self.concentration or \
+                arch.cores_y % self.concentration:
+            raise InvalidArchitectureError(
+                f"concentration {self.concentration} must divide the core "
+                f"array {arch.cores_x}x{arch.cores_y}"
+            )
+        self.routers_x = arch.cores_x // self.concentration
+        self.routers_y = arch.cores_y // self.concentration
+        super().__init__(arch)
+
+    # ------------------------------------------------------------------
+
+    def router_of(self, node: NodeId) -> NodeId:
+        """The router node serving a core (routers map to themselves)."""
+        if node[0] == "rtr":
+            return node
+        c = self.concentration
+        return ("rtr", node[1] // c, node[2] // c)
+
+    def _tile_anchor(self, rx: int, ry: int) -> tuple[int, int]:
+        """Top-left core coordinate of a router's tile (its 'home')."""
+        c = self.concentration
+        return (rx * c, ry * c)
+
+    def _build_drams(self) -> None:
+        """Spread DRAM attach points over the left/right edge routers."""
+        arch = self.arch
+        n = arch.n_dram
+        left = (n + 1) // 2
+        right = n - left
+        attach: list[NodeId] = []
+        for count, rx_edge in ((left, 0), (right, self.routers_x - 1)):
+            for j in range(count):
+                ry = min(self.routers_y - 1,
+                         (2 * j + 1) * self.routers_y // (2 * count))
+                attach.append(("rtr", rx_edge, ry))
+        self._dram_nodes = tuple(("dram", i) for i in range(n))
+        for i, node in enumerate(self._dram_nodes):
+            self._dram_attach[node] = attach[i]
+
+    def _build_links(self) -> None:
+        arch = self.arch
+        c = self.concentration
+        for ry in range(self.routers_y):
+            for rx in range(self.routers_x):
+                rtr = ("rtr", rx, ry)
+                anchor = self._tile_anchor(rx, ry)
+                # Local core <-> router links of the tile.
+                for dy in range(c):
+                    for dx in range(c):
+                        core = ("core", rx * c + dx, ry * c + dy)
+                        d2d = self._crosses_cut(core[1:], anchor)
+                        bw = arch.d2d_bw if d2d else arch.noc_bw
+                        self._add_link(core, rtr, bw, d2d)
+                        self._add_link(rtr, core, bw, d2d)
+                # Router-grid links (+x, +y neighbors), D2D when the
+                # neighboring tiles' homes sit on different chiplets.
+                for nrx, nry in ((rx + 1, ry), (rx, ry + 1)):
+                    if nrx >= self.routers_x or nry >= self.routers_y:
+                        continue
+                    other = ("rtr", nrx, nry)
+                    d2d = self._crosses_cut(
+                        anchor, self._tile_anchor(nrx, nry)
+                    )
+                    bw = arch.d2d_bw if d2d else arch.noc_bw
+                    self._add_link(rtr, other, bw, d2d)
+                    self._add_link(other, rtr, bw, d2d)
+        io_is_d2d = not arch.is_monolithic
+        io_bw = arch.d2d_bw if io_is_d2d else arch.noc_bw
+        for dram in self._dram_nodes:
+            router = self._dram_attach[dram]
+            self._add_link(dram, router, io_bw, io_is_d2d, is_io=True)
+            self._add_link(router, dram, io_bw, io_is_d2d, is_io=True)
+
+    # ------------------------------------------------------------------
+
+    def _router_path(self, a: NodeId, b: NodeId) -> list[NodeId]:
+        """core/router -> core/router path via the router grid."""
+        if a == b:
+            return [a]
+        ra, rb = self.router_of(a), self.router_of(b)
+        path: list[NodeId] = [a]
+        if a != ra:
+            path.append(ra)
+        (_, x, y), (_, tx, ty) = ra, rb
+        nx, ny = self.routers_x, self.routers_y
+        for dim in self._dim_order(ra, rb):
+            if dim == "x":
+                while x != tx:
+                    x += self._axis_step(x, tx, nx, False)
+                    path.append(("rtr", x, y))
+            else:
+                while y != ty:
+                    y += self._axis_step(y, ty, ny, False)
+                    path.append(("rtr", x, y))
+        if b != rb:
+            path.append(b)
+        return path

@@ -1,0 +1,95 @@
+"""Mesh topology of the scalable hardware template (Sec III, Fig 2).
+
+Computing cores form an ``X x Y`` mesh of routers.  ``XCut x YCut``
+chiplet divisions partition the mesh into equal rectangles; every mesh
+link crossing a division boundary is a D2D link (lower bandwidth, higher
+energy).  IO chiplets sit on the left and right edges: each DRAM die
+(one per 32 GB/s unit) attaches to an edge router through an IO link,
+which is itself a D2D link whenever the accelerator is multi-chiplet
+(the IO chiplet is then a separate die).
+
+:class:`GridTopology` holds the dimension-ordered routing shared by
+every 2-D fabric: the spec's policy picks the order (``xy``, ``yx``,
+or per-source ``dimension-reversal``), and per-dimension wrap flags
+(set by the folded torus) make each dimension's walk wrap-aware.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.base import BaseTopology, NodeId
+
+
+class GridTopology(BaseTopology):
+    """Dimension-ordered routing over an X x Y router grid."""
+
+    #: Wraparound per dimension; the folded torus flips these on.
+    _wrap_x = False
+    _wrap_y = False
+
+    def _dim_order(self, a: NodeId, b: NodeId) -> str:
+        """Dimension traversal order for a packet from ``a`` to ``b``.
+
+        ``dimension-reversal`` alternates XY/YX by source-router parity
+        (O1TURN-style: the two dimension orders split the load; with one
+        virtual channel per order the combination stays deadlock-free).
+        """
+        routing = self.spec.routing
+        if routing == "yx":
+            return "yx"
+        if routing == "dimension-reversal":
+            return "xy" if (a[1] + a[2]) % 2 == 0 else "yx"
+        return "xy"
+
+    @staticmethod
+    def _axis_step(c: int, t: int, size: int, wrap: bool) -> int:
+        """Step direction (+-1) from coordinate c toward t on one axis."""
+        if not wrap:
+            return 1 if t > c else -1
+        forward = (t - c) % size
+        backward = (c - t) % size
+        return 1 if forward <= backward else -1
+
+    def _router_path(self, a: NodeId, b: NodeId) -> list[NodeId]:
+        """Router-level dimension-ordered path from a to b, inclusive."""
+        (_, x, y), (_, tx, ty) = a, b
+        nx, ny = self.arch.cores_x, self.arch.cores_y
+        path = [a]
+        for dim in self._dim_order(a, b):
+            if dim == "x":
+                while x != tx:
+                    x = (x + self._axis_step(x, tx, nx, self._wrap_x)) % nx
+                    path.append(("core", x, y))
+            else:
+                while y != ty:
+                    y = (y + self._axis_step(y, ty, ny, self._wrap_y)) % ny
+                    path.append(("core", x, y))
+        return path
+
+
+class MeshTopology(GridTopology):
+    """The template's default mesh interconnect."""
+
+    kind = "mesh"
+
+    def _mesh_neighbors(self, x: int, y: int):
+        if x + 1 < self.arch.cores_x:
+            yield (x + 1, y)
+        if y + 1 < self.arch.cores_y:
+            yield (x, y + 1)
+
+    def _build_links(self) -> None:
+        arch = self.arch
+        for y in range(arch.cores_y):
+            for x in range(arch.cores_x):
+                for nx, ny in self._mesh_neighbors(x, y):
+                    d2d = self._crosses_cut((x, y), (nx, ny))
+                    bw = arch.d2d_bw if d2d else arch.noc_bw
+                    a, b = ("core", x, y), ("core", nx, ny)
+                    self._add_link(a, b, bw, d2d)
+                    self._add_link(b, a, bw, d2d)
+        io_is_d2d = not arch.is_monolithic
+        io_bw = arch.d2d_bw if io_is_d2d else arch.noc_bw
+        for dram in self._dram_nodes:
+            router = self._dram_attach[dram]
+            self._add_link(dram, router, io_bw, io_is_d2d, is_io=True)
+            self._add_link(router, dram, io_bw, io_is_d2d, is_io=True)

@@ -1,0 +1,118 @@
+"""Fabric registry: spec kind -> topology class, plus spec parsing.
+
+``build_topology`` is the one construction point every layer uses: the
+evaluator, the mapping engine, instruction generation and the baselines
+all default their topology to ``build_topology(arch)``, so selecting a
+fabric is purely declarative — set ``ArchConfig.fabric`` (or pass
+``--fabric`` on the CLI) and every consumer follows.
+
+Third-party fabrics plug in with :func:`register_fabric`; a registered
+class only needs to subclass :class:`~repro.fabric.base.BaseTopology`
+(or otherwise satisfy the :class:`~repro.fabric.base.Topology`
+protocol) and declare a unique ``kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import InvalidArchitectureError
+from repro.fabric.base import BaseTopology, Topology
+from repro.fabric.cmesh import ConcentratedMeshTopology
+from repro.fabric.mesh import MeshTopology
+from repro.fabric.ring import RingTopology
+from repro.fabric.spec import FabricSpec, normalize_routing
+from repro.fabric.torus import FoldedTorusTopology
+
+#: kind -> topology class.  Mutated only through register_fabric.
+FABRIC_REGISTRY: dict[str, type] = {}
+
+
+def register_fabric(cls: type) -> type:
+    """Register a topology class under its ``kind`` (decorator-friendly)."""
+    kind = getattr(cls, "kind", None)
+    if not kind or kind == BaseTopology.kind:
+        raise ValueError(f"{cls.__name__} must declare a fabric kind")
+    existing = FABRIC_REGISTRY.get(kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"fabric kind {kind!r} already registered")
+    FABRIC_REGISTRY[kind] = cls
+    return cls
+
+
+for _cls in (MeshTopology, FoldedTorusTopology, ConcentratedMeshTopology,
+             RingTopology):
+    register_fabric(_cls)
+
+
+def fabric_kinds() -> list[str]:
+    return sorted(FABRIC_REGISTRY)
+
+
+def build_topology(arch) -> Topology:
+    """The topology ``arch.fabric`` declares (the default everywhere)."""
+    cls = FABRIC_REGISTRY.get(arch.fabric.kind)
+    if cls is None:
+        raise InvalidArchitectureError(
+            f"unknown fabric kind {arch.fabric.kind!r}; registered: "
+            f"{fabric_kinds()}"
+        )
+    return cls(arch)
+
+
+def parse_fabric(text: str) -> FabricSpec:
+    """Parse ``kind[:routing][:cN][:wrap=dims]`` into a spec.
+
+    Examples: ``mesh``, ``folded-torus``, ``folded-torus:yx``,
+    ``cmesh:c2``, ``cmesh:dimension-reversal:c3``,
+    ``folded-torus:wrap=x``.  Inverse of
+    :func:`~repro.fabric.spec.format_fabric`.
+    """
+    from repro.fabric.spec import ROUTING_POLICIES
+
+    tokens = [t.strip() for t in str(text).split(":") if t.strip()]
+    if not tokens:
+        raise InvalidArchitectureError(f"empty fabric spec {text!r}")
+    kind = tokens[0]
+    if kind not in FABRIC_REGISTRY:
+        raise InvalidArchitectureError(
+            f"unknown fabric kind {kind!r}; registered: {fabric_kinds()}"
+        )
+    spec = FabricSpec(kind=kind)
+    for token in tokens[1:]:
+        token = normalize_routing(token)
+        if token in ROUTING_POLICIES:
+            spec = replace(spec, routing=token)
+        elif token.startswith("c") and token[1:].isdigit():
+            spec = replace(spec, concentration=int(token[1:]))
+        elif token.startswith("wrap="):
+            spec = replace(spec, wrap=token[len("wrap="):])
+        else:
+            raise InvalidArchitectureError(
+                f"bad fabric token {token!r} in {text!r} (expected a "
+                f"routing policy {ROUTING_POLICIES}, 'c<N>' or 'wrap=<dims>')"
+            )
+    # Validate the extent-independent knobs eagerly so a bad spec
+    # string fails at the CLI pre-flight, not mid-run in a worker
+    # (extent-dependent checks run in ArchConfig.__post_init__).
+    spec.validate()
+    return spec
+
+
+def apply_fabric(arch, fabric=None, routing: str | None = None):
+    """``arch`` with its fabric overridden (validated via ``replace``).
+
+    ``fabric`` may be a :class:`FabricSpec` or a parseable string; when
+    ``None``, only the routing policy of the arch's existing fabric is
+    replaced (when given).  Returns ``arch`` unchanged if neither
+    override is supplied.
+    """
+    spec = arch.fabric
+    if fabric is not None:
+        spec = fabric if isinstance(fabric, FabricSpec) else \
+            parse_fabric(fabric)
+    if routing is not None:
+        spec = replace(spec, routing=normalize_routing(routing))
+    if spec == arch.fabric:
+        return arch
+    return replace(arch, fabric=spec)

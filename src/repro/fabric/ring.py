@@ -1,0 +1,62 @@
+"""1-D ring fabric: cores on a bidirectional ring in row-major order.
+
+The cheapest interconnect the template can carry: every core links to
+its row-major successor (wrapping at the end), giving exactly two links
+per core and radix-3 routers.  Routing takes the rotational direction
+with the fewer hops (ties go forward), so routes are at most ``N / 2``
+hops; the single dimension makes the spec's 2-D routing policy
+irrelevant.  Links between cores owned by different chiplets are
+D2D-class, and the DRAM attach points reuse the template's edge-router
+placement.
+
+As with the torus, deadlock freedom of the wrap-around ring assumes a
+dateline virtual channel; byte-per-link accounting is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.base import BaseTopology, NodeId
+
+
+class RingTopology(BaseTopology):
+    """Bidirectional ring over the row-major core order."""
+
+    kind = "ring"
+
+    def _core_xy(self, index: int) -> tuple[int, int]:
+        return (index % self.arch.cores_x, index // self.arch.cores_x)
+
+    def _build_links(self) -> None:
+        arch = self.arch
+        n = arch.n_cores
+        for i in range(n):
+            j = (i + 1) % n
+            if j == i:
+                continue  # single-core ring has no links
+            a = ("core", *self._core_xy(i))
+            b = ("core", *self._core_xy(j))
+            if (a, b) in self._by_endpoints:  # 2-core ring: one pair
+                continue
+            d2d = self._crosses_cut(a[1:], b[1:])
+            bw = arch.d2d_bw if d2d else arch.noc_bw
+            self._add_link(a, b, bw, d2d)
+            self._add_link(b, a, bw, d2d)
+        io_is_d2d = not arch.is_monolithic
+        io_bw = arch.d2d_bw if io_is_d2d else arch.noc_bw
+        for dram in self._dram_nodes:
+            router = self._dram_attach[dram]
+            self._add_link(dram, router, io_bw, io_is_d2d, is_io=True)
+            self._add_link(router, dram, io_bw, io_is_d2d, is_io=True)
+
+    def _router_path(self, a: NodeId, b: NodeId) -> list[NodeId]:
+        """Shortest rotational direction around the ring (ties forward)."""
+        n = self.arch.n_cores
+        i, j = self.core_index(a), self.core_index(b)
+        forward = (j - i) % n
+        backward = (i - j) % n
+        step = 1 if forward <= backward else -1
+        path = [a]
+        while i != j:
+            i = (i + step) % n
+            path.append(("core", *self._core_xy(i)))
+        return path

@@ -1,0 +1,155 @@
+"""Declarative interconnect-fabric specification.
+
+The paper's generality study (Sec VI-B2) swaps the template's mesh for
+a folded torus; :class:`FabricSpec` makes that swap — and every other
+interconnect choice — a first-class, serializable field of
+:class:`~repro.arch.params.ArchConfig` instead of a hand-constructed
+topology object.  A spec names the fabric *kind* (a key into the
+fabric registry), the deterministic routing policy, and the structural
+knobs the kinds consume:
+
+* ``routing`` — dimension order of the deterministic routing function
+  (:data:`ROUTING_POLICIES`): ``xy`` (the paper's default, Sec VII-C),
+  ``yx``, or ``dimension-reversal`` (per-source alternation between
+  the two orders, O1TURN-style load balancing);
+* ``concentration`` — cores per router-tile edge for the concentrated
+  mesh (``c=2`` means 2x2 cores share one router);
+* ``wrap`` — which dimensions of the folded torus wrap (``xy``, ``x``
+  or ``y``; ``x``/``y`` give cylinders).
+
+The ``name`` field is cosmetic: campaign digests exclude it, so
+renaming a fabric never invalidates stored results.  The default spec
+(mesh + XY) reproduces the pre-fabric evaluator bit for bit and is
+deliberately *omitted* from serialized architectures, so records and
+digests written before the fabric field existed keep matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidArchitectureError
+
+#: Deterministic routing policies understood by the grid fabrics.
+ROUTING_POLICIES = ("xy", "yx", "dimension-reversal")
+
+#: Accepted wrap-dimension selections for the folded torus.
+WRAP_CHOICES = ("xy", "x", "y")
+
+#: Shorthand accepted by :func:`repro.fabric.parse_fabric`.
+_ROUTING_ALIASES = {"dr": "dimension-reversal"}
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """One interconnect configuration of the hardware template."""
+
+    kind: str = "mesh"
+    routing: str = "xy"
+    #: Cores per router-tile edge (concentrated mesh only; 1 elsewhere).
+    concentration: int = 1
+    #: Dimensions that wrap around (folded torus only).
+    wrap: str = "xy"
+    #: Cosmetic label; excluded from digests and equality-of-content.
+    name: str = ""
+
+    def validate(self, cores_x: int = 0, cores_y: int = 0) -> None:
+        """Structural validation; extents of 0 skip divisibility checks
+        (used by the parser, before any architecture is known)."""
+        if self.routing not in ROUTING_POLICIES:
+            raise InvalidArchitectureError(
+                f"unknown routing policy {self.routing!r}; "
+                f"expected one of {ROUTING_POLICIES}"
+            )
+        if self.wrap not in WRAP_CHOICES:
+            raise InvalidArchitectureError(
+                f"torus wrap must be one of {WRAP_CHOICES}, "
+                f"got {self.wrap!r}"
+            )
+        if self.concentration < 1:
+            raise InvalidArchitectureError(
+                "fabric concentration must be >= 1"
+            )
+        if self.kind == "cmesh" and (
+            cores_x % self.concentration or cores_y % self.concentration
+        ):
+            raise InvalidArchitectureError(
+                f"concentration {self.concentration} must divide the core "
+                f"array {cores_x}x{cores_y}"
+            )
+
+    def content(self) -> dict:
+        """The digest-relevant fields, normalized per kind.
+
+        Knobs a kind does not consume are folded to their defaults
+        (concentration matters only on the cmesh, wrap only on the
+        torus, and the 1-D ring has no dimension order), so two specs
+        that build identical hardware digest — and deduplicate —
+        identically.  The cosmetic name is excluded.
+        """
+        return {
+            "kind": self.kind,
+            "routing": "xy" if self.kind == "ring" else self.routing,
+            "concentration":
+                self.concentration if self.kind == "cmesh" else 1,
+            "wrap": self.wrap if self.kind == "folded-torus" else "xy",
+        }
+
+    def with_name(self, name: str) -> "FabricSpec":
+        return replace(self, name=name)
+
+    def slug(self) -> str:
+        """Filesystem/CLI-safe rendering (see :func:`format_fabric`)."""
+        return format_fabric(self).replace(":", "_")
+
+
+#: The spec every architecture carries unless told otherwise — the
+#: pre-fabric evaluator's exact behaviour (mesh, XY routing).
+DEFAULT_FABRIC = FabricSpec()
+
+
+def normalize_routing(token: str) -> str:
+    return _ROUTING_ALIASES.get(token, token)
+
+
+def format_fabric(spec: FabricSpec) -> str:
+    """Compact ``kind[:routing][:cN][:wrap=dims]`` rendering.
+
+    Inverse of the parser for every spec (the cosmetic name is
+    dropped); the default knob values are omitted, so the default mesh
+    renders as just ``"mesh"``.
+    """
+    parts = [spec.kind]
+    if spec.routing != "xy":
+        parts.append(spec.routing)
+    if spec.concentration != 1:
+        parts.append(f"c{spec.concentration}")
+    if spec.wrap != "xy":
+        parts.append(f"wrap={spec.wrap}")
+    return ":".join(parts)
+
+
+def fabric_to_dict(spec: FabricSpec) -> dict:
+    """JSON-ready record (round-trips through :func:`fabric_from_dict`)."""
+    return {
+        "kind": spec.kind,
+        "routing": spec.routing,
+        "concentration": spec.concentration,
+        "wrap": spec.wrap,
+        "name": spec.name,
+    }
+
+
+def fabric_from_dict(data: dict) -> FabricSpec:
+    if not isinstance(data, dict):
+        raise TypeError(f"fabric record must be a dict, got {data!r}")
+    try:
+        return FabricSpec(
+            kind=str(data.get("kind", "mesh")),
+            routing=normalize_routing(str(data.get("routing", "xy"))),
+            concentration=int(data.get("concentration", 1)),
+            wrap=str(data.get("wrap", "xy")),
+            name=str(data.get("name", "")),
+        )
+    except ValueError as exc:
+        raise TypeError(f"bad fabric record: {exc}") from exc

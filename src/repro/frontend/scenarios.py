@@ -53,7 +53,7 @@ def resolve_arch(spec: str) -> ArchConfig:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One (model, batch, arch) evaluation cell."""
+    """One (model, batch, arch, fabric) evaluation cell."""
 
     name: str
     model: str           # registry abbreviation or model file path
@@ -61,10 +61,24 @@ class Scenario:
     arch: str = "g-arch"  # preset name or best_arch.json path
     iters: int = 100      # SA budget per layer group
     seed: int = 0
+    #: Interconnect override as a ``kind[:routing][:knobs]`` spec
+    #: string (see :func:`repro.fabric.parse_fabric`); empty keeps
+    #: whatever fabric the resolved architecture already carries.
+    fabric: str = ""
 
     def slug(self) -> str:
         """Filesystem-safe scenario directory name."""
         return self.name.replace("/", "_").replace(" ", "_")
+
+
+def scenario_arch(scenario: Scenario) -> ArchConfig:
+    """The scenario's architecture with its fabric override applied."""
+    from repro.fabric import apply_fabric
+
+    arch = resolve_arch(scenario.arch)
+    if scenario.fabric:
+        arch = apply_fabric(arch, scenario.fabric)
+    return arch
 
 
 #: name -> Scenario.  Mutated only through register_scenario.
@@ -104,25 +118,42 @@ def grid_scenarios(
     batches: list[int],
     archs: list[str],
     iters: int = 100,
+    fabrics: list[str] | None = None,
 ) -> list[Scenario]:
-    """The full (model x batch x arch) cross product as scenarios."""
+    """The (model x batch x arch x fabric) cross product as scenarios.
+
+    ``fabrics`` holds fabric spec strings (``""`` keeps the resolved
+    architecture's own fabric); non-empty specs are validated eagerly
+    and suffix the scenario name so per-fabric artifact directories
+    never collide.
+    """
+    from repro.fabric import parse_fabric
+
+    fabrics = list(fabrics) if fabrics else [""]
+    for fabric in fabrics:
+        if fabric:
+            parse_fabric(fabric)  # fail fast on a bad spec string
     out = []
     seen: dict[str, int] = {}
     for model in models:
         for batch in batches:
             for arch in archs:
-                name = f"{Path(model).stem}-b{batch}-{Path(arch).stem}"
-                # Distinct cells can share a stem-derived name (a
-                # preset and a file both called "g-arch"); suffix them.
-                if name in seen:
-                    seen[name] += 1
-                    name = f"{name}-{seen[name]}"
-                else:
-                    seen[name] = 0
-                out.append(Scenario(
-                    name=name, model=model, batch=batch, arch=arch,
-                    iters=iters,
-                ))
+                for fabric in fabrics:
+                    name = f"{Path(model).stem}-b{batch}-{Path(arch).stem}"
+                    if fabric:
+                        name += f"-{fabric.replace(':', '_')}"
+                    # Distinct cells can share a stem-derived name (a
+                    # preset and a file both called "g-arch"); suffix
+                    # them.
+                    if name in seen:
+                        seen[name] += 1
+                        name = f"{name}-{seen[name]}"
+                    else:
+                        seen[name] = 0
+                    out.append(Scenario(
+                        name=name, model=model, batch=batch, arch=arch,
+                        iters=iters, fabric=fabric,
+                    ))
     return out
 
 
@@ -138,7 +169,7 @@ def _run_scenario_full(
     from repro.frontend.loader import load_model
     from repro.io.serialization import lms_to_dict
 
-    arch = resolve_arch(scenario.arch)
+    arch = scenario_arch(scenario)
     graph, report = load_model(scenario.model)
     engine = MappingEngine(
         arch,
@@ -189,7 +220,7 @@ def _run_scenario_in_worker(
 
 #: Column order of sweep.csv (stable for downstream tooling).
 SWEEP_COLUMNS = (
-    "name", "model", "batch", "arch", "iters", "layers",
+    "name", "model", "batch", "arch", "fabric", "iters", "layers",
     "delay_s", "energy_j", "edp", "n_groups", "frontend",
 )
 
@@ -234,7 +265,7 @@ def _scenario_keys(scenarios: list[Scenario]) -> dict[str, str]:
 
     keys = {}
     for sc in scenarios:
-        arch = resolve_arch(sc.arch)
+        arch = scenario_arch(sc)
         graph, _ = load_model(sc.model)
         keys[sc.name] = scenario_key(
             arch, graph, sc.batch, sc.iters, sc.seed

@@ -10,7 +10,7 @@ its round with a SYNC barrier.
 from __future__ import annotations
 
 from repro.arch.params import ArchConfig
-from repro.arch.topology import MeshTopology
+from repro.fabric import Topology, build_topology
 from repro.core.encoding import LayerGroupMapping
 from repro.core.parser import parse_lms
 from repro.evalmodel.traffic_analysis import GroupTrafficAnalyzer
@@ -23,14 +23,14 @@ def generate_programs(
     graph: DNNGraph,
     lms: LayerGroupMapping,
     arch: ArchConfig,
-    topo: MeshTopology | None = None,
+    topo: Topology | None = None,
     intracore: IntraCoreEngine | None = None,
     stored_at: dict[str, int] | None = None,
 ) -> dict[int, CoreProgram]:
     """Static round programs for every core used by the group."""
     from repro.arch.energy import DEFAULT_ENERGY
 
-    topo = topo or MeshTopology(arch)
+    topo = topo or build_topology(arch)
     intracore = intracore or IntraCoreEngine(arch, DEFAULT_ENERGY)
     parsed = parse_lms(graph, lms)
     intra = {

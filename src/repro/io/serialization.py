@@ -21,6 +21,11 @@ from repro.core.encoding import (
     Partition,
 )
 from repro.errors import ReproError
+from repro.fabric.spec import (
+    DEFAULT_FABRIC,
+    fabric_from_dict,
+    fabric_to_dict,
+)
 from repro.io.atomic import atomic_write_json
 from repro.workloads.graph import DNNGraph
 from repro.workloads.layer import Layer, LayerType
@@ -46,12 +51,22 @@ _ARCH_FIELDS = (
 
 
 def arch_to_dict(arch: ArchConfig) -> dict:
-    return {f: getattr(arch, f) for f in _ARCH_FIELDS}
+    data = {f: getattr(arch, f) for f in _ARCH_FIELDS}
+    # The default fabric (mesh + XY) is deliberately omitted: records
+    # written before the fabric field existed stay loadable *and*
+    # byte-identical to freshly serialized default-fabric archs, so
+    # their content digests keep matching.
+    if arch.fabric != DEFAULT_FABRIC:
+        data["fabric"] = fabric_to_dict(arch.fabric)
+    return data
 
 
 def arch_from_dict(data: dict) -> ArchConfig:
     try:
-        return ArchConfig(**{f: data[f] for f in _ARCH_FIELDS if f in data})
+        kwargs = {f: data[f] for f in _ARCH_FIELDS if f in data}
+        if "fabric" in data:
+            kwargs["fabric"] = fabric_from_dict(data["fabric"])
+        return ArchConfig(**kwargs)
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"bad architecture record: {exc}") from exc
 
@@ -247,9 +262,12 @@ def candidate_result_from_dict(data: dict):
 
 def mapping_result_summary(result) -> dict:
     """Flat summary of a :class:`MappingResult` for CSV/JSON export."""
+    from repro.fabric.spec import format_fabric
+
     e = result.evaluation.energy
     return {
         "arch": result.arch.paper_tuple(),
+        "fabric": format_fabric(result.arch.fabric),
         "delay_s": result.delay,
         "energy_j": result.energy,
         "edp": result.edp,
@@ -264,8 +282,11 @@ def mapping_result_summary(result) -> dict:
 
 def candidate_result_summary(result) -> dict:
     """Flat summary of a DSE :class:`CandidateResult` (result.csv row)."""
+    from repro.fabric.spec import format_fabric
+
     return {
         "arch": result.arch.paper_tuple(),
+        "fabric": format_fabric(result.arch.fabric),
         "chiplets": result.arch.n_chiplets,
         "cores": result.arch.n_cores,
         "mc_usd": result.mc.total,

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.arch.topology import MeshTopology
+from repro.fabric import Topology
 
 
 @dataclass
@@ -65,7 +65,7 @@ def max_min_rates(
     return rates
 
 
-def simulate_completion_time(topo: MeshTopology, flows: list[Flow]) -> float:
+def simulate_completion_time(topo: Topology, flows: list[Flow]) -> float:
     """Time until every flow finishes under max–min fair sharing."""
     flows = [f for f in flows if f.volume > 0]
     if not flows:
@@ -93,7 +93,7 @@ def simulate_completion_time(topo: MeshTopology, flows: list[Flow]) -> float:
     return now
 
 
-def analytic_lower_bound(topo: MeshTopology, flows: list[Flow]) -> float:
+def analytic_lower_bound(topo: Topology, flows: list[Flow]) -> float:
     """Most-loaded-link serialization time (the evaluator's bound)."""
     volumes = np.zeros(topo.n_links)
     for f in flows:

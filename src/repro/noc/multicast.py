@@ -1,4 +1,4 @@
-"""Multicast trees over deterministic XY routing.
+"""Multicast trees over a fabric's deterministic routing.
 
 When the same bytes go from one source to several cores (weights shared
 by cores computing different spatial parts of a layer, or interleaved
@@ -9,29 +9,30 @@ capabilities" the paper's partition analysis assumes (Sec IV-C).
 With a deterministic routing function, the union of the unicast paths
 from one source is always a tree (every router has a unique path from
 the source), so the tree is simply the set union of per-destination
-routes.
+routes.  This holds for every registered fabric: each routes a
+(source, destination) pair along exactly one path.
 """
 
 from __future__ import annotations
 
 from weakref import WeakKeyDictionary
 
-from repro.arch.topology import MeshTopology, NodeId
+from repro.fabric import NodeId, Topology
 from repro.perf import LruDict
 
 #: Per-topology memo of computed trees — the SA loop requests the same
 #: (source, destination-set) combinations over and over.
-_TREE_CACHES: WeakKeyDictionary[MeshTopology, LruDict] = WeakKeyDictionary()
+_TREE_CACHES: WeakKeyDictionary[Topology, LruDict] = WeakKeyDictionary()
 _TREE_CACHE_MAX = 65536
 
 
 def multicast_tree(
-    topo: MeshTopology, src: NodeId, dsts: list[NodeId]
+    topo: Topology, src: NodeId, dsts: list[NodeId]
 ) -> frozenset[int]:
-    """Link-index set of the XY multicast tree from src to all dsts."""
+    """Link-index set of the deterministic multicast tree src -> dsts."""
     cache = _TREE_CACHES.get(topo)
     if cache is None:
-        cache = LruDict(_TREE_CACHE_MAX)
+        cache = LruDict(_TREE_CACHE_MAX, name="noc.mcast")
         _TREE_CACHES[topo] = cache
     key = (src, tuple(dsts))
     tree = cache.get_lru(key)
@@ -45,7 +46,7 @@ def multicast_tree(
 
 
 def multicast_hop_savings(
-    topo: MeshTopology, src: NodeId, dsts: list[NodeId]
+    topo: Topology, src: NodeId, dsts: list[NodeId]
 ) -> int:
     """Hops saved vs. unicasting to every destination separately."""
     unicast = sum(len(topo.route(src, d)) for d in dsts)

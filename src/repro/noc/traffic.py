@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arch.topology import MeshTopology
+from repro.fabric import Topology
 
 
 class TrafficMap:
     """Bytes accumulated on every directed link of a topology."""
 
-    def __init__(self, topo: MeshTopology):
+    def __init__(self, topo: Topology):
         self.topo = topo
         self.volumes = np.zeros(topo.n_links, dtype=np.float64)
         # Shared read-only views built once per topology.

@@ -13,8 +13,6 @@ import json
 import platform
 from pathlib import Path
 
-from repro.io.atomic import atomic_write_text
-
 DEFAULT_BENCH_PATH = "BENCH_perf.json"
 
 
@@ -31,6 +29,10 @@ def _machine_info() -> dict:
 def emit_bench(section: str, payload: dict,
                path: str | Path = DEFAULT_BENCH_PATH) -> Path:
     """Merge ``payload`` under ``section`` into the bench JSON file."""
+    # Imported here, not at module scope: perf must stay importable
+    # from the interconnect layer, which loads before repro.io can.
+    from repro.io.atomic import atomic_write_text
+
     path = Path(path)
     data: dict = {}
     if path.exists():

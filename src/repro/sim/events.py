@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.arch.topology import MeshTopology, NodeId
+from repro.fabric import NodeId, Topology
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ class RoundStats:
 class RoundSimulator:
     """Event-driven store-and-forward simulator over a topology."""
 
-    def __init__(self, topo: MeshTopology):
+    def __init__(self, topo: Topology):
         self.topo = topo
 
     def simulate(
@@ -122,7 +122,7 @@ class RoundSimulator:
 
 
 def messages_from_flows(
-    topo: MeshTopology,
+    topo: Topology,
     flows,
     compute_times: dict[int, float],
 ) -> list[SimMessage]:

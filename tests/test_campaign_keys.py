@@ -134,6 +134,86 @@ class TestWorkloadAndSettingsDigests:
         )
 
 
+class TestFabricDigests:
+    """A fabric change is real; a fabric rename is cosmetic; records
+    stored before the fabric field existed keep their digests."""
+
+    def test_fabric_change_changes_arch_digest(self):
+        from repro.fabric import apply_fabric
+
+        a = g_arch()
+        digests = {
+            ck.arch_digest(apply_fabric(a, f))
+            for f in ("mesh", "folded-torus", "folded-torus:yx",
+                      "cmesh:c2", "ring")
+        }
+        assert len(digests) == 5
+
+    def test_fabric_rename_keeps_arch_digest(self):
+        from repro.fabric import FabricSpec
+
+        a = replace(g_arch(), fabric=FabricSpec(kind="ring"))
+        b = replace(g_arch(), fabric=FabricSpec(kind="ring", name="x"))
+        assert ck.arch_digest(a) == ck.arch_digest(b)
+
+    def test_named_default_fabric_digests_as_default(self):
+        from repro.fabric import FabricSpec
+
+        a = g_arch()
+        named = replace(a, fabric=FabricSpec(name="just a label"))
+        assert ck.arch_digest(a) == ck.arch_digest(named)
+
+    def test_default_fabric_digest_matches_prefabric_records(self):
+        """The digest of a default-fabric arch must equal the digest an
+        older code version (no fabric field at all) computed."""
+        from repro.io.serialization import arch_to_dict
+
+        a = g_arch()
+        data = arch_to_dict(a)
+        assert "fabric" not in data  # serialized form is unchanged
+        data.pop("name", None)
+        assert ck.arch_digest(a) == ck.content_digest(data)
+
+    def test_candidate_key_covers_fabric(self):
+        from repro.fabric import apply_fabric
+
+        sa = SASettings(iterations=4)
+        d = ck.workload_digest(tiny_graph(), 1)
+        mesh_key = ck.candidate_key(g_arch(), [d], sa)
+        torus_key = ck.candidate_key(
+            apply_fabric(g_arch(), "folded-torus"), [d], sa
+        )
+        assert mesh_key != torus_key
+
+    def test_scenario_key_covers_fabric(self):
+        from repro.fabric import apply_fabric
+
+        g = tiny_graph()
+        assert ck.scenario_key(g_arch(), g, 1, 10, 0) != ck.scenario_key(
+            apply_fabric(g_arch(), "ring"), g, 1, 10, 0
+        )
+
+    def test_prefabric_store_record_loads_mesh_default(self):
+        """Old candidate records (no fabric key) still load."""
+        from repro.dse.explorer import CandidateResult
+        from repro.cost.mc import MCReport
+        from repro.fabric import DEFAULT_FABRIC
+        from repro.io.serialization import (
+            candidate_result_from_dict,
+            candidate_result_to_dict,
+        )
+
+        result = CandidateResult(
+            arch=g_arch(), mc=MCReport(1.0, 2.0, 3.0, (10.0,)),
+            energy=0.5, delay=0.25, score=0.125,
+        )
+        record = candidate_result_to_dict(result)
+        record["arch"].pop("fabric", None)  # what an old store holds
+        loaded = candidate_result_from_dict(record)
+        assert loaded.arch.fabric == DEFAULT_FABRIC
+        assert loaded.arch == result.arch
+
+
 class TestFamilies:
     def test_family_is_core_count(self):
         a = g_arch()
@@ -152,3 +232,12 @@ class TestFamilies:
         near = replace(a, noc_bw=a.noc_bw * 2)
         far = replace(a, noc_bw=a.noc_bw * 8)
         assert 0 < ck.arch_distance(a, near) < ck.arch_distance(a, far)
+
+    def test_fabric_change_adds_distance_but_rename_does_not(self):
+        from repro.fabric import FabricSpec, apply_fabric
+
+        a = g_arch()
+        torus = apply_fabric(a, "folded-torus")
+        assert ck.arch_distance(a, torus) == 2.0
+        named = replace(a, fabric=FabricSpec(name="label"))
+        assert ck.arch_distance(a, named) == 0.0
