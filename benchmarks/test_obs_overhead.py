@@ -1,0 +1,155 @@
+"""Tracing overhead guard: spans must be ~free on the SA hot path.
+
+Two numbers are asserted (the observability budget):
+
+* **disabled** — the cost of the dormant ``trace()`` call sites during
+  one compiled SA run must stay under 0.5% of the run's CPU time;
+* **enabled** — recording every span of the run must stay under 3%.
+
+Both are *computed* overheads: per-call cost of the trace fast paths
+(measured over many thousands of calls) times the span volume one real
+run produces, divided by the run's CPU time.  That product is
+deterministic up to clock resolution, unlike an end-to-end A/B on a
+shared runner where 3% is indistinguishable from scheduler noise — the
+end-to-end interleaved best-of-3 CPU ratio is recorded in
+``BENCH_perf.json`` but only sanity-checked loosely.
+
+The guard holds by design, not by luck: span sites are per run / per
+restart / per candidate, never per SA iteration, so a run contributes
+a handful of spans against seconds of annealing.
+"""
+
+import os
+import time
+
+from conftest import print_banner, sa_settings
+
+from repro.arch import g_arch
+from repro.core import SAController
+from repro.core.graphpart import partition_graph
+from repro.core.initial import initial_lms
+from repro.core.sa import SASettings
+from repro.evalmodel import Evaluator
+from repro.obs.trace import TRACER, trace
+from repro.perf import emit_bench
+
+#: The asserted budgets (fractions of one compiled SA run's CPU time).
+MAX_DISABLED_OVERHEAD = 0.005
+MAX_ENABLED_OVERHEAD = 0.03
+
+#: End-to-end sanity ceiling (recorded ratio, loosely checked — CPU
+#: scheduling noise on shared runners swamps the real sub-1% effect).
+MAX_END_TO_END_RATIO = 1.25
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
+
+
+def _sa_cpu(graph, arch, lmss, batch, iterations) -> float:
+    """CPU seconds of one compiled SA run."""
+    evaluator = Evaluator(arch, cache=True)
+    controller = SAController(
+        graph, evaluator, list(lmss), batch,
+        SASettings(iterations=iterations, seed=3),
+    )
+    t0 = time.process_time()
+    controller.run()
+    return time.process_time() - t0
+
+
+def test_tracing_overhead_guard(tf_model):
+    arch = g_arch()
+    batch = 16
+    iterations = max(30, int(sa_settings(120).iterations))
+    graph = tf_model
+    groups = partition_graph(graph, arch, batch=batch)
+    lmss = [initial_lms(graph, g, arch) for g in groups]
+
+    was_enabled = TRACER.enabled
+    try:
+        # Per-call cost of the two fast paths, amortized over enough
+        # calls that process_time resolution is irrelevant.
+        TRACER.disable()
+        n_off = 200_000
+        t0 = time.process_time()
+        for _ in range(n_off):
+            with trace("bench.noop"):
+                pass
+        cost_off = (time.process_time() - t0) / n_off
+
+        TRACER.enable()
+        TRACER.clear()
+        n_on = 20_000
+        t0 = time.process_time()
+        for _ in range(n_on):
+            with trace("bench.span"):
+                pass
+        cost_on = (time.process_time() - t0) / n_on
+        TRACER.clear()
+
+        # Span volume of one real run (call sites fired, empirically).
+        spans_before = len(TRACER.spans)
+        _sa_cpu(graph, arch, lmss, batch, iterations)
+        spans_per_run = len(TRACER.spans) - spans_before
+        TRACER.clear()
+        TRACER.disable()
+
+        # End-to-end A/B, interleaved best-of-3 CPU time (recorded).
+        cpu = {"disabled": float("inf"), "enabled": float("inf")}
+        for _ in range(3):
+            TRACER.disable()
+            cpu["disabled"] = min(
+                cpu["disabled"], _sa_cpu(graph, arch, lmss, batch, iterations)
+            )
+            TRACER.enable()
+            cpu["enabled"] = min(
+                cpu["enabled"], _sa_cpu(graph, arch, lmss, batch, iterations)
+            )
+            TRACER.clear()
+    finally:
+        TRACER.clear()
+        TRACER.enabled = was_enabled
+
+    run_cpu = cpu["disabled"]
+    assert run_cpu > 0 and spans_per_run > 0
+    disabled_overhead = spans_per_run * cost_off / run_cpu
+    enabled_overhead = spans_per_run * cost_on / run_cpu
+    end_to_end_ratio = cpu["enabled"] / cpu["disabled"]
+
+    print_banner("Tracing overhead on the compiled SA hot path")
+    print(f"spans per run:        {spans_per_run}")
+    print(f"disabled trace() cost: {cost_off * 1e9:.0f} ns/call "
+          f"-> {disabled_overhead:.5%} of the run "
+          f"(budget {MAX_DISABLED_OVERHEAD:.1%})")
+    print(f"enabled span cost:     {cost_on * 1e6:.2f} us/span "
+          f"-> {enabled_overhead:.5%} of the run "
+          f"(budget {MAX_ENABLED_OVERHEAD:.0%})")
+    print(f"end-to-end CPU ratio (enabled/disabled, best of 3): "
+          f"{end_to_end_ratio:.4f}")
+
+    emit_bench("obs_overhead", {
+        "iterations": iterations,
+        "batch": batch,
+        "model": "TF",
+        "spans_per_run": spans_per_run,
+        "disabled_cost_s_per_call": cost_off,
+        "enabled_cost_s_per_span": cost_on,
+        "run_cpu_s": run_cpu,
+        "disabled_overhead_fraction": disabled_overhead,
+        "enabled_overhead_fraction": enabled_overhead,
+        "end_to_end_cpu_ratio": end_to_end_ratio,
+        "budget_disabled": MAX_DISABLED_OVERHEAD,
+        "budget_enabled": MAX_ENABLED_OVERHEAD,
+    }, BENCH_PATH)
+
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"dormant trace() sites cost {disabled_overhead:.4%} of a compiled "
+        f"SA run (budget {MAX_DISABLED_OVERHEAD:.1%})"
+    )
+    assert enabled_overhead <= MAX_ENABLED_OVERHEAD, (
+        f"span recording costs {enabled_overhead:.4%} of a compiled SA run "
+        f"(budget {MAX_ENABLED_OVERHEAD:.0%})"
+    )
+    assert end_to_end_ratio <= MAX_END_TO_END_RATIO, (
+        f"enabled tracing made the whole run {end_to_end_ratio:.2f}x "
+        "slower end to end — far beyond its computed cost"
+    )

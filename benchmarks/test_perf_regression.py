@@ -94,9 +94,12 @@ def test_sa_throughput_and_equivalence(models, benchmark):
             lmss = [initial_lms(graph, g, arch) for g in groups]
             best = {label: 0.0 for label, _ in CONFIGS}
             wall = {label: 0.0 for label, _ in CONFIGS}
+            samples = {label: [] for label, _ in CONFIGS}
             ctls = {}
             # Interleave the configurations so host-speed drift hits
-            # them equally; keep the best of three runs each.
+            # them equally; keep the best of three runs each (the
+            # asserted ratios) plus every sample (the recorded
+            # mean/variance — run-to-run spread is itself a signal).
             for _ in range(3):
                 for label, kw in CONFIGS:
                     ctl, cpu_ips = _sa_run(
@@ -105,6 +108,7 @@ def test_sa_throughput_and_equivalence(models, benchmark):
                     ctls[label] = ctl
                     best[label] = max(best[label], cpu_ips)
                     wall[label] = max(wall[label], ctl.stats.iters_per_sec)
+                    samples[label].append(cpu_ips)
             # All three paths: identical trajectories, bit for bit.
             for label in ("cached", "compiled"):
                 assert ctls[label].best_costs == ctls["uncached"].best_costs
@@ -124,6 +128,13 @@ def test_sa_throughput_and_equivalence(models, benchmark):
                 "speedup_compiled_vs_cached":
                     best["compiled"] / best["cached"],
             }
+            for label, _ in CONFIGS:
+                vals = samples[label]
+                mean = sum(vals) / len(vals)
+                var = sum((v - mean) ** 2 for v in vals) / len(vals)
+                record[name][f"{label}_iters_per_sec_samples"] = vals
+                record[name][f"{label}_iters_per_sec_mean"] = mean
+                record[name][f"{label}_iters_per_sec_var"] = var
             if seed_ref is not None:
                 record[name]["seed_reference_iters_per_sec"] = seed_ref
                 record[name]["speedup_vs_seed"] = best["compiled"] / seed_ref

@@ -22,6 +22,7 @@ search configuration, bound to a directory.  The runner
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +50,7 @@ from repro.io.serialization import (
     candidate_result_from_dict,
     candidate_result_summary,
 )
+from repro.obs.ledger import LEDGER_NAME, RunLedger, failure_digest
 from repro.perf import PERF
 
 MANIFEST_NAME = "manifest.json"
@@ -159,7 +161,11 @@ class CampaignRunner:
                 zip(spec.candidates, self.warm_selection)
             )
         ]
+        #: True once a manifest pre-existed (or a run completed): the
+        #: next ``run()`` reports itself as a resume in the ledger.
+        self.resumed = self._manifest_path().exists()
         self.manifest = self._load_or_create_manifest()
+        self._ledger: RunLedger | None = None
 
     # ------------------------------------------------------------------
     # Manifest
@@ -295,20 +301,61 @@ class CampaignRunner:
             if not self.store.has(KIND_CANDIDATE, key)
         ]
 
+    def ledger_path(self) -> Path:
+        return self.root / LEDGER_NAME
+
+    @staticmethod
+    def _restart_stats(result: CandidateResult) -> tuple[int, float, float]:
+        """(count, mean, population variance) of the candidate's SA
+        restart wall times, pooled across workloads."""
+        times = [t for ts in result.restart_times.values() for t in ts]
+        if not times:
+            return 0, 0.0, 0.0
+        mean = sum(times) / len(times)
+        var = sum((t - mean) ** 2 for t in times) / len(times)
+        return len(times), mean, var
+
     def _checkpoint(self, index: int, arch: ArchConfig,
-                    result: CandidateResult) -> None:
+                    result: CandidateResult,
+                    shard: int | None = None) -> None:
         self.explorer.publish(
             self.store, arch, index, result,
             key=self.candidate_keys[index],
         )
         PERF.add("campaign.evaluated")
+        if self._ledger is not None:
+            restarts, mean, var = self._restart_stats(result)
+            self._ledger.emit(
+                "candidate_evaluated",
+                index=index,
+                key=self.candidate_keys[index],
+                score=result.score,
+                energy=result.energy,
+                delay=result.delay,
+                duration_s=result.wall_time_s,
+                warm_started=result.warm_started,
+                shard=os.getpid() if shard is None else shard,
+                restarts=restarts,
+                restart_mean_s=mean,
+                restart_var_s=var,
+            )
 
-    def _record_failure(self, index: int, error: Exception) -> None:
+    def _record_failure(self, index: int, error: Exception,
+                        shard: int | None = None) -> None:
         self.store.record_failure(
             KIND_CANDIDATE, self.candidate_keys[index],
             f"{type(error).__name__}: {error}",
         )
         PERF.add("campaign.failed")
+        if self._ledger is not None:
+            self._ledger.emit(
+                "candidate_failed",
+                index=index,
+                key=self.candidate_keys[index],
+                error=f"{type(error).__name__}: {error}",
+                digest=failure_digest(error),
+                shard=os.getpid() if shard is None else shard,
+            )
 
     def run(
         self,
@@ -323,7 +370,7 @@ class CampaignRunner:
         at an arbitrary-looking but fully durable point, exactly like a
         kill signal between two checkpoints.
         """
-        import os
+        from repro.obs.trace import trace
 
         todo = self.pending()
         hits = len(self.spec.candidates) - len(todo)
@@ -333,29 +380,58 @@ class CampaignRunner:
         workers = max(1, min(workers, len(todo) or 1))
         tasks = [(i, arch, self._warm_for(i)) for i, arch in todo]
         completed = failed = 0
+        self._ledger = RunLedger(self.ledger_path())
+        self._ledger.emit(
+            "run_resumed" if self.resumed else "run_started",
+            name=self.spec.name,
+            total=len(self.spec.candidates),
+            pending=len(todo),
+            store_hits=hits,
+            workers=workers,
+        )
+        # Anything short of a clean fall-through — fault injection,
+        # a kill, an unexpected error — logs as an interruption.
+        outcome = "run_interrupted"
         try:
-            if workers == 1:
-                for i, arch, warm in tasks:
-                    try:
-                        result = self.explorer.evaluate_candidate(
-                            arch, index=i, warm=warm
-                        )
-                    except ReproError as exc:
-                        self._record_failure(i, exc)
-                        failed += 1
-                        continue
-                    self._checkpoint(i, arch, result)
-                    completed += 1
-                    if fail_after is not None and completed >= fail_after:
-                        raise CampaignInterrupted(
-                            f"fault injection after {completed} candidates"
-                        )
-            elif tasks:
-                completed, failed = self._run_pool(
-                    tasks, workers, fail_after
-                )
+            with trace("campaign.run", campaign=self.spec.name,
+                       pending=len(todo), workers=workers):
+                if workers == 1:
+                    for i, arch, warm in tasks:
+                        try:
+                            result = self.explorer.evaluate_candidate(
+                                arch, index=i, warm=warm
+                            )
+                        except ReproError as exc:
+                            self._record_failure(i, exc)
+                            failed += 1
+                            continue
+                        self._checkpoint(i, arch, result)
+                        completed += 1
+                        if fail_after is not None and completed >= fail_after:
+                            raise CampaignInterrupted(
+                                f"fault injection after {completed} candidates"
+                            )
+                elif tasks:
+                    completed, failed = self._run_pool(
+                        tasks, workers, fail_after
+                    )
+            outcome = "run_finished"
         finally:
             self.store.write_index()
+            self._ledger.emit(
+                outcome,
+                evaluated=completed, failed=failed, store_hits=hits,
+            )
+            snap = PERF.snapshot()
+            snap.pop("spans", None)
+            self._ledger.emit(
+                "perf",
+                counters=snap.get("counters", {}),
+                timers=snap.get("timers", {}),
+            )
+            self._ledger.close()
+            self._ledger = None
+            self.resumed = True
         return self.report(evaluated=completed, store_hits=hits,
                            failed=failed)
 
@@ -389,7 +465,8 @@ class CampaignRunner:
                     failed += 1
                     continue
                 PERF.merge(snapshot)
-                self._checkpoint(i, arch, result)
+                self._checkpoint(i, arch, result,
+                                 shard=snapshot.get("pid"))
                 completed += 1
             if fail_after is not None and completed >= fail_after:
                 for f in outstanding:

@@ -101,19 +101,22 @@ class ResultStore:
 
     def put(self, kind: str, key: str, payload: dict) -> None:
         """Durably append one record and make it visible immediately."""
-        line = json.dumps(
-            {"kind": kind, "key": key, "payload": payload},
-            separators=(",", ":"),
-        )
-        if "\n" in line:
-            raise StoreError("record serialization produced a newline")
-        if self._fh is None:
-            self._fh = open(self._segment_path, "a")
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-        self._records[(kind, key)] = payload
-        self._locations[(kind, key)] = self._segment_path.name
+        from repro.obs.trace import trace
+
+        with trace("store.put", kind=kind):
+            line = json.dumps(
+                {"kind": kind, "key": key, "payload": payload},
+                separators=(",", ":"),
+            )
+            if "\n" in line:
+                raise StoreError("record serialization produced a newline")
+            if self._fh is None:
+                self._fh = open(self._segment_path, "a")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._records[(kind, key)] = payload
+            self._locations[(kind, key)] = self._segment_path.name
 
     # -- reading -------------------------------------------------------
 

@@ -134,6 +134,16 @@ def add_fabric_flags(p, multiple: bool = False) -> None:
                    help="deterministic routing policy override")
 
 
+def add_obs_flags(p) -> None:
+    """``--trace`` / ``--metrics`` on the long-running commands."""
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record phase spans and write a Chrome-trace JSON "
+                        "(open in chrome://tracing or ui.perfetto.dev)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write the final perf snapshot here (.prom/.txt = "
+                        "Prometheus text exposition, anything else = JSON)")
+
+
 def resolve_model(spec: str) -> DNNGraph:
     """A registry abbreviation or a model file (onnx / spec / graph)."""
     from repro.errors import ReproError
@@ -168,6 +178,9 @@ def profile_report(args, extra: dict | None = None) -> None:
     from repro.perf import PERF, emit_bench
 
     snap = PERF.snapshot()
+    # Spans belong in the --trace file; a span dump would bloat
+    # BENCH_perf.json without being a benchmarkable number.
+    snap.pop("spans", None)
     rows = PERF.rows()
     if rows:
         print()
@@ -554,6 +567,39 @@ def cmd_campaign_export(args) -> int:
     return 0
 
 
+def cmd_campaign_watch(args) -> int:
+    from repro.campaign import CampaignError
+    from repro.obs.watch import campaign_watch
+
+    try:
+        return campaign_watch(
+            args.out, args.name, once=args.once, interval=args.interval
+        )
+    except CampaignError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def cmd_profile_report(args) -> int:
+    from repro.obs.report import (
+        PROFILE_HEADERS,
+        TraceFormatError,
+        aggregate_trace,
+        load_chrome_trace,
+        profile_rows,
+    )
+
+    try:
+        events = load_chrome_trace(args.trace_file)
+    except TraceFormatError as exc:
+        raise SystemExit(str(exc)) from exc
+    agg = aggregate_trace(events)
+    if not agg:
+        print(f"no complete spans in {args.trace_file}")
+        return 0
+    print(format_table(PROFILE_HEADERS, profile_rows(agg, sort=args.sort)))
+    return 0
+
+
 def cmd_heatmap(args) -> int:
     from repro.core import SAController
     from repro.core.graphpart import partition_graph
@@ -645,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_fabric_flags(p, multiple=True)
     p.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
+    add_obs_flags(p)
     p.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("map", help="map one model onto one architecture")
@@ -662,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print SA throughput / perf counters and write "
                         "BENCH_perf.json")
+    add_obs_flags(p)
     p.set_defaults(func=cmd_map)
 
     p = sub.add_parser("compare", help="reproduce the Fig 5 comparison "
@@ -708,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "already evaluated there")
     p.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
+    add_obs_flags(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -742,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "evaluations (CI smoke / crash drills)")
     c.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
+    add_obs_flags(c)
     c.set_defaults(func=cmd_campaign_run, command="campaign-run")
 
     c = csub.add_parser("status", help="campaign progress + best-so-far")
@@ -755,6 +805,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--dest", default=None,
                    help="destination directory (default <out>/<name>/export)")
     c.set_defaults(func=cmd_campaign_export, command="campaign-export")
+
+    c = csub.add_parser(
+        "watch",
+        help="live progress / shard-health monitor (store-only: no "
+             "models are loaded, works on running or crashed campaigns)",
+    )
+    c.add_argument("--name", required=True)
+    c.add_argument("--out", default="campaigns")
+    c.add_argument("--once", action="store_true",
+                   help="render one frame and exit (scripts / CI)")
+    c.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds")
+    c.set_defaults(func=cmd_campaign_watch, command="campaign-watch")
 
     p = sub.add_parser("heatmap", help="Fig 9 traffic heatmaps")
     p.add_argument("--model", default="TF",
@@ -776,12 +839,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="g-arch")
     p.set_defaults(func=cmd_mc)
 
+    p = sub.add_parser(
+        "profile-report",
+        help="aggregate a --trace file into a self-time-per-span table",
+    )
+    p.add_argument("trace_file", help="Chrome-trace JSON written by --trace")
+    p.add_argument("--sort", default="self",
+                   choices=("calls", "cpu", "self", "total"),
+                   help="table order (heaviest first)")
+    p.set_defaults(func=cmd_profile_report)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # Tracing turns on before dispatch so pool workers fork with it
+    # enabled; the trace/metrics files are written even when the
+    # command exits early (e.g. an interrupted campaign).
+    tracing = bool(getattr(args, "trace", None))
+    if tracing:
+        from repro.obs.trace import TRACER
+
+        TRACER.enable()
+    try:
+        rc = args.func(args)
+    finally:
+        if tracing:
+            from repro.obs.trace import TRACER
+
+            TRACER.write_chrome_trace(args.trace)
+            print(f"wrote trace to {args.trace}")
+        if getattr(args, "metrics", None):
+            from repro.obs.metrics import write_metrics
+            from repro.perf import PERF
+
+            write_metrics(args.metrics, PERF.snapshot())
+            print(f"wrote metrics to {args.metrics}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

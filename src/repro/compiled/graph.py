@@ -113,7 +113,10 @@ def compile_graph(graph: DNNGraph) -> CompiledGraph:
     """
     compiled = _COMPILED.get(graph)
     if compiled is None:
-        with PERF.time("compiled.compile_graph"):
+        from repro.obs.trace import trace
+
+        with PERF.time("compiled.compile_graph"), \
+                trace("compile_graph", layers=len(graph.layer_names())):
             compiled = CompiledGraph(graph)
         _COMPILED[graph] = compiled
         PERF.add("compiled.graphs")

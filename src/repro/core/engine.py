@@ -34,6 +34,10 @@ class MappingResult:
     lmss: list[LayerGroupMapping]
     groups: list[LayerGroup]
     sa_stats: SAStats | None = None
+    #: Wall seconds of each independent SA restart (empty without SA).
+    #: The spread across restarts is the seed-robustness signal the
+    #: ledger reports as mean/variance per candidate.
+    restart_wall_times: list[float] = field(default_factory=list)
 
     @property
     def delay(self) -> float:
@@ -120,7 +124,10 @@ class MappingEngine:
         :class:`~repro.errors.InvalidMappingError` otherwise (callers
         fall back to a cold start).
         """
+        import time
         from dataclasses import replace as dc_replace
+
+        from repro.obs.trace import trace
 
         if initial is None:
             lmss = self.initial_mapping(graph, batch)
@@ -128,6 +135,7 @@ class MappingEngine:
             lmss = list(initial)
             self._check_initial(graph, lmss)
         stats = None
+        restart_wall_times: list[float] = []
         if self.settings.sa.iterations > 0:
             best_lmss, best_cost = None, None
             for restart in range(max(1, self.settings.restarts)):
@@ -137,7 +145,11 @@ class MappingEngine:
                 controller = SAController(
                     graph, self.evaluator, lmss, batch, settings
                 )
-                candidate = controller.run()
+                t0 = time.perf_counter()
+                with trace("sa.restart", restart=restart,
+                           seed=settings.seed):
+                    candidate = controller.run()
+                restart_wall_times.append(time.perf_counter() - t0)
                 cost = sum(controller.best_costs)
                 if best_cost is None or cost < best_cost:
                     best_lmss, best_cost, stats = (
@@ -154,4 +166,5 @@ class MappingEngine:
             lmss=lmss,
             groups=[lms.group for lms in lmss],
             sa_stats=stats,
+            restart_wall_times=restart_wall_times,
         )

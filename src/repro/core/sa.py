@@ -282,12 +282,22 @@ class SAController:
         return self._accept(gi, iteration, candidates[bi], new_cost, proposal)
 
     def run(self) -> list[LayerGroupMapping]:
-        t0 = time.perf_counter()
-        for i in range(self.settings.iterations):
-            self.stats.iterations += 1
-            self.step(i)
-        self.stats.wall_time_s += time.perf_counter() - t0
+        from repro.obs.trace import trace
+
+        ran = 0
+        with trace("sa.run", iterations=self.settings.iterations,
+                   seed=self.settings.seed, groups=len(self.best)):
+            t0 = time.perf_counter()
+            for i in range(self.settings.iterations):
+                self.stats.iterations += 1
+                ran += 1
+                self.step(i)
+            self.stats.wall_time_s += time.perf_counter() - t0
         self.stats.final_cost = sum(self.best_costs)
+        if ran:
+            from repro.perf import PERF
+
+            PERF.add("sa.iterations", ran)
         if self._delta_evals:
             from repro.perf import PERF
 

@@ -59,6 +59,10 @@ class CandidateResult:
     iters_to_best: dict[str, int] = field(default_factory=dict)
     #: True when at least one workload annealed from a warm start.
     warm_started: bool = False
+    #: Wall seconds of each independent SA restart, per workload — the
+    #: ledger reports their mean/variance as the candidate's
+    #: seed-robustness signal.  Empty when SA is disabled.
+    restart_times: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def edp(self) -> float:
@@ -237,6 +241,7 @@ class DesignSpaceExplorer:
             lms_from_dict,
             lms_to_dict,
         )
+        from repro.obs.trace import trace
 
         t0 = time.perf_counter()
         engine = MappingEngine(
@@ -249,35 +254,44 @@ class DesignSpaceExplorer:
         per: dict[str, tuple[float, float]] = {}
         mappings: dict[str, list] = {}
         iters_to_best: dict[str, int] = {}
+        restart_times: dict[str, list[float]] = {}
         warm_started = False
         energies, delays = [], []
-        for wl in self.workloads:
-            result, used_warm = None, False
-            if warm and wl.name in warm:
-                # Warm data is advisory: a record that fails to parse
-                # or validate falls back to a cold start, never to a
-                # failed candidate.
-                try:
-                    initial = [lms_from_dict(d) for d in warm[wl.name]]
-                    result = engine.map(wl.graph, wl.batch, initial=initial)
-                    used_warm = True
-                except (InvalidMappingError, SerializationError):
-                    PERF.add("sa.warm.rejected")
-            if result is None:
-                result = engine.map(wl.graph, wl.batch)
-            warm_started = warm_started or used_warm
-            per[wl.name] = (result.energy, result.delay)
-            if self.record_mappings:
-                mappings[wl.name] = [lms_to_dict(l) for l in result.lmss]
-            if result.sa_stats is not None:
-                iters_to_best[wl.name] = result.sa_stats.best_iteration
-                mode = "warm" if used_warm else "cold"
-                PERF.add(f"sa.iters_to_best.{mode}",
-                         result.sa_stats.best_iteration)
-                PERF.add(f"sa.iters_to_best.{mode}.runs")
-            energies.append(result.energy)
-            delays.append(result.delay)
-        mc = self.mc_evaluator.evaluate(arch)
+        with trace("candidate", index=index,
+                   arch=str(arch.paper_tuple()), warm=bool(warm)):
+            for wl in self.workloads:
+                result, used_warm = None, False
+                if warm and wl.name in warm:
+                    # Warm data is advisory: a record that fails to parse
+                    # or validate falls back to a cold start, never to a
+                    # failed candidate.
+                    try:
+                        initial = [lms_from_dict(d) for d in warm[wl.name]]
+                        with trace("map", workload=wl.name, warm=True):
+                            result = engine.map(
+                                wl.graph, wl.batch, initial=initial
+                            )
+                        used_warm = True
+                    except (InvalidMappingError, SerializationError):
+                        PERF.add("sa.warm.rejected")
+                if result is None:
+                    with trace("map", workload=wl.name, warm=False):
+                        result = engine.map(wl.graph, wl.batch)
+                warm_started = warm_started or used_warm
+                per[wl.name] = (result.energy, result.delay)
+                if self.record_mappings:
+                    mappings[wl.name] = [lms_to_dict(l) for l in result.lmss]
+                if result.restart_wall_times:
+                    restart_times[wl.name] = list(result.restart_wall_times)
+                if result.sa_stats is not None:
+                    iters_to_best[wl.name] = result.sa_stats.best_iteration
+                    mode = "warm" if used_warm else "cold"
+                    PERF.add(f"sa.iters_to_best.{mode}",
+                             result.sa_stats.best_iteration)
+                    PERF.add(f"sa.iters_to_best.{mode}.runs")
+                energies.append(result.energy)
+                delays.append(result.delay)
+            mc = self.mc_evaluator.evaluate(arch)
         energy = geomean(energies)
         delay = geomean(delays)
         PERF.add("dse.candidates")
@@ -292,6 +306,7 @@ class DesignSpaceExplorer:
             mappings=mappings,
             iters_to_best=iters_to_best,
             warm_started=warm_started,
+            restart_times=restart_times,
         )
 
     # ------------------------------------------------------------------
@@ -408,12 +423,16 @@ class DesignSpaceExplorer:
         re-run against the same store re-evaluates at most the
         candidates that had not been checkpointed yet.
         """
+        from repro.obs.trace import trace
+
         if not candidates:
             raise ValueError("no candidates to explore")
         if workers is None:
             workers = os.cpu_count() or 1
         t0 = time.perf_counter()
-        with PERF.time("dse.explore"):
+        with PERF.time("dse.explore"), \
+                trace("dse.explore", candidates=len(candidates),
+                      workers=workers):
             slots: list[CandidateResult | None] = [None] * len(candidates)
             if store is not None:
                 from repro.io.serialization import candidate_result_from_dict

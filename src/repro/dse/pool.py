@@ -105,12 +105,19 @@ class PersistentEvalPool:
         ordered stream as it advances.
         """
         from repro.dse.explorer import _evaluate_in_worker
+        from repro.obs.trace import trace
 
         if chunksize is None:
             chunksize = default_chunksize(len(tasks), self.workers)
         self.dispatched += len(tasks)
         PERF.add("dse.pool.dispatched", len(tasks))
-        return self._pool.map(_evaluate_in_worker, tasks, chunksize=chunksize)
+        # The span covers submission only — the returned map is lazy;
+        # workers report their own spans through the snapshot channel.
+        with trace("dse.pool.dispatch", tasks=len(tasks),
+                   chunksize=chunksize, workers=self.workers):
+            return self._pool.map(
+                _evaluate_in_worker, tasks, chunksize=chunksize
+            )
 
     def submit(self, task) -> Future:
         """Dispatch one ``(index, arch, warm)`` task (unordered use)."""

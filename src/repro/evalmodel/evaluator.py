@@ -134,7 +134,10 @@ class Evaluator:
         graph) — repeat calls are counted and skipped.
         """
         if self.cache_enabled and not self._routes_warmed:
-            with PERF.time("evaluator.warm.routes"):
+            from repro.obs.trace import trace
+
+            with PERF.time("evaluator.warm.routes"), \
+                    trace("evaluator.warm", topo=self.topo.kind):
                 self.topo.core_route_table()
                 self.topo.dram_route_tables()
             self._routes_warmed = True

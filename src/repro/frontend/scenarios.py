@@ -168,16 +168,19 @@ def _run_scenario_full(
     """Map one scenario; returns (summary, serialized winning mapping)."""
     from repro.frontend.loader import load_model
     from repro.io.serialization import lms_to_dict
+    from repro.obs.trace import trace
 
-    arch = scenario_arch(scenario)
-    graph, report = load_model(scenario.model)
-    engine = MappingEngine(
-        arch,
-        settings=MappingEngineSettings(
-            sa=SASettings(iterations=scenario.iters, seed=scenario.seed)
-        ),
-    )
-    result = engine.map(graph, scenario.batch)
+    with trace("scenario", scenario=scenario.name, model=scenario.model,
+               batch=scenario.batch):
+        arch = scenario_arch(scenario)
+        graph, report = load_model(scenario.model)
+        engine = MappingEngine(
+            arch,
+            settings=MappingEngineSettings(
+                sa=SASettings(iterations=scenario.iters, seed=scenario.seed)
+            ),
+        )
+        result = engine.map(graph, scenario.batch)
     summary = {**asdict(scenario), "model_name": graph.name,
                "layers": len(graph), "arch_name": arch.name}
     for key, value in mapping_result_summary(result).items():

@@ -229,6 +229,9 @@ def candidate_result_to_dict(result) -> dict:
         "mappings": result.mappings,
         "iters_to_best": result.iters_to_best,
         "warm_started": result.warm_started,
+        "restart_times": {
+            name: list(ts) for name, ts in result.restart_times.items()
+        },
     }
 
 
@@ -250,6 +253,10 @@ def candidate_result_from_dict(data: dict):
             mappings=data.get("mappings", {}),
             iters_to_best=data.get("iters_to_best", {}),
             warm_started=data.get("warm_started", False),
+            restart_times={
+                name: list(ts)
+                for name, ts in data.get("restart_times", {}).items()
+            },
         )
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"bad candidate record: {exc}") from exc

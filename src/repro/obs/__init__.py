@@ -1,0 +1,51 @@
+"""Observability: span tracing, run ledger, metrics export, reports.
+
+The package layers on :mod:`repro.perf` — the tracer ships worker spans
+through the same ``PERF.snapshot()``/``PERF.merge()`` round trip the
+counters already make — and stays importable from every layer above
+``repro.perf`` (``repro.io`` is imported lazily, like
+:mod:`repro.perf.bench`).
+
+:mod:`repro.obs.watch` is deliberately *not* imported here: it depends
+on :mod:`repro.campaign.runner`, which itself uses the ledger, and
+eager import would cycle.  ``repro campaign watch`` imports it
+directly.
+"""
+
+from repro.obs.ledger import (
+    LEDGER_NAME,
+    RunLedger,
+    failure_digest,
+    read_ledger,
+)
+from repro.obs.metrics import metrics_json, prometheus_text, write_metrics
+from repro.obs.report import (
+    PROFILE_HEADERS,
+    SORT_KEYS,
+    TraceFormatError,
+    aggregate_trace,
+    load_chrome_trace,
+    profile_rows,
+    validate_chrome_trace,
+)
+from repro.obs.trace import TRACER, Tracer, trace
+
+__all__ = [
+    "LEDGER_NAME",
+    "PROFILE_HEADERS",
+    "RunLedger",
+    "SORT_KEYS",
+    "TRACER",
+    "TraceFormatError",
+    "Tracer",
+    "aggregate_trace",
+    "failure_digest",
+    "load_chrome_trace",
+    "metrics_json",
+    "profile_rows",
+    "prometheus_text",
+    "read_ledger",
+    "trace",
+    "validate_chrome_trace",
+    "write_metrics",
+]

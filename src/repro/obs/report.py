@@ -1,0 +1,140 @@
+"""Trace-file aggregation: ``repro profile-report``.
+
+Loads a Chrome-trace JSON written by ``--trace``, validates its shape,
+and folds the complete events into a per-span-name table: calls, total
+wall time, *self* time (total minus the time spent in child spans) and
+CPU time, across every pid in the file.  Self time is what makes a
+flat table out of nested spans — a ``candidate`` span's total includes
+its ``map``/``sa.run`` children, but its self time is only the glue
+around them.
+
+Parenting uses the ``sid``/``parent`` links the tracer records in each
+event's ``args`` (scoped per pid).  Events without links (foreign
+traces) still aggregate, with self time equal to total time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+
+
+class TraceFormatError(ReproError):
+    """The file is not a loadable Chrome-trace JSON object."""
+
+
+def validate_chrome_trace(data) -> list[dict]:
+    """Check the Chrome-trace shape; returns the event list.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare array form; every complete (``"X"``) event must carry numeric
+    ``ts``/``dur`` and a ``pid`` — what trace viewers require to render
+    anything at all.
+    """
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+    elif isinstance(data, list):
+        events = data
+    else:
+        raise TraceFormatError(
+            f"expected a trace object or event array, got {type(data).__name__}"
+        )
+    if not isinstance(events, list):
+        raise TraceFormatError("traceEvents is not a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise TraceFormatError(f"event {i} is not a phased event object")
+        if ev["ph"] == "X":
+            for field in ("name", "ts", "dur", "pid"):
+                if field not in ev:
+                    raise TraceFormatError(
+                        f"complete event {i} is missing {field!r}"
+                    )
+            if not isinstance(ev["ts"], (int, float)) or \
+                    not isinstance(ev["dur"], (int, float)):
+                raise TraceFormatError(
+                    f"complete event {i} has non-numeric ts/dur"
+                )
+    return events
+
+
+def load_chrome_trace(path: str | Path) -> list[dict]:
+    """Load + validate a trace file; returns its event list."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path} is not valid JSON: {exc}") from exc
+    return validate_chrome_trace(data)
+
+
+def aggregate_trace(events: list[dict]) -> dict[str, dict]:
+    """Fold complete events into per-name totals.
+
+    Returns ``name -> {calls, total_ms, self_ms, cpu_ms, pids}`` where
+    ``self_ms`` is total minus direct children's wall time (clamped at
+    zero against clock skew).
+    """
+    complete = [e for e in events if e.get("ph") == "X"]
+    # Wall time of each span's direct children, keyed by (pid, sid).
+    child_dur: dict[tuple, float] = {}
+    for ev in complete:
+        args = ev.get("args") or {}
+        parent = args.get("parent", -1)
+        if parent is not None and parent != -1:
+            key = (ev["pid"], parent)
+            child_dur[key] = child_dur.get(key, 0.0) + ev["dur"]
+    out: dict[str, dict] = {}
+    for ev in complete:
+        args = ev.get("args") or {}
+        sid = args.get("sid")
+        children = child_dur.get((ev["pid"], sid), 0.0) if sid is not None \
+            else 0.0
+        rec = out.setdefault(ev["name"], {
+            "calls": 0, "total_ms": 0.0, "self_ms": 0.0, "cpu_ms": 0.0,
+            "pids": set(),
+        })
+        rec["calls"] += 1
+        rec["total_ms"] += ev["dur"] / 1e3
+        rec["self_ms"] += max(0.0, ev["dur"] - children) / 1e3
+        rec["cpu_ms"] += float(args.get("cpu_ms", 0.0))
+        rec["pids"].add(ev["pid"])
+    return out
+
+
+#: Sort keys accepted by ``repro profile-report --sort``.
+SORT_KEYS = {
+    "self": "self_ms",
+    "total": "total_ms",
+    "calls": "calls",
+    "cpu": "cpu_ms",
+}
+
+
+def profile_rows(agg: dict[str, dict], sort: str = "self") -> list[list]:
+    """Display rows of an aggregation, heaviest first."""
+    key = SORT_KEYS.get(sort, "self_ms")
+    total_self = sum(rec["self_ms"] for rec in agg.values()) or 1.0
+    rows = []
+    for name, rec in sorted(
+        agg.items(), key=lambda kv: kv[1][key], reverse=True
+    ):
+        rows.append([
+            name,
+            rec["calls"],
+            f"{rec['total_ms']:.2f}",
+            f"{rec['self_ms']:.2f}",
+            f"{rec['self_ms'] / total_self:.1%}",
+            f"{rec['cpu_ms']:.2f}",
+            len(rec["pids"]),
+        ])
+    return rows
+
+
+#: Header row matching :func:`profile_rows`.
+PROFILE_HEADERS = ["span", "calls", "total ms", "self ms", "self %",
+                   "cpu ms", "pids"]

@@ -1,0 +1,223 @@
+"""Live, store-only campaign monitoring: ``repro campaign watch``.
+
+Everything here reads derived artifacts — the campaign manifest, the
+result store and the run ledger.  No models are loaded, no grids are
+re-enumerated, no evaluators are built, so watching a huge (or crashed,
+or still-running) campaign is instant and side-effect free, exactly
+like ``campaign status``.
+
+One :func:`watch_snapshot` call folds the three sources into a single
+dict: progress counts, per-shard health (which worker pids are
+evaluating, how fast, when last seen), throughput (candidates/s and SA
+iterations/s), the cache hit-ratio table from the last perf event, and
+an ETA for the pending tail.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.campaign.runner import campaign_status
+from repro.obs.ledger import LEDGER_NAME, read_ledger
+
+#: Ledger event names (shared with :class:`repro.campaign.runner.CampaignRunner`).
+EVENT_RUN_STARTED = "run_started"
+EVENT_RUN_RESUMED = "run_resumed"
+EVENT_EVALUATED = "candidate_evaluated"
+EVENT_FAILED = "candidate_failed"
+EVENT_INTERRUPTED = "run_interrupted"
+EVENT_FINISHED = "run_finished"
+EVENT_PERF = "perf"
+
+_RUN_EVENTS = (EVENT_RUN_STARTED, EVENT_RUN_RESUMED)
+
+
+def ledger_path(home: str | Path, name: str) -> Path:
+    return Path(home) / name / LEDGER_NAME
+
+
+def _cache_stats(counters: dict) -> dict[str, dict]:
+    """Hit/miss/ratio per ``<prefix>.hits/.misses`` pair in a counter
+    dict (a ledger perf event, not the live registry — watch must not
+    fold in whatever caches happen to live in *this* process)."""
+    out: dict[str, dict] = {}
+    for name in counters:
+        for suffix in (".hits", ".misses"):
+            if name.endswith(suffix):
+                prefix = name[: -len(suffix)]
+                break
+        else:
+            continue
+        if prefix in out:
+            continue
+        hits = counters.get(f"{prefix}.hits", 0)
+        misses = counters.get(f"{prefix}.misses", 0)
+        total = hits + misses
+        out[prefix] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+    return out
+
+
+def watch_snapshot(home: str | Path, name: str,
+                   now: float | None = None) -> dict:
+    """Progress + shard health + throughput of one campaign, store-only."""
+    status = campaign_status(home, name)
+    events, skipped = read_ledger(ledger_path(home, name))
+    now = time.time() if now is None else now
+
+    # Events of the *latest* run segment: shard pids and rates from a
+    # run that crashed yesterday must not dilute today's throughput.
+    last_run_idx = 0
+    run_count = 0
+    for i, ev in enumerate(events):
+        if ev["event"] in _RUN_EVENTS:
+            run_count += 1
+            last_run_idx = i
+    segment = events[last_run_idx:]
+    run_event = next(
+        (ev for ev in segment if ev["event"] in _RUN_EVENTS), None
+    )
+
+    shards: dict[int, dict] = {}
+    for ev in segment:
+        if ev["event"] == EVENT_EVALUATED:
+            shard = shards.setdefault(int(ev.get("shard", ev["pid"])), {
+                "evaluated": 0, "failed": 0, "busy_s": 0.0, "last_ts": 0.0,
+            })
+            shard["evaluated"] += 1
+            shard["busy_s"] += float(ev.get("duration_s", 0.0))
+            shard["last_ts"] = max(shard["last_ts"], ev["ts"])
+        elif ev["event"] == EVENT_FAILED:
+            shard = shards.setdefault(int(ev.get("shard", ev["pid"])), {
+                "evaluated": 0, "failed": 0, "busy_s": 0.0, "last_ts": 0.0,
+            })
+            shard["failed"] += 1
+            shard["last_ts"] = max(shard["last_ts"], ev["ts"])
+
+    # Aggregate throughput: shards run in parallel, so the campaign
+    # rate is the sum of the per-shard rates (count / busy time).
+    cand_rate = 0.0
+    for shard in shards.values():
+        if shard["busy_s"] > 0:
+            shard["rate"] = shard["evaluated"] / shard["busy_s"]
+            cand_rate += shard["rate"]
+        else:
+            shard["rate"] = 0.0
+    busy_s = sum(s["busy_s"] for s in shards.values())
+
+    perf_event = next(
+        (ev for ev in reversed(events) if ev["event"] == EVENT_PERF), None
+    )
+    counters = (perf_event or {}).get("counters", {})
+    sa_iters = counters.get("sa.iterations", 0)
+    iters_rate = sa_iters / busy_s if busy_s > 0 else 0.0
+
+    pending = status["pending"]
+    eta_s = pending / cand_rate if cand_rate > 0 and pending else None
+    finished = any(
+        ev["event"] in (EVENT_FINISHED, EVENT_INTERRUPTED) for ev in segment
+    )
+
+    return {
+        "status": status,
+        "runs": run_count,
+        "resumed": bool(run_event and run_event["event"] == EVENT_RUN_RESUMED),
+        "run_event": run_event,
+        "run_active": bool(segment) and not finished,
+        "shards": shards,
+        "cands_per_sec": cand_rate,
+        "sa_iters_per_sec": iters_rate,
+        "busy_s": busy_s,
+        "eta_s": eta_s,
+        "caches": _cache_stats(counters),
+        "ledger_events": len(events),
+        "ledger_skipped": skipped,
+        "now": now,
+    }
+
+
+def render_watch(snap: dict) -> str:
+    """One text frame of a watch snapshot."""
+    from repro.reporting import format_table
+
+    status = snap["status"]
+    total = status["total"] or 1
+    done = status["done"]
+    bar_w = 30
+    filled = int(round(bar_w * done / total))
+    bar = "#" * filled + "-" * (bar_w - filled)
+    state = "running" if snap["run_active"] else "idle"
+    lines = [
+        f"campaign {status['name']!r} [{bar}] {done}/{status['total']} done, "
+        f"{status['pending']} pending, {status['failed']} failed "
+        f"({state}, run {snap['runs']}"
+        + (" resumed" if snap["resumed"] else "") + ")",
+    ]
+    thr = (f"throughput: {snap['cands_per_sec']:.2f} cand/s, "
+           f"{snap['sa_iters_per_sec']:.0f} SA it/s")
+    if snap["eta_s"] is not None:
+        thr += f" — ETA {snap['eta_s']:.0f}s"
+    lines.append(thr)
+    if snap["shards"]:
+        rows = []
+        for pid, s in sorted(snap["shards"].items()):
+            mean = s["busy_s"] / s["evaluated"] if s["evaluated"] else 0.0
+            age = max(0.0, snap["now"] - s["last_ts"])
+            rows.append([
+                pid, s["evaluated"], s["failed"], f"{s['busy_s']:.1f}s",
+                f"{mean:.2f}s", f"{age:.0f}s ago",
+            ])
+        lines.append("")
+        lines.append(format_table(
+            ["shard", "evaluated", "failed", "busy", "s/cand", "last seen"],
+            rows,
+        ))
+    if snap["caches"]:
+        rows = [
+            [name, int(c["hits"]), int(c["misses"]), f"{c['hit_rate']:.1%}"]
+            for name, c in sorted(snap["caches"].items())
+        ]
+        lines.append("")
+        lines.append(format_table(
+            ["cache", "hits", "misses", "hit rate"], rows,
+        ))
+    best = status.get("best", {})
+    if best:
+        rows = [[axis, rec["arch"], rec["value"]]
+                for axis, rec in best.items()]
+        lines.append("")
+        lines.append(format_table(["objective", "best arch", "value"], rows))
+    lines.append("")
+    lines.append(f"ledger: {snap['ledger_events']} event(s)"
+                 + (f", {snap['ledger_skipped']} skipped"
+                    if snap["ledger_skipped"] else ""))
+    return "\n".join(lines)
+
+
+def campaign_watch(
+    home: str | Path,
+    name: str,
+    once: bool = False,
+    interval: float = 2.0,
+    stream=None,
+) -> int:
+    """Render the campaign until interrupted (or once); returns 0."""
+    import sys
+
+    stream = sys.stdout if stream is None else stream
+    try:
+        while True:
+            frame = render_watch(watch_snapshot(home, name))
+            if not once and getattr(stream, "isatty", lambda: False)():
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame + "\n")
+            stream.flush()
+            if once:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -10,20 +10,44 @@ any existing file so independent runs compose into one record.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import sys
 from pathlib import Path
 
 DEFAULT_BENCH_PATH = "BENCH_perf.json"
 
 
 def _machine_info() -> dict:
-    import os
-
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
     }
+
+
+def _preserve_corrupt(path: Path) -> None:
+    """Set an unreadable bench file aside instead of clobbering it.
+
+    The file holds accumulated measurements; a parse error (torn write,
+    manual edit gone wrong) must not silently discard them.  The broken
+    bytes move to ``<name>.corrupt-<n>`` and a warning lands on stderr;
+    the emit then starts a fresh file.
+    """
+    n = 1
+    while True:
+        dest = path.with_name(f"{path.name}.corrupt-{n}")
+        if not dest.exists():
+            break
+        n += 1
+    try:
+        os.replace(path, dest)
+    except OSError as exc:
+        print(f"warning: {path} is corrupt and could not be preserved "
+              f"({exc}); overwriting", file=sys.stderr)
+        return
+    print(f"warning: {path} was corrupt; preserved as {dest}",
+          file=sys.stderr)
 
 
 def emit_bench(section: str, payload: dict,
@@ -39,6 +63,10 @@ def emit_bench(section: str, payload: dict,
         try:
             data = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
+            _preserve_corrupt(path)
+            data = {}
+        if not isinstance(data, dict):
+            _preserve_corrupt(path)
             data = {}
     data.setdefault("machine", _machine_info())
     data[section] = payload

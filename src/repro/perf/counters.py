@@ -13,6 +13,7 @@ snapshots from workers can be merged into the parent with
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -22,6 +23,20 @@ from weakref import WeakSet
 #: snapshots and :meth:`PerfRegistry.cache_stats` on demand, so the
 #: hot-path cost of instrumentation is two integer adds.
 _NAMED_LRUS: "WeakSet[LruDict]" = WeakSet()
+
+#: Pluggable snapshot sections: ``key -> (collect, merge, reset)``.
+#: Other subsystems (the span tracer in :mod:`repro.obs.trace`) ship
+#: their process-local state through the same snapshot/merge channel
+#: the counters use, so worker processes need exactly one round trip.
+#: ``collect()`` returns a JSON-friendly payload (falsy = omit the
+#: key), ``merge(payload)`` folds a shipped payload into this process,
+#: ``reset()`` clears the local state alongside :meth:`PerfRegistry.reset`.
+_SNAPSHOT_EXTRAS: dict[str, tuple] = {}
+
+
+def register_snapshot_extra(key: str, collect, merge, reset) -> None:
+    """Register a named extra section on the snapshot/merge channel."""
+    _SNAPSHOT_EXTRAS[key] = (collect, merge, reset)
 
 
 class LruDict(OrderedDict):
@@ -174,12 +189,16 @@ class PerfRegistry:
         counters = dict(self._counters)
         for name, value in _named_lru_counters().items():
             counters[name] = counters.get(name, 0) + value
-        out: dict = {"counters": counters, "timers": {}}
+        out: dict = {"counters": counters, "timers": {}, "pid": os.getpid()}
         for label, secs in self._timers.items():
             out["timers"][label] = {
                 "seconds": secs,
                 "calls": self._timer_calls.get(label, 0),
             }
+        for key, (collect, _merge, _reset) in _SNAPSHOT_EXTRAS.items():
+            payload = collect()
+            if payload:
+                out[key] = payload
         return out
 
     def merge(self, snap: dict) -> None:
@@ -191,6 +210,10 @@ class PerfRegistry:
             self._timer_calls[label] = (
                 self._timer_calls.get(label, 0) + rec["calls"]
             )
+        for key, (_collect, merge_fn, _reset) in _SNAPSHOT_EXTRAS.items():
+            payload = snap.get(key)
+            if payload:
+                merge_fn(payload)
 
     def reset(self) -> None:
         self._counters.clear()
@@ -202,6 +225,8 @@ class PerfRegistry:
         for d in _NAMED_LRUS:
             d.hits = 0
             d.misses = 0
+        for _collect, _merge, reset_fn in _SNAPSHOT_EXTRAS.values():
+            reset_fn()
 
     def rows(self) -> list[list]:
         """(kind, name, value) rows for tabular display."""

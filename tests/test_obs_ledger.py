@@ -1,0 +1,130 @@
+"""Run ledger: append/read roundtrip, torn tails, failure digests."""
+
+import json
+
+from repro.obs.ledger import RunLedger, failure_digest, read_ledger
+from repro.perf import PERF
+
+
+class TestRoundtrip:
+    def test_emit_read_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("run_started", name="camp", total=4)
+            ledger.emit("candidate_evaluated", index=0, score=1.5)
+        events, skipped = read_ledger(path)
+        assert skipped == 0
+        assert [e["event"] for e in events] == [
+            "run_started", "candidate_evaluated",
+        ]
+        assert events[0]["name"] == "camp" and events[0]["total"] == 4
+        assert events[1]["score"] == 1.5
+        for e in events:
+            assert e["ts"] > 0 and e["pid"] > 0
+
+    def test_lines_are_flushed_as_written(self, tmp_path):
+        # A concurrent reader (campaign watch) must see events without
+        # waiting for the writer to close.
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.emit("run_started", name="c")
+        events, _ = read_ledger(path)
+        assert [e["event"] for e in events] == ["run_started"]
+        ledger.close()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "nope.jsonl") == ([], 0)
+
+
+class TestTornTail:
+    def test_torn_tail_and_junk_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("run_started", name="c")
+            ledger.emit("candidate_evaluated", index=0)
+        with open(path, "a") as fh:
+            fh.write('{"ts": 1.0, "pid": 1, "event": "candidate_eval')
+        events, skipped = read_ledger(path)
+        assert [e["event"] for e in events] == [
+            "run_started", "candidate_evaluated",
+        ]
+        assert skipped == 1
+
+    def test_non_dict_and_eventless_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            "[1, 2, 3]\n"            # valid JSON, wrong shape
+            '"just a string"\n'
+            '{"ts": 1.0}\n'          # dict without "event"
+            "\n"                     # blank: ignored, not counted
+            '{"event": "ok"}\n'
+        )
+        events, skipped = read_ledger(path)
+        assert [e["event"] for e in events] == ["ok"]
+        assert skipped == 3
+
+
+class TestNeverRaises:
+    def test_unserializable_field_is_swallowed_and_counted(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        circular = {}
+        circular["self"] = circular
+        before = PERF.get("obs.ledger.errors")
+        with RunLedger(path) as ledger:
+            ledger.emit("bad", payload=circular)
+            ledger.emit("good")
+        assert PERF.get("obs.ledger.errors") == before + 1
+        events, skipped = read_ledger(path)
+        assert [e["event"] for e in events] == ["good"]
+        assert skipped == 0
+
+    def test_non_json_values_stringify_instead_of_failing(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("typed", where=tmp_path)  # Path isn't JSON
+        events, _ = read_ledger(path)
+        assert events[0]["where"] == str(tmp_path)
+
+    def test_unwritable_path_is_swallowed_and_counted(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        before = PERF.get("obs.ledger.errors")
+        ledger = RunLedger(blocker / "ledger.jsonl")  # parent is a file
+        ledger.emit("doomed")
+        ledger.close()
+        assert PERF.get("obs.ledger.errors") >= before + 1
+
+    def test_output_is_one_compact_line_per_event(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("e", note="multi\nline\ntext")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["note"] == "multi\nline\ntext"
+
+
+class TestFailureDigest:
+    @staticmethod
+    def _catch(exc_type, msg):
+        def boom():
+            raise exc_type(msg)
+
+        try:
+            boom()
+        except exc_type as err:
+            return err
+
+    def test_same_failure_same_digest(self):
+        e1 = self._catch(ValueError, "invalid cut")
+        e2 = self._catch(ValueError, "invalid cut")
+        d1, d2 = failure_digest(e1), failure_digest(e2)
+        assert d1 == d2
+        assert len(d1) == 12
+        assert set(d1) <= set("0123456789abcdef")
+
+    def test_different_failures_differ(self):
+        e1 = self._catch(ValueError, "invalid cut")
+        e2 = self._catch(RuntimeError, "invalid cut")
+        e3 = self._catch(ValueError, "other message")
+        assert failure_digest(e1) != failure_digest(e2)
+        assert failure_digest(e1) != failure_digest(e3)

@@ -1,0 +1,128 @@
+"""Trace validation, self-time aggregation, and ``repro profile-report``."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.obs.report import (
+    PROFILE_HEADERS,
+    TraceFormatError,
+    aggregate_trace,
+    load_chrome_trace,
+    profile_rows,
+    validate_chrome_trace,
+)
+
+
+def _event(name, pid, sid, parent, dur_us, cpu_ms=0.0, ts=0.0):
+    return {
+        "name": name, "ph": "X", "ts": ts, "dur": dur_us, "pid": pid,
+        "tid": 1, "args": {"sid": sid, "parent": parent, "cpu_ms": cpu_ms},
+    }
+
+
+# Two processes, same sid numbering (links are scoped per pid): in each,
+# a parent span encloses one child.
+EVENTS = [
+    _event("candidate", pid=1, sid=1, parent=-1, dur_us=10_000, cpu_ms=9.0),
+    _event("map", pid=1, sid=2, parent=1, dur_us=4_000, cpu_ms=3.5),
+    _event("candidate", pid=2, sid=1, parent=-1, dur_us=7_000),
+    _event("map", pid=2, sid=2, parent=1, dur_us=2_000),
+]
+
+
+class TestValidate:
+    def test_accepts_object_and_bare_array_forms(self):
+        assert validate_chrome_trace({"traceEvents": EVENTS}) == EVENTS
+        assert validate_chrome_trace(list(EVENTS)) == EVENTS
+
+    @pytest.mark.parametrize("bad", [
+        "a string",
+        {"traceEvents": "nope"},
+        [{"name": "x"}],                                      # no ph
+        [{"ph": "X", "name": "x", "ts": 0, "dur": 1}],        # no pid
+        [{"ph": "X", "name": "x", "ts": "0", "dur": 1, "pid": 1}],
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TraceFormatError):
+            validate_chrome_trace(bad)
+
+    def test_load_rejects_non_json_and_missing_files(self, tmp_path):
+        bad = tmp_path / "trace.json"
+        bad.write_text("{not json")
+        with pytest.raises(TraceFormatError):
+            load_chrome_trace(bad)
+        with pytest.raises(TraceFormatError):
+            load_chrome_trace(tmp_path / "absent.json")
+
+
+class TestAggregate:
+    def test_self_time_excludes_children_scoped_per_pid(self):
+        agg = aggregate_trace(EVENTS)
+        cand, mp = agg["candidate"], agg["map"]
+        assert cand["calls"] == 2
+        assert cand["total_ms"] == pytest.approx(17.0)
+        # 10ms - 4ms child in pid 1, 7ms - 2ms child in pid 2.
+        assert cand["self_ms"] == pytest.approx(11.0)
+        assert cand["cpu_ms"] == pytest.approx(9.0)
+        assert cand["pids"] == {1, 2}
+        # Leaves: self == total.
+        assert mp["total_ms"] == pytest.approx(6.0)
+        assert mp["self_ms"] == pytest.approx(6.0)
+
+    def test_events_without_links_still_aggregate(self):
+        plain = [{"name": "foreign", "ph": "X", "ts": 0, "dur": 5_000,
+                  "pid": 7}]
+        agg = aggregate_trace(plain)
+        assert agg["foreign"]["self_ms"] == pytest.approx(5.0)
+
+    def test_metadata_events_are_ignored(self):
+        events = EVENTS + [{"name": "process_name", "ph": "M", "pid": 1,
+                            "args": {"name": "repro main"}}]
+        assert set(aggregate_trace(events)) == {"candidate", "map"}
+
+
+class TestRows:
+    def test_rows_sort_heaviest_self_first(self):
+        rows = profile_rows(aggregate_trace(EVENTS))
+        assert [r[0] for r in rows] == ["candidate", "map"]
+        assert len(rows[0]) == len(PROFILE_HEADERS)
+        # self% column sums to ~100%
+        assert rows[0][4] == "64.7%"
+
+    def test_sort_key_selection(self):
+        agg = aggregate_trace(EVENTS)
+        by_total = profile_rows(agg, sort="total")
+        assert [r[0] for r in by_total] == ["candidate", "map"]
+        agg["map"]["calls"] = 99
+        by_calls = profile_rows(agg, sort="calls")
+        assert by_calls[0][0] == "map"
+
+
+class TestCli:
+    def test_profile_report_prints_table(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": EVENTS}))
+        assert main(["profile-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "self ms" in out
+        assert "candidate" in out and "map" in out
+
+    def test_profile_report_sort_flag(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(EVENTS))
+        assert main(["profile-report", str(path), "--sort", "total"]) == 0
+        assert "candidate" in capsys.readouterr().out
+
+    def test_profile_report_rejects_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text("not json")
+        with pytest.raises(SystemExit):
+            main(["profile-report", str(path)])
+
+    def test_profile_report_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["profile-report", str(path)]) == 0
+        assert "no complete spans" in capsys.readouterr().out

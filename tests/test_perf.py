@@ -148,6 +148,32 @@ class TestBenchEmission:
             emit_bench(f"s{i}", {"v": i}, path)
         assert list(tmp_path.iterdir()) == [path]
 
+    def test_corrupt_file_is_preserved_not_clobbered(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("{not json")
+        emit_bench("one", {"v": 1}, path)
+        assert read_bench(path)["one"] == {"v": 1}
+        preserved = tmp_path / "BENCH_perf.json.corrupt-1"
+        assert preserved.read_text() == "{not json"
+        err = capsys.readouterr().err
+        assert "corrupt" in err and "corrupt-1" in err
+
+        # A second corruption gets its own numbered file.
+        path.write_text("also broken")
+        emit_bench("two", {"v": 2}, path)
+        assert (tmp_path / "BENCH_perf.json.corrupt-2").read_text() == \
+            "also broken"
+        assert preserved.read_text() == "{not json"
+
+    def test_valid_json_wrong_shape_is_preserved_too(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("[1, 2, 3]")
+        emit_bench("one", {"v": 1}, path)
+        assert read_bench(path)["one"] == {"v": 1}
+        assert (tmp_path / "BENCH_perf.json.corrupt-1").read_text() == \
+            "[1, 2, 3]"
+        assert "corrupt" in capsys.readouterr().err
+
 
 class TestIntraCoreLru:
     def wl(self, k):
@@ -326,3 +352,115 @@ class TestNamedLruInstrumentation:
         )
         ctl.run()
         assert PERF.timer_calls("sa.delta_eval") > before
+
+    def test_reset_then_requery_reports_exactly_fresh_tallies(self):
+        """Regression: a named LRU that lives across a ``reset()`` must
+        snapshot as zeroed, then report only post-reset activity —
+        stale tallies here would double-count every worker snapshot."""
+        from repro.perf import PERF
+
+        d = LruDict(max_entries=4, name="resetfresh")
+        d.put("k", 1)
+        d.get_lru("k")
+        d.get_lru("k")
+        d.get_lru("absent")
+        assert (d.hits, d.misses) == (2, 1)
+
+        PERF.reset()
+        snap = PERF.snapshot()
+        assert snap["counters"]["lru.resetfresh.hits"] == 0
+        assert snap["counters"]["lru.resetfresh.misses"] == 0
+
+        # Re-query: exactly the new accesses, nothing carried over.
+        assert d.get_lru("k") == 1     # working set survived the reset
+        d.get_lru("gone")
+        snap = PERF.snapshot()
+        assert snap["counters"]["lru.resetfresh.hits"] == 1
+        assert snap["counters"]["lru.resetfresh.misses"] == 1
+        stats = PERF.cache_stats()["lru.resetfresh"]
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+class TestMergeOrderIndependence:
+    """Property test: folding worker snapshots is a commutative,
+    associative sum — shard scheduling order must never change totals."""
+
+    NAMES = ["dse.candidates", "store.hits", "c.misses", "sa.iterations"]
+    LABELS = ["sa.run", "dse.explore", "evaluator.warm.routes"]
+
+    def _random_snapshots(self, rng, n):
+        snaps = []
+        for _ in range(n):
+            counters = {
+                name: rng.randint(0, 50)
+                for name in self.NAMES if rng.random() < 0.8
+            }
+            timers = {
+                label: {
+                    "seconds": rng.uniform(0.0, 5.0),
+                    "calls": rng.randint(1, 20),
+                }
+                for label in self.LABELS if rng.random() < 0.8
+            }
+            snaps.append({"counters": counters, "timers": timers})
+        return snaps
+
+    def _totals(self, reg):
+        counters = {name: reg.get(name) for name in self.NAMES}
+        timers = {
+            label: (reg.timer_seconds(label), reg.timer_calls(label))
+            for label in self.LABELS
+        }
+        return counters, timers
+
+    def _assert_same(self, got, want):
+        counters, timers = got
+        want_counters, want_timers = want
+        assert counters == want_counters
+        for label in self.LABELS:
+            assert timers[label][0] == pytest.approx(want_timers[label][0])
+            assert timers[label][1] == want_timers[label][1]
+
+    def test_shuffles_and_partitions_match_serial_sum(self):
+        import random
+
+        rng = random.Random(1234)
+        snaps = self._random_snapshots(rng, 9)
+
+        serial = PerfRegistry()
+        for snap in snaps:
+            serial.merge(snap)
+        want = self._totals(serial)
+
+        # Any permutation of arrivals sums identically.
+        for _ in range(5):
+            order = list(snaps)
+            rng.shuffle(order)
+            reg = PerfRegistry()
+            for snap in order:
+                reg.merge(snap)
+            self._assert_same(self._totals(reg), want)
+
+        # Hierarchical folding (workers -> shard registries -> parent),
+        # with random partition boundaries, sums identically too.
+        for _ in range(5):
+            order = list(snaps)
+            rng.shuffle(order)
+            parent = PerfRegistry()
+            i = 0
+            while i < len(order):
+                j = i + rng.randint(1, len(order) - i)
+                shard = PerfRegistry()
+                for snap in order[i:j]:
+                    shard.merge(snap)
+                part = shard.snapshot()
+                parent.merge({
+                    "counters": {
+                        k: v for k, v in part["counters"].items()
+                        if k in self.NAMES
+                    },
+                    "timers": part["timers"],
+                })
+                i = j
+            self._assert_same(self._totals(parent), want)
