@@ -153,3 +153,91 @@ def test_tracing_overhead_guard(tf_model):
         f"enabled tracing made the whole run {end_to_end_ratio:.2f}x "
         "slower end to end — far beyond its computed cost"
     )
+
+
+#: Search-diagnostics budgets (same method as the tracing guard).
+#: Tighter than tracing: the dormant path is a ``None`` check and even
+#: the enabled path is dict lookups + integer adds, never an object
+#: allocation per iteration.
+MAX_DIAG_DISABLED_OVERHEAD = 0.001
+MAX_DIAG_ENABLED_OVERHEAD = 0.01
+
+
+def test_diag_overhead_guard(tf_model):
+    from repro.obs.diag import SARunDiag
+
+    arch = g_arch()
+    batch = 16
+    iterations = max(30, int(sa_settings(120).iterations))
+    graph = tf_model
+    groups = partition_graph(graph, arch, batch=batch)
+    lmss = [initial_lms(graph, g, arch) for g in groups]
+
+    # Dormant path: the controller holds ``_diag = None`` and guards
+    # every hook with one identity check.  Per-iteration volume: one in
+    # the run loop, one per operator draw, one per scored proposal.
+    class _Holder:
+        __slots__ = ("_diag",)
+
+        def __init__(self):
+            self._diag = None
+
+    holder = _Holder()
+    n_off = 1_000_000
+    sink = 0
+    t0 = time.process_time()
+    for _ in range(n_off):
+        if holder._diag is not None:
+            sink += 1
+    cost_off = (time.process_time() - t0) / n_off
+    assert sink == 0
+    checks_per_iter = 3
+
+    # Enabled path: one draw + one proposal + one want/sample gate per
+    # iteration, against a live recorder.
+    diag = SARunDiag(iterations=iterations, seed=0)
+    n_on = 100_000
+    t0 = time.process_time()
+    for i in range(n_on):
+        diag.draw("OP1")
+        diag.proposal("OP1", 0.01, i % 3 == 0, i % 7 == 0)
+        if diag.want(i):
+            diag.sample(i, 10.0, 11.0, 0.1)
+    cost_on = (time.process_time() - t0) / n_on
+
+    run_cpu = _sa_cpu(graph, arch, lmss, batch, iterations)
+    assert run_cpu > 0
+    per_iter_cpu = run_cpu / iterations
+    disabled_overhead = checks_per_iter * cost_off / per_iter_cpu
+    enabled_overhead = cost_on / per_iter_cpu
+
+    print_banner("Search-diagnostics overhead on the compiled SA hot path")
+    print(f"dormant None check:    {cost_off * 1e9:.1f} ns/check x "
+          f"{checks_per_iter}/iter -> {disabled_overhead:.5%} of an "
+          f"iteration (budget {MAX_DIAG_DISABLED_OVERHEAD:.1%})")
+    print(f"enabled record cost:   {cost_on * 1e9:.0f} ns/iter "
+          f"-> {enabled_overhead:.5%} of an iteration "
+          f"(budget {MAX_DIAG_ENABLED_OVERHEAD:.0%})")
+    print(f"SA iteration CPU:      {per_iter_cpu * 1e6:.1f} us")
+
+    emit_bench("diag_overhead", {
+        "iterations": iterations,
+        "batch": batch,
+        "model": "TF",
+        "disabled_cost_s_per_check": cost_off,
+        "enabled_cost_s_per_iter": cost_on,
+        "run_cpu_s": run_cpu,
+        "disabled_overhead_fraction": disabled_overhead,
+        "enabled_overhead_fraction": enabled_overhead,
+        "budget_disabled": MAX_DIAG_DISABLED_OVERHEAD,
+        "budget_enabled": MAX_DIAG_ENABLED_OVERHEAD,
+    }, BENCH_PATH)
+
+    assert disabled_overhead <= MAX_DIAG_DISABLED_OVERHEAD, (
+        f"dormant diag hooks cost {disabled_overhead:.4%} of an SA "
+        f"iteration (budget {MAX_DIAG_DISABLED_OVERHEAD:.1%})"
+    )
+    assert enabled_overhead <= MAX_DIAG_ENABLED_OVERHEAD, (
+        f"diag recording costs {enabled_overhead:.4%} of an SA iteration "
+        f"(budget {MAX_DIAG_ENABLED_OVERHEAD:.0%})"
+    )

@@ -103,8 +103,13 @@ def settings_digest(
     objective: Objective | None = None,
 ) -> str:
     """Digest of everything that steers the search besides the inputs."""
+    sa_dict = asdict(sa)
+    # Diagnostics recording is pure observation — it never changes what
+    # gets computed, so a diag'd evaluation must keep matching the
+    # store records a plain run wrote (and vice versa).
+    sa_dict.pop("diag", None)
     data: dict = {
-        "sa": {**asdict(sa), "operators": (
+        "sa": {**sa_dict, "operators": (
             None if sa.operators is None else list(sa.operators)
         )},
         "max_group_layers": max_group_layers,

@@ -424,11 +424,16 @@ class CampaignRunner:
             )
             snap = PERF.snapshot()
             snap.pop("spans", None)
-            self._ledger.emit(
-                "perf",
-                counters=snap.get("counters", {}),
-                timers=snap.get("timers", {}),
-            )
+            perf_fields = {
+                "counters": snap.get("counters", {}),
+                "timers": snap.get("timers", {}),
+            }
+            # Per-pid operator-effectiveness totals (present only when
+            # the campaign ran with SASettings.diag) — what makes
+            # ``repro campaign report`` store-only.
+            if snap.get("diag"):
+                perf_fields["diag"] = snap["diag"]
+            self._ledger.emit("perf", **perf_fields)
             self._ledger.close()
             self._ledger = None
             self.resumed = True

@@ -493,7 +493,8 @@ def cmd_campaign_run(args) -> int:
         candidates=candidates,
         workloads=[Workload(resolve_model(m), args.batch)
                    for m in args.models],
-        sa=SASettings(iterations=args.iters, seed=args.seed),
+        sa=SASettings(iterations=args.iters, seed=args.seed,
+                      diag=args.diag),
         seed_stride=args.seed_stride,
         warm_start=not args.no_warm_start,
     )
@@ -573,10 +574,107 @@ def cmd_campaign_watch(args) -> int:
 
     try:
         return campaign_watch(
-            args.out, args.name, once=args.once, interval=args.interval
+            args.out, args.name, once=args.once, interval=args.interval,
+            as_json=args.json,
         )
     except CampaignError as exc:
         raise SystemExit(str(exc)) from exc
+
+
+def cmd_campaign_report(args) -> int:
+    from repro.campaign import CampaignError
+    from repro.obs.diag import campaign_report_data, render_campaign_report
+
+    try:
+        data = campaign_report_data(args.out, args.name)
+    except CampaignError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(data, sort_keys=True))
+    else:
+        print(render_campaign_report(data))
+    return 0
+
+
+def cmd_sa_report(args) -> int:
+    """Map one model with diagnostics forced on; report the search."""
+    from repro.obs.diag import render_sa_diag
+
+    arch = fabric_overridden(resolve_arch(args.arch), args)
+    graph = resolve_model(args.model)
+    engine = MappingEngine(
+        arch,
+        settings=MappingEngineSettings(
+            sa=SASettings(iterations=args.iters, seed=args.seed,
+                          proposal_batch=args.proposal_batch, diag=True),
+            restarts=args.restarts,
+        ),
+    )
+    result = engine.map(graph, args.batch)
+    print(f"{args.model} @ batch {args.batch} on "
+          f"{arch.name or args.arch} {arch.paper_tuple()}: "
+          f"EDP {result.edp:.4g} "
+          f"(delay {result.delay:.4g}s, energy {result.energy:.4g}J)")
+    print()
+    print(render_sa_diag(result.restart_diags))
+    if args.profile:
+        stats = result.sa_stats
+        extra = {"model": args.model, "batch": args.batch}
+        if stats is not None:
+            extra["sa_iters_per_sec"] = stats.iters_per_sec
+            extra["sa_wall_time_s"] = stats.wall_time_s
+        profile_report(args, extra)
+    return 0
+
+
+def cmd_perf_history(args) -> int:
+    from repro.perf.history import read_history, render_history
+
+    rows, skipped = read_history(args.path)
+    if not rows:
+        print(f"no history rows in {args.path}")
+        return 0
+    if args.section:
+        rows = [r for r in rows if r.get("section") == args.section]
+        if not rows:
+            print(f"no rows for section {args.section!r} in {args.path}")
+            return 0
+    print(render_history(rows, pattern=args.metric, last=args.last))
+    if skipped:
+        print(f"\n({skipped} unparseable line(s) skipped)")
+    return 0
+
+
+def cmd_perf_diff(args) -> int:
+    from repro.perf.history import diff_rows, read_history, render_diff
+
+    rows, skipped = read_history(args.path)
+    section = args.section or (rows[-1].get("section") if rows else None)
+    rows = [r for r in rows if r.get("section") == section]
+    if len(rows) < 2:
+        print(f"need two rows of section {section!r} in {args.path} to "
+              f"diff, have {len(rows)}")
+        return 0
+    try:
+        row_a, row_b = rows[args.a], rows[args.b]
+    except IndexError:
+        raise SystemExit(
+            f"row index out of range: {len(rows)} row(s) for "
+            f"section {section!r}"
+        ) from None
+    diff = diff_rows(row_a, row_b)
+    print(render_diff(diff))
+    if skipped:
+        print(f"\n({skipped} unparseable line(s) skipped)")
+    if args.out:
+        from repro.io import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(diff, indent=2,
+                                               sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    # Deliberately exit 0 either way: the gate is advisory (single-CPU
+    # CI noise must not block merges); consumers read diff["verdict"].
+    return 0
 
 
 def cmd_profile_report(args) -> int:
@@ -789,6 +887,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--fail-after", type=int, default=None,
                    help="fault injection: interrupt after N fresh "
                         "evaluations (CI smoke / crash drills)")
+    c.add_argument("--diag", action="store_true",
+                   help="record search diagnostics (convergence curves, "
+                        "operator effectiveness) into the store and "
+                        "ledger; view with 'repro campaign report'")
     c.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
     add_obs_flags(c)
@@ -817,7 +919,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render one frame and exit (scripts / CI)")
     c.add_argument("--interval", type=float, default=2.0,
                    help="refresh period in seconds")
+    c.add_argument("--json", action="store_true",
+                   help="emit each frame as one JSON line (dashboards, "
+                        "scripts) instead of the text report")
     c.set_defaults(func=cmd_campaign_watch, command="campaign-watch")
+
+    c = csub.add_parser(
+        "report",
+        help="search-quality report (convergence curves, operator "
+             "effectiveness, warm-vs-cold); store-only, best with "
+             "campaigns run under --diag",
+    )
+    c.add_argument("--name", required=True)
+    c.add_argument("--out", default="campaigns")
+    c.add_argument("--json", action="store_true",
+                   help="emit the raw report data as JSON")
+    c.set_defaults(func=cmd_campaign_report, command="campaign-report")
 
     p = sub.add_parser("heatmap", help="Fig 9 traffic heatmaps")
     p.add_argument("--model", default="TF",
@@ -848,6 +965,61 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("calls", "cpu", "self", "total"),
                    help="table order (heaviest first)")
     p.set_defaults(func=cmd_profile_report)
+
+    p = sub.add_parser(
+        "sa-report",
+        help="map one model with search diagnostics forced on and "
+             "report per-restart convergence + operator effectiveness",
+    )
+    p.add_argument("--model", default="TF",
+                   help="registry name or model file")
+    p.add_argument("--arch", default="g-arch")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--iters", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--restarts", type=int, default=1,
+                   help="independent SA restarts (best run wins)")
+    p.add_argument("--proposal-batch", type=int, default=1,
+                   help="SA proposals scored per iteration")
+    add_fabric_flags(p)
+    p.add_argument("--profile", action="store_true",
+                   help="print perf counters and write BENCH_perf.json")
+    add_obs_flags(p)
+    p.set_defaults(func=cmd_sa_report, command="sa-report")
+
+    p = sub.add_parser(
+        "perf",
+        help="benchmark-history analytics over BENCH_history.jsonl",
+    )
+    psub = p.add_subparsers(dest="perf_command", required=True)
+
+    c = psub.add_parser("history", help="metric trend table (sparklines)")
+    c.add_argument("--path", default="BENCH_history.jsonl")
+    c.add_argument("--section", default=None,
+                   help="only rows of this bench section (default: all)")
+    c.add_argument("--metric", default="_mean",
+                   help="substring selecting which metrics to trend")
+    c.add_argument("--last", type=int, default=12,
+                   help="trend over the newest N rows")
+    c.set_defaults(func=cmd_perf_history, command="perf-history")
+
+    c = psub.add_parser(
+        "diff",
+        help="variance-aware comparison of two history rows (Welch "
+             "z-test where mean/var/n are recorded); always exits 0 — "
+             "the verdict is advisory",
+    )
+    c.add_argument("a", nargs="?", type=int, default=-2,
+                   help="old row index within the section (default -2)")
+    c.add_argument("b", nargs="?", type=int, default=-1,
+                   help="new row index within the section (default -1)")
+    c.add_argument("--path", default="BENCH_history.jsonl")
+    c.add_argument("--section", default=None,
+                   help="bench section to compare (default: the last "
+                        "row's section)")
+    c.add_argument("--out", default=None,
+                   help="also write the diff record as JSON here")
+    c.set_defaults(func=cmd_perf_diff, command="perf-diff")
 
     return parser
 

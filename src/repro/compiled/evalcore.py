@@ -929,6 +929,11 @@ class GroupSession:
         self._cmp_pre = [0.0] * (n_layers + 1)
         self._int_pre = [0.0] * (n_layers + 1)
         self._fit_pre = [True] * (n_layers + 1)
+        # Local delta-evaluation tallies; the SA controller folds them
+        # into PERF once per run (the ``sa.delta_eval`` pattern), so
+        # the per-move cost stays two integer adds.
+        self.proposed = 0
+        self.committed = 0
         self._refold(0, 0)
 
     def _block(self, j: int) -> LayerTrafficBlock:
@@ -962,6 +967,7 @@ class GroupSession:
     def propose(self, lms: LayerGroupMapping,
                 stored_at: dict[str, int]) -> Proposal:
         """Delta-evaluate a candidate LMS of the session's group."""
+        self.proposed += 1
         ceval, ctx, bu = self.ceval, self.ctx, self.bu
         old = self.schemes
         n_layers = len(ctx.lids)
@@ -1043,6 +1049,7 @@ class GroupSession:
                         new_places, first_block, first_layer)
 
     def commit(self, proposal: Proposal) -> None:
+        self.committed += 1
         self.schemes = proposal.schemes
         self.recs = proposal.recs
         self.self_blocks = proposal.self_blocks

@@ -38,6 +38,9 @@ class MappingResult:
     #: The spread across restarts is the seed-robustness signal the
     #: ledger reports as mean/variance per candidate.
     restart_wall_times: list[float] = field(default_factory=list)
+    #: Per-restart search diagnostics (:attr:`SAStats.diag` of every
+    #: restart, in restart order); empty unless ``SASettings.diag``.
+    restart_diags: list[dict] = field(default_factory=list)
 
     @property
     def delay(self) -> float:
@@ -136,6 +139,7 @@ class MappingEngine:
             self._check_initial(graph, lmss)
         stats = None
         restart_wall_times: list[float] = []
+        restart_diags: list[dict] = []
         if self.settings.sa.iterations > 0:
             best_lmss, best_cost = None, None
             for restart in range(max(1, self.settings.restarts)):
@@ -150,6 +154,8 @@ class MappingEngine:
                            seed=settings.seed):
                     candidate = controller.run()
                 restart_wall_times.append(time.perf_counter() - t0)
+                if controller.stats.diag is not None:
+                    restart_diags.append(controller.stats.diag)
                 cost = sum(controller.best_costs)
                 if best_cost is None or cost < best_cost:
                     best_lmss, best_cost, stats = (
@@ -167,4 +173,5 @@ class MappingEngine:
             groups=[lms.group for lms in lmss],
             sa_stats=stats,
             restart_wall_times=restart_wall_times,
+            restart_diags=restart_diags,
         )

@@ -49,6 +49,11 @@ class SASettings:
     #: greedier descent.  Deterministic for a fixed seed, but a
     #: *different* search trajectory than ``K=1``; opt-in.
     proposal_batch: int = 1
+    #: Record search diagnostics (convergence curve, per-operator
+    #: effectiveness, temperature checkpoints) into ``SAStats.diag``.
+    #: Pure observation: the trajectory is unchanged, so campaign
+    #: content digests deliberately exclude this flag.
+    diag: bool = False
 
 
 @dataclass
@@ -67,6 +72,9 @@ class SAStats:
     initial_cost: float = 0.0
     final_cost: float = 0.0
     wall_time_s: float = 0.0
+    #: Search diagnostics (:meth:`repro.obs.diag.SARunDiag.to_dict`);
+    #: ``None`` unless the run was started with ``SASettings.diag``.
+    diag: dict | None = None
 
     @property
     def acceptance_rate(self) -> float:
@@ -138,6 +146,15 @@ class SAController:
             ]
         self._delta_eval_s = 0.0
         self._delta_evals = 0
+        # Opt-in diagnostics recorder; ``None`` keeps the hot path at
+        # one attribute check per iteration.
+        self._diag = None
+        if self.settings.diag:
+            from repro.obs.diag import SARunDiag
+
+            self._diag = SARunDiag(
+                self.settings.iterations, self.settings.seed
+            )
 
     # ------------------------------------------------------------------
 
@@ -196,6 +213,7 @@ class SAController:
         )[0]
 
     def _apply_operator(self, lms: LayerGroupMapping):
+        """Draw one operator and apply it: ``(name, candidate | None)``."""
         enabled = self.settings.operators
         pool = (
             OPERATORS if enabled is None
@@ -205,10 +223,12 @@ class SAController:
             raise SearchError("no SA operators enabled")
         name, op = pool[self.rng.randrange(len(pool))]
         self.stats.operator_uses[name] = self.stats.operator_uses.get(name, 0) + 1
+        if self._diag is not None:
+            self._diag.draw(name)
         if op is op5_change_flow:
-            return op(self.graph, lms, self.rng,
-                      n_dram=self.evaluator.arch.n_dram)
-        return op(self.graph, lms, self.rng)
+            return name, op(self.graph, lms, self.rng,
+                            n_dram=self.evaluator.arch.n_dram)
+        return name, op(self.graph, lms, self.rng)
 
     # ------------------------------------------------------------------
 
@@ -252,17 +272,31 @@ class SAController:
             self.stats.best_iteration = iteration + 1
         return True
 
+    def _rel_delta(self, old_cost: float, new_cost: float) -> float:
+        """Relative cost delta of a move (comparable across groups)."""
+        if old_cost > 0:
+            return (new_cost - old_cost) / old_cost
+        return new_cost - old_cost
+
     def step(self, iteration: int) -> bool:
         """One SA iteration; returns True when a move was accepted."""
         if self.settings.proposal_batch > 1:
             return self._step_batched(iteration)
         gi = self._pick_group()
-        candidate = self._apply_operator(self.current[gi])
+        op_name, candidate = self._apply_operator(self.current[gi])
         if candidate is None:
             return False
         self.stats.proposed += 1
+        old_cost = self.current_costs[gi]
+        improved_before = self.stats.improved
         new_cost, proposal = self._candidate_cost(gi, candidate)
-        return self._accept(gi, iteration, candidate, new_cost, proposal)
+        accepted = self._accept(gi, iteration, candidate, new_cost, proposal)
+        if self._diag is not None:
+            self._diag.proposal(
+                op_name, self._rel_delta(old_cost, new_cost),
+                accepted, self.stats.improved > improved_before,
+            )
+        return accepted
 
     def _step_batched(self, iteration: int) -> bool:
         """Score ``proposal_batch`` moves against the shared group
@@ -270,21 +304,35 @@ class SAController:
         gi = self._pick_group()
         candidates = []
         for _ in range(self.settings.proposal_batch):
-            c = self._apply_operator(self.current[gi])
+            name, c = self._apply_operator(self.current[gi])
             if c is not None:
-                candidates.append(c)
+                candidates.append((name, c))
         if not candidates:
             return False
         self.stats.proposed += len(candidates)
-        scored = [self._candidate_cost(gi, c) for c in candidates]
+        old_cost = self.current_costs[gi]
+        improved_before = self.stats.improved
+        scored = [self._candidate_cost(gi, c) for _, c in candidates]
         bi = min(range(len(scored)), key=lambda j: scored[j][0])
         new_cost, proposal = scored[bi]
-        return self._accept(gi, iteration, candidates[bi], new_cost, proposal)
+        accepted = self._accept(
+            gi, iteration, candidates[bi][1], new_cost, proposal
+        )
+        if self._diag is not None:
+            improved = self.stats.improved > improved_before
+            for j, (name, _) in enumerate(candidates):
+                cost_j = scored[j][0]
+                self._diag.proposal(
+                    name, self._rel_delta(old_cost, cost_j),
+                    accepted and j == bi, improved and j == bi,
+                )
+        return accepted
 
     def run(self) -> list[LayerGroupMapping]:
         from repro.obs.trace import trace
 
         ran = 0
+        diag = self._diag
         with trace("sa.run", iterations=self.settings.iterations,
                    seed=self.settings.seed, groups=len(self.best)):
             t0 = time.perf_counter()
@@ -292,6 +340,10 @@ class SAController:
                 self.stats.iterations += 1
                 ran += 1
                 self.step(i)
+                if diag is not None and diag.want(i):
+                    diag.sample(i, sum(self.best_costs),
+                                sum(self.current_costs),
+                                self._temperature(i))
             self.stats.wall_time_s += time.perf_counter() - t0
         self.stats.final_cost = sum(self.best_costs)
         if ran:
@@ -303,4 +355,17 @@ class SAController:
 
             PERF.add_time("sa.delta_eval", self._delta_eval_s,
                           self._delta_evals)
+        if self._sessions is not None:
+            proposed = sum(s.proposed for s in self._sessions)
+            committed = sum(s.committed for s in self._sessions)
+            if proposed:
+                from repro.perf import PERF
+
+                PERF.add("sa.session.proposed", proposed)
+                PERF.add("sa.session.committed", committed)
+        if diag is not None:
+            from repro.obs.diag import DIAG
+
+            self.stats.diag = diag.to_dict(self.stats)
+            DIAG.record(self.stats.diag["operators"])
         return list(self.best)

@@ -63,6 +63,12 @@ class CandidateResult:
     #: ledger reports their mean/variance as the candidate's
     #: seed-robustness signal.  Empty when SA is disabled.
     restart_times: dict[str, list[float]] = field(default_factory=dict)
+    #: Per-operator draw counts of the winning SA run, per workload
+    #: (``SAStats.operator_uses``); recorded whenever SA ran.
+    operator_uses: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Search diagnostics per workload: ``{"warm": bool, "restarts":
+    #: [per-restart diag dicts]}``.  Empty unless ``SASettings.diag``.
+    sa_diag: dict[str, dict] = field(default_factory=dict)
 
     @property
     def edp(self) -> float:
@@ -255,6 +261,8 @@ class DesignSpaceExplorer:
         mappings: dict[str, list] = {}
         iters_to_best: dict[str, int] = {}
         restart_times: dict[str, list[float]] = {}
+        operator_uses: dict[str, dict[str, int]] = {}
+        sa_diag: dict[str, dict] = {}
         warm_started = False
         energies, delays = [], []
         with trace("candidate", index=index,
@@ -285,10 +293,18 @@ class DesignSpaceExplorer:
                     restart_times[wl.name] = list(result.restart_wall_times)
                 if result.sa_stats is not None:
                     iters_to_best[wl.name] = result.sa_stats.best_iteration
+                    operator_uses[wl.name] = dict(
+                        result.sa_stats.operator_uses
+                    )
                     mode = "warm" if used_warm else "cold"
                     PERF.add(f"sa.iters_to_best.{mode}",
                              result.sa_stats.best_iteration)
                     PERF.add(f"sa.iters_to_best.{mode}.runs")
+                if result.restart_diags:
+                    sa_diag[wl.name] = {
+                        "warm": used_warm,
+                        "restarts": result.restart_diags,
+                    }
                 energies.append(result.energy)
                 delays.append(result.delay)
             mc = self.mc_evaluator.evaluate(arch)
@@ -307,6 +323,8 @@ class DesignSpaceExplorer:
             iters_to_best=iters_to_best,
             warm_started=warm_started,
             restart_times=restart_times,
+            operator_uses=operator_uses,
+            sa_diag=sa_diag,
         )
 
     # ------------------------------------------------------------------

@@ -232,6 +232,10 @@ def candidate_result_to_dict(result) -> dict:
         "restart_times": {
             name: list(ts) for name, ts in result.restart_times.items()
         },
+        "operator_uses": {
+            name: dict(uses) for name, uses in result.operator_uses.items()
+        },
+        "sa_diag": result.sa_diag,
     }
 
 
@@ -257,6 +261,13 @@ def candidate_result_from_dict(data: dict):
                 name: list(ts)
                 for name, ts in data.get("restart_times", {}).items()
             },
+            # Both fields post-date the first stored campaigns; records
+            # written before this code load with empty defaults.
+            operator_uses={
+                name: dict(uses)
+                for name, uses in data.get("operator_uses", {}).items()
+            },
+            sa_diag=data.get("sa_diag", {}),
         )
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"bad candidate record: {exc}") from exc

@@ -12,6 +12,15 @@ eager import would cycle.  ``repro campaign watch`` imports it
 directly.
 """
 
+from repro.obs.diag import (
+    DIAG,
+    DiagAggregator,
+    SARunDiag,
+    StreamingMoments,
+    render_campaign_report,
+    render_sa_diag,
+    sparkline,
+)
 from repro.obs.ledger import (
     LEDGER_NAME,
     RunLedger,
@@ -31,10 +40,14 @@ from repro.obs.report import (
 from repro.obs.trace import TRACER, Tracer, trace
 
 __all__ = [
+    "DIAG",
+    "DiagAggregator",
     "LEDGER_NAME",
     "PROFILE_HEADERS",
     "RunLedger",
+    "SARunDiag",
     "SORT_KEYS",
+    "StreamingMoments",
     "TRACER",
     "TraceFormatError",
     "Tracer",
@@ -45,6 +58,9 @@ __all__ = [
     "profile_rows",
     "prometheus_text",
     "read_ledger",
+    "render_campaign_report",
+    "render_sa_diag",
+    "sparkline",
     "trace",
     "validate_chrome_trace",
     "write_metrics",

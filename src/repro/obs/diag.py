@@ -1,0 +1,538 @@
+"""Search-quality diagnostics: convergence curves + operator effectiveness.
+
+PRs 6-7 made *execution* observable; this module makes the *search*
+observable.  With ``SASettings(diag=True)`` every annealing run records
+
+* a **convergence curve** — (iteration, best cost, current cost)
+  triples, stride-sampled to a bounded number of points: when the
+  buffer fills, every other point is dropped and the stride doubles,
+  so a 10^6-iteration run still costs <= ``max_points`` triples and
+  the kept points are exactly the iterations divisible by the final
+  stride (deterministic, so identical seeds yield identical curves);
+* **per-operator effectiveness** — draw/proposal/accept/improve counts
+  and the delta-score distribution as streaming count/mean/M2 moments
+  (Welford), never raw lists;
+* **temperature checkpoints** — (iteration, T) at a coarse stride,
+  enough to reconstruct the cooling schedule.
+
+Design constraints mirror :mod:`repro.obs.trace`:
+
+* **Opt-in and near-free when off.**  The controller holds ``None``
+  instead of a recorder; the dormant cost is a ``None`` check per
+  iteration.  Diagnostics never change what gets computed, so
+  :func:`repro.campaign.keys.settings_digest` excludes the flag.
+* **One channel for workers.**  The process-global :data:`DIAG`
+  aggregator registers on the ``PERF.snapshot()`` extras channel;
+  per-pid operator stats ride the same round trip pool workers
+  already make, and the campaign ledger's final ``perf`` event
+  carries the per-pid table for store-only reporting.
+* **Bounded memory.**  Curves are downsampled, distributions are
+  three floats, temperatures are <= ~33 checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.perf.counters import register_snapshot_extra
+
+#: Curve buffer bound: on reaching this many points, every other point
+#: is dropped and the sampling stride doubles.
+MAX_CURVE_POINTS = 512
+
+#: Temperature checkpoints per run (plus the final iteration's).
+TEMP_CHECKPOINTS = 32
+
+#: Unicode sparkline ramp (space for "no signal").
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Render a numeric series as a fixed-width unicode sparkline."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket means keep the overall shape at a glance.
+        step = len(values) / width
+        buckets = []
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   int((v - lo) / span * len(_SPARK)))]
+        for v in values
+    )
+
+
+class StreamingMoments:
+    """Welford count/mean/M2 accumulator (population variance)."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self, count: int = 0, mean: float = 0.0, m2: float = 0.0):
+        self.count = count
+        self.mean = mean
+        self.m2 = m2
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Chan's parallel-merge of two accumulators."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = (
+                other.count, other.mean, other.m2
+            )
+            return
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / n
+        self.mean += delta * other.count / n
+        self.count = n
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingMoments":
+        return cls(
+            count=int(data.get("count", 0)),
+            mean=float(data.get("mean", 0.0)),
+            m2=float(data.get("m2", 0.0)),
+        )
+
+
+class SARunDiag:
+    """Recorder attached to one :class:`~repro.core.sa.SAController` run.
+
+    The controller calls :meth:`draw` per operator draw,
+    :meth:`proposal` per scored move, and — stride-gated by
+    :meth:`want` — :meth:`sample` once per recorded iteration; all fast
+    paths are dict lookups and integer adds.
+    """
+
+    __slots__ = ("seed", "iterations", "curve", "curve_stride",
+                 "max_points", "temps", "temp_stride", "ops")
+
+    def __init__(self, iterations: int, seed: int,
+                 max_points: int = MAX_CURVE_POINTS):
+        self.seed = seed
+        self.iterations = iterations
+        self.curve: list[list[float]] = []
+        self.curve_stride = 1
+        self.max_points = max_points
+        self.temps: list[list[float]] = []
+        self.temp_stride = max(1, iterations // TEMP_CHECKPOINTS)
+        #: name -> {uses, proposed, accepted, improved, delta moments}
+        self.ops: dict[str, dict] = {}
+
+    # -- operator effectiveness ----------------------------------------
+
+    def _op(self, name: str) -> dict:
+        rec = self.ops.get(name)
+        if rec is None:
+            rec = self.ops[name] = {
+                "uses": 0, "proposed": 0, "accepted": 0, "improved": 0,
+                "delta": StreamingMoments(),
+            }
+        return rec
+
+    def draw(self, name: str) -> None:
+        """One operator draw (counted even when the op returns None)."""
+        self._op(name)["uses"] += 1
+
+    def proposal(self, name: str, rel_delta: float,
+                 accepted: bool, improved: bool) -> None:
+        """One scored move: its relative cost delta and outcome."""
+        rec = self._op(name)
+        rec["proposed"] += 1
+        if accepted:
+            rec["accepted"] += 1
+        if improved:
+            rec["improved"] += 1
+        rec["delta"].add(rel_delta)
+
+    # -- curve + temperature sampling ----------------------------------
+
+    def want(self, iteration: int) -> bool:
+        """True when ``iteration`` should be sampled (cheap gate)."""
+        return (iteration % self.curve_stride == 0
+                or iteration % self.temp_stride == 0)
+
+    def sample(self, iteration: int, best: float, current: float,
+               temperature: float) -> None:
+        if iteration % self.temp_stride == 0:
+            self.temps.append([iteration, temperature])
+        if iteration % self.curve_stride == 0:
+            self.curve.append([iteration, best, current])
+            if len(self.curve) >= self.max_points:
+                # Keep points where iteration % (2*stride) == 0 — the
+                # same set a run started at the doubled stride would
+                # have kept, so downsampling stays deterministic.
+                self.curve = self.curve[::2]
+                self.curve_stride *= 2
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self, stats=None) -> dict:
+        """JSON-ready record of this run (curve, temps, operators)."""
+        out = {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "curve": [list(p) for p in self.curve],
+            "curve_stride": self.curve_stride,
+            "temps": [list(p) for p in self.temps],
+            "operators": {
+                name: {
+                    "uses": rec["uses"],
+                    "proposed": rec["proposed"],
+                    "accepted": rec["accepted"],
+                    "improved": rec["improved"],
+                    "delta": rec["delta"].to_dict(),
+                }
+                for name, rec in sorted(self.ops.items())
+            },
+        }
+        if stats is not None:
+            out["initial_cost"] = stats.initial_cost
+            out["final_cost"] = stats.final_cost
+            out["best_iteration"] = stats.best_iteration
+        return out
+
+
+# ----------------------------------------------------------------------
+# The per-pid aggregator on the PERF snapshot channel
+# ----------------------------------------------------------------------
+
+
+def _merge_op_stats(into: dict, ops: dict) -> None:
+    """Fold one run's serialized operator table into ``into``."""
+    for name, rec in ops.items():
+        slot = into.get(name)
+        if slot is None:
+            slot = into[name] = {
+                "uses": 0, "proposed": 0, "accepted": 0, "improved": 0,
+                "delta": {"count": 0, "mean": 0.0, "m2": 0.0},
+            }
+        for key in ("uses", "proposed", "accepted", "improved"):
+            slot[key] += int(rec.get(key, 0))
+        moments = StreamingMoments.from_dict(slot["delta"])
+        moments.merge(StreamingMoments.from_dict(rec.get("delta", {})))
+        slot["delta"] = moments.to_dict()
+
+
+class DiagAggregator:
+    """Per-pid operator-effectiveness totals, shipped like spans.
+
+    Keys are stringified pids (JSON round-trips dict keys as strings);
+    a worker's snapshot merges into the parent under the *worker's*
+    pid, so a 2-worker campaign's ledger perf event shows two rows per
+    operator — the acceptance signal that sharding actually spread.
+    """
+
+    def __init__(self):
+        self.by_pid: dict[str, dict] = {}
+
+    def record(self, ops: dict) -> None:
+        """Fold one finished run's operator table into this pid's slot."""
+        _merge_op_stats(self.by_pid.setdefault(str(os.getpid()), {}), ops)
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy (does not clear)."""
+        return {
+            pid: {
+                name: {**rec, "delta": dict(rec["delta"])}
+                for name, rec in ops.items()
+            }
+            for pid, ops in self.by_pid.items()
+        }
+
+    def merge(self, payload: dict) -> None:
+        for pid, ops in payload.items():
+            _merge_op_stats(self.by_pid.setdefault(str(pid), {}), ops)
+
+    def clear(self) -> None:
+        self.by_pid = {}
+
+
+#: The process-global aggregator every diag-enabled SA run folds into.
+DIAG = DiagAggregator()
+
+register_snapshot_extra(
+    "diag",
+    collect=lambda: DIAG.snapshot() or None,
+    merge=DIAG.merge,
+    reset=DIAG.clear,
+)
+
+
+# ----------------------------------------------------------------------
+# Rendering helpers (sa-report and campaign report)
+# ----------------------------------------------------------------------
+
+
+OPERATOR_HEADERS = ["operator", "uses", "proposed", "accepted", "accept%",
+                    "improved", "mean Δ", "σ(Δ)"]
+
+
+def operator_rows(ops: dict) -> list[list]:
+    """Table rows of one serialized operator-effectiveness dict."""
+    rows = []
+    for name, rec in sorted(ops.items()):
+        moments = StreamingMoments.from_dict(rec.get("delta", {}))
+        proposed = rec.get("proposed", 0)
+        accepted = rec.get("accepted", 0)
+        rows.append([
+            name, rec.get("uses", 0), proposed, accepted,
+            f"{accepted / proposed:.1%}" if proposed else "-",
+            rec.get("improved", 0),
+            f"{moments.mean:+.4f}" if moments.count else "-",
+            f"{moments.stddev:.4f}" if moments.count else "-",
+        ])
+    return rows
+
+
+def merged_operator_table(by_pid: dict) -> dict:
+    """One operator table pooled over every pid's slot."""
+    merged: dict[str, dict] = {}
+    for ops in by_pid.values():
+        _merge_op_stats(merged, ops)
+    return merged
+
+
+def curve_summary(diag: dict) -> dict:
+    """Headline numbers of one run diag (initial/final/spark/points)."""
+    curve = diag.get("curve", [])
+    best = [p[1] for p in curve]
+    return {
+        "points": len(curve),
+        "stride": diag.get("curve_stride", 1),
+        "initial": best[0] if best else diag.get("initial_cost", 0.0),
+        "final": best[-1] if best else diag.get("final_cost", 0.0),
+        "best_iteration": diag.get("best_iteration", 0),
+        "spark": sparkline(best),
+    }
+
+
+def render_sa_diag(restart_diags: list[dict]) -> str:
+    """Text report of one mapping's per-restart diagnostics."""
+    from repro.reporting import format_table
+
+    lines = []
+    rows = []
+    for i, diag in enumerate(restart_diags):
+        cs = curve_summary(diag)
+        improvement = (1.0 - cs["final"] / cs["initial"]
+                       if cs["initial"] else 0.0)
+        rows.append([
+            i, diag.get("seed", "-"), cs["points"], cs["stride"],
+            f"{cs['initial']:.4g}", f"{cs['final']:.4g}",
+            f"{improvement:.1%}", cs["best_iteration"], cs["spark"],
+        ])
+    lines.append(format_table(
+        ["restart", "seed", "points", "stride", "initial", "final",
+         "improved", "best@", "best-cost curve"],
+        rows,
+    ))
+    merged: dict[str, dict] = {}
+    for diag in restart_diags:
+        _merge_op_stats(merged, diag.get("operators", {}))
+    if merged:
+        lines.append("")
+        lines.append(format_table(OPERATOR_HEADERS, operator_rows(merged)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Store-only campaign report
+# ----------------------------------------------------------------------
+
+
+def campaign_report_data(home, name) -> dict:
+    """Assemble the search-quality report of a campaign, store-only.
+
+    Joins the manifest (candidate order), the result store (scores,
+    per-workload diagnostics) and the run ledger (per-pid operator
+    stats from the final perf event, failure digests).  Imports are
+    lazy for the same reason :mod:`repro.obs.watch` is kept out of
+    ``repro.obs.__init__``: the campaign layer sits above this one.
+    """
+    from pathlib import Path
+
+    from repro.campaign.runner import STORE_DIR, _load_manifest
+    from repro.campaign.store import KIND_CANDIDATE, ResultStore
+    from repro.io.serialization import candidate_result_from_dict
+    from repro.obs.ledger import LEDGER_NAME, read_ledger
+
+    manifest = _load_manifest(home, name)
+    store = ResultStore(Path(home) / STORE_DIR)
+    events, skipped = read_ledger(Path(home) / name / LEDGER_NAME)
+
+    candidates = []
+    warm_itb, cold_itb = [], []
+    for i, key in enumerate(manifest["candidate_keys"]):
+        rec = store.get(KIND_CANDIDATE, key)
+        if rec is None:
+            continue
+        result = candidate_result_from_dict(rec)
+        itb = (sum(result.iters_to_best.values())
+               / len(result.iters_to_best)) if result.iters_to_best else None
+        if itb is not None:
+            (warm_itb if result.warm_started else cold_itb).append(itb)
+        curves = {}
+        for wl, diag in sorted(result.sa_diag.items()):
+            restarts = diag.get("restarts", [])
+            if not restarts:
+                continue
+            # The winning restart is the cheapest one.
+            best = min(
+                restarts,
+                key=lambda d: d.get("final_cost", float("inf")),
+            )
+            curves[wl] = curve_summary(best)
+        candidates.append({
+            "index": i,
+            "arch": result.arch.paper_tuple(),
+            "score": result.score,
+            "warm_started": result.warm_started,
+            "iters_to_best": result.iters_to_best,
+            "operator_uses": result.operator_uses,
+            "curves": curves,
+        })
+
+    perf_event = next(
+        (ev for ev in reversed(events) if ev.get("event") == "perf"), None
+    )
+    diag_by_pid = (perf_event or {}).get("diag", {}) or {}
+
+    failures: dict[str, dict] = {}
+    for ev in events:
+        if ev.get("event") != "candidate_failed":
+            continue
+        digest = ev.get("digest", "?")
+        slot = failures.setdefault(
+            digest, {"count": 0, "error": ev.get("error", ""), "indices": []}
+        )
+        slot["count"] += 1
+        slot["indices"].append(ev.get("index"))
+
+    def _mean(xs):
+        return sum(xs) / len(xs) if xs else None
+
+    return {
+        "name": manifest["name"],
+        "total": len(manifest["candidate_keys"]),
+        "done": len(candidates),
+        "candidates": candidates,
+        "iters_to_best": {
+            "warm_mean": _mean(warm_itb), "warm_runs": len(warm_itb),
+            "cold_mean": _mean(cold_itb), "cold_runs": len(cold_itb),
+        },
+        "diag_by_pid": diag_by_pid,
+        "failures": failures,
+        "ledger_skipped": skipped,
+    }
+
+
+def render_campaign_report(data: dict) -> str:
+    """One text frame of :func:`campaign_report_data`."""
+    from repro.reporting import format_table
+
+    lines = [
+        f"campaign {data['name']!r} search report — "
+        f"{data['done']}/{data['total']} candidates evaluated",
+    ]
+
+    rows = []
+    for cand in data["candidates"]:
+        if cand["curves"]:
+            for wl, cs in sorted(cand["curves"].items()):
+                rows.append([
+                    cand["index"], cand["arch"], f"{cand['score']:.4g}",
+                    "warm" if cand["warm_started"] else "cold",
+                    wl, cand["iters_to_best"].get(wl, "-"),
+                    f"{cs['initial']:.3g}→{cs['final']:.3g}",
+                    cs["spark"],
+                ])
+        else:
+            rows.append([
+                cand["index"], cand["arch"], f"{cand['score']:.4g}",
+                "warm" if cand["warm_started"] else "cold",
+                "-", "-", "-", "",
+            ])
+    if rows:
+        lines.append("")
+        lines.append(format_table(
+            ["cand", "arch", "score", "start", "workload", "best@",
+             "cost", "convergence"],
+            rows,
+        ))
+
+    itb = data["iters_to_best"]
+    if itb["warm_runs"] or itb["cold_runs"]:
+        lines.append("")
+        lines.append(format_table(
+            ["start", "runs", "mean iters-to-best"],
+            [
+                ["warm", itb["warm_runs"],
+                 f"{itb['warm_mean']:.1f}" if itb["warm_mean"] is not None
+                 else "-"],
+                ["cold", itb["cold_runs"],
+                 f"{itb['cold_mean']:.1f}" if itb["cold_mean"] is not None
+                 else "-"],
+            ],
+        ))
+
+    if data["diag_by_pid"]:
+        lines.append("")
+        lines.append("operator effectiveness (per shard pid, last run):")
+        rows = []
+        for pid, ops in sorted(data["diag_by_pid"].items()):
+            for row in operator_rows(ops):
+                rows.append([pid, *row])
+        lines.append(format_table(["pid", *OPERATOR_HEADERS], rows))
+        merged = merged_operator_table(data["diag_by_pid"])
+        lines.append("")
+        lines.append("pooled over shards:")
+        lines.append(format_table(OPERATOR_HEADERS, operator_rows(merged)))
+
+    if data["failures"]:
+        lines.append("")
+        rows = [
+            [digest, rec["count"],
+             ",".join(str(i) for i in rec["indices"][:8]),
+             rec["error"][:60]]
+            for digest, rec in sorted(data["failures"].items())
+        ]
+        lines.append(format_table(
+            ["failure digest", "count", "candidates", "error"], rows,
+        ))
+
+    if data["ledger_skipped"]:
+        lines.append("")
+        lines.append(f"ledger: {data['ledger_skipped']} unparseable line(s) "
+                     "skipped")
+    return "\n".join(lines)

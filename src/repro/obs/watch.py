@@ -204,16 +204,28 @@ def campaign_watch(
     once: bool = False,
     interval: float = 2.0,
     stream=None,
+    as_json: bool = False,
 ) -> int:
-    """Render the campaign until interrupted (or once); returns 0."""
+    """Render the campaign until interrupted (or once); returns 0.
+
+    ``as_json`` emits each frame as one machine-readable JSON line
+    (the raw :func:`watch_snapshot` dict) instead of the text report,
+    so dashboards and scripts can poll a campaign without screen-
+    scraping tables.
+    """
+    import json
     import sys
 
     stream = sys.stdout if stream is None else stream
     try:
         while True:
-            frame = render_watch(watch_snapshot(home, name))
-            if not once and getattr(stream, "isatty", lambda: False)():
-                stream.write("\x1b[2J\x1b[H")
+            snap = watch_snapshot(home, name)
+            if as_json:
+                frame = json.dumps(snap, sort_keys=True)
+            else:
+                frame = render_watch(snap)
+                if not once and getattr(stream, "isatty", lambda: False)():
+                    stream.write("\x1b[2J\x1b[H")
             stream.write(frame + "\n")
             stream.flush()
             if once:

@@ -1,0 +1,355 @@
+"""The benchmark trajectory: ``BENCH_history.jsonl``.
+
+``BENCH_perf.json`` is one overwritten snapshot — useful as "the
+current numbers", blind as a trend.  Every :func:`repro.perf.bench.
+emit_bench` therefore also appends one compact row here: timestamp,
+git SHA, a machine fingerprint, and the numeric leaves of the emitted
+payload (means, variances and sample counts included, raw sample lists
+reduced to their length).  The file is append-only JSONL with the same
+durability contract as the run ledger and store segments: a single
+writer appends flushed whole lines, readers skip an unparseable
+trailing line, and a kill mid-append costs at most that line.
+
+``repro perf history`` renders the trajectory; ``repro perf diff``
+compares two rows with a **variance-aware verdict** per metric: where
+both rows carry ``<base>_mean`` / ``<base>_var`` / ``<base>_n``, a
+Welch-style overlap test (z = Δmean / sqrt(va/na + vb/nb)) decides
+significance, so noisy single-CPU CI runs don't flag phantom
+regressions — the heteroscedastic-weighting stance of Hong, Fessler &
+Balzano applied to benchmark gating.  History appends are telemetry:
+they must never break a bench emit, so every failure path is swallowed
+and counted under ``perf.history.errors``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from pathlib import Path
+
+#: Default history file, a sibling of BENCH_perf.json.
+DEFAULT_HISTORY_PATH = "BENCH_history.jsonl"
+
+#: Per-row metric cap: payloads are flattened to numeric leaves and the
+#: first this-many (sorted by dotted path) are kept.
+MAX_METRICS = 400
+
+#: |z| above which a Welch-tested delta counts as significant (~95%).
+Z_SIGNIFICANT = 2.0
+
+#: Relative change above which a variance-free metric is *noted*
+#: (never a verdict by itself — without spread there is no test).
+PLAIN_CHANGE_NOTE = 0.10
+
+#: Substrings classifying a metric's good direction.  Checked in
+#: order; the first hit wins, unknown metrics never regress.
+_HIGHER_IS_BETTER = ("iters_per_sec", "per_sec", "speedup", "rate",
+                     "throughput", "hits")
+_LOWER_IS_BETTER = ("overhead", "wall", "time", "seconds", "duration",
+                    "cpu_s", "_s", "cost", "errors", "misses")
+
+
+def history_path_for(bench_path: str | Path) -> Path:
+    """The history file that rides alongside a bench JSON file."""
+    return Path(bench_path).with_name(DEFAULT_HISTORY_PATH)
+
+
+def machine_fingerprint(info: dict) -> str:
+    """Short stable digest of a machine-info dict."""
+    blob = json.dumps(info, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def _git_sha() -> str | None:
+    """Short SHA of the repository HEAD, or None outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def extract_metrics(payload: dict, cap: int = MAX_METRICS) -> dict:
+    """Flatten a bench payload to its numeric leaves.
+
+    Nested dicts become dotted paths; a list under a ``*_samples`` key
+    is reduced to ``<base>_n`` (its length — the sample count the
+    Welch test needs); other lists and non-numeric leaves are dropped.
+    Booleans are dropped too (they are flags, not measurements).
+    """
+    out: dict[str, float] = {}
+
+    def visit(prefix: str, value) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and not math.isfinite(value):
+                return
+            out[prefix] = float(value)
+        elif isinstance(value, dict):
+            for key in value:
+                visit(f"{prefix}.{key}" if prefix else str(key), value[key])
+        elif isinstance(value, list) and prefix.endswith("_samples"):
+            out[prefix[: -len("_samples")] + "_n"] = float(len(value))
+
+    visit("", payload)
+    return dict(sorted(out.items())[:cap])
+
+
+def append_history(section: str, payload: dict,
+                   path: str | Path = DEFAULT_HISTORY_PATH) -> Path | None:
+    """Append one trajectory row (best-effort, never raises)."""
+    from repro.perf.bench import _machine_info
+    from repro.perf.counters import PERF
+
+    path = Path(path)
+    info = _machine_info()
+    row = {
+        "ts": time.time(),
+        "section": section,
+        "git": _git_sha(),
+        "machine": {**info, "fingerprint": machine_fingerprint(info)},
+        "metrics": extract_metrics(payload),
+    }
+    try:
+        line = json.dumps(row, separators=(",", ":"))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+    except (OSError, TypeError, ValueError):
+        PERF.add("perf.history.errors")
+        return None
+    return path
+
+
+def read_history(
+    path: str | Path = DEFAULT_HISTORY_PATH,
+) -> tuple[list[dict], int]:
+    """Every parseable row plus the count of skipped (torn) lines."""
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    rows, skipped = [], 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(row, dict) and "metrics" in row:
+                rows.append(row)
+            else:
+                skipped += 1
+    return rows, skipped
+
+
+# ----------------------------------------------------------------------
+# Variance-aware diffing
+# ----------------------------------------------------------------------
+
+
+def metric_direction(name: str) -> int:
+    """+1 when higher is better, -1 when lower is, 0 when unknown."""
+    low = name.lower()
+    for needle in _HIGHER_IS_BETTER:
+        if needle in low:
+            return 1
+    for needle in _LOWER_IS_BETTER:
+        if needle in low:
+            return -1
+    return 0
+
+
+def welch_z(mean_a: float, var_a: float, n_a: float,
+            mean_b: float, var_b: float, n_b: float) -> float | None:
+    """Welch's z statistic of (b - a); None when it is undefined."""
+    if n_a <= 0 or n_b <= 0:
+        return None
+    se2 = var_a / n_a + var_b / n_b
+    if se2 <= 0:
+        # Zero measured spread: any difference is "infinitely" many
+        # standard errors; identical means are exactly zero.
+        return 0.0 if mean_b == mean_a else math.copysign(math.inf,
+                                                          mean_b - mean_a)
+    return (mean_b - mean_a) / math.sqrt(se2)
+
+
+def _mean_var_bases(metrics_a: dict, metrics_b: dict) -> list[str]:
+    """Metric bases with ``_mean``/``_var``/``_n`` present in both rows."""
+    bases = []
+    for key in metrics_a:
+        if not key.endswith("_mean"):
+            continue
+        base = key[: -len("_mean")]
+        needed = (f"{base}_mean", f"{base}_var", f"{base}_n")
+        if all(k in metrics_a and k in metrics_b for k in needed):
+            bases.append(base)
+    return sorted(bases)
+
+
+def diff_rows(row_a: dict, row_b: dict) -> dict:
+    """Variance-aware comparison of two history rows (a = old, b = new).
+
+    Returns per-metric findings plus an overall verdict:
+
+    * metrics with mean/var/n in both rows get a Welch test —
+      ``regressed`` / ``improved`` when |z| > 2 in a metric whose good
+      direction is known, ``ok`` otherwise (the reasoning string spells
+      out the z value and the noise floor);
+    * plain shared numeric metrics are only *noted* when they moved
+      more than 10% — a single sample has no spread to test against;
+    * overall: ``"regression"`` iff at least one tested metric
+      regressed significantly, else ``"ok"``.
+    """
+    ma, mb = row_a.get("metrics", {}), row_b.get("metrics", {})
+    findings = []
+    consumed: set[str] = set()
+
+    for base in _mean_var_bases(ma, mb):
+        for suffix in ("_mean", "_var", "_n"):
+            consumed.add(base + suffix)
+        mean_a, var_a = ma[base + "_mean"], ma[base + "_var"]
+        mean_b, var_b = mb[base + "_mean"], mb[base + "_var"]
+        n_a, n_b = ma[base + "_n"], mb[base + "_n"]
+        z = welch_z(mean_a, var_a, n_a, mean_b, var_b, n_b)
+        direction = metric_direction(base)
+        rel = (mean_b - mean_a) / mean_a if mean_a else 0.0
+        significant = z is not None and abs(z) > Z_SIGNIFICANT
+        if not significant:
+            verdict = "ok"
+            reason = (f"Δ={rel:+.1%} within noise "
+                      f"(|z|={abs(z):.2f} <= {Z_SIGNIFICANT:.0f}, "
+                      f"var {var_a:.3g}/{var_b:.3g}, "
+                      f"n {n_a:.0f}/{n_b:.0f})")
+        elif direction == 0:
+            verdict = "changed"
+            reason = (f"Δ={rel:+.1%} significant (z={z:+.2f}) but the "
+                      "metric's good direction is unknown")
+        else:
+            good = (z > 0) == (direction > 0)
+            verdict = "improved" if good else "regressed"
+            reason = (f"Δ={rel:+.1%} significant (z={z:+.2f}, "
+                      f"n {n_a:.0f}/{n_b:.0f}), "
+                      + ("higher" if direction > 0 else "lower")
+                      + " is better")
+        findings.append({
+            "metric": base, "kind": "welch", "verdict": verdict,
+            "mean_a": mean_a, "mean_b": mean_b, "rel_change": rel,
+            "z": None if z is None or math.isinf(z) else z,
+            "reason": reason,
+        })
+
+    shared = sorted(set(ma) & set(mb) - consumed)
+    for name in shared:
+        a, b = ma[name], mb[name]
+        rel = (b - a) / a if a else (0.0 if b == a else math.inf)
+        if abs(rel) <= PLAIN_CHANGE_NOTE:
+            continue
+        findings.append({
+            "metric": name, "kind": "plain", "verdict": "noted",
+            "mean_a": a, "mean_b": b,
+            "rel_change": rel if math.isfinite(rel) else None,
+            "z": None,
+            "reason": (f"Δ={rel:+.1%} but single samples carry no "
+                       "variance — not gated" if math.isfinite(rel)
+                       else "appeared from zero — not gated"),
+        })
+
+    regressions = [f for f in findings if f["verdict"] == "regressed"]
+    return {
+        "a": {"ts": row_a.get("ts"), "git": row_a.get("git"),
+              "section": row_a.get("section")},
+        "b": {"ts": row_b.get("ts"), "git": row_b.get("git"),
+              "section": row_b.get("section")},
+        "findings": findings,
+        "tested": sum(1 for f in findings if f["kind"] == "welch"),
+        "regressions": len(regressions),
+        "verdict": "regression" if regressions else "ok",
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _fmt_row_id(row: dict) -> str:
+    git = row.get("git") or "-"
+    ts = row.get("ts")
+    stamp = (time.strftime("%Y-%m-%d %H:%M", time.localtime(ts))
+             if ts else "-")
+    return f"{stamp} {git}"
+
+
+def render_history(rows: list[dict], pattern: str = "_mean",
+                   last: int = 12) -> str:
+    """Trend table: per matching metric, a sparkline over the rows."""
+    from repro.obs.diag import sparkline
+    from repro.reporting import format_table
+
+    rows = rows[-last:]
+    series: dict[str, list[float]] = {}
+    for row in rows:
+        for name, value in row.get("metrics", {}).items():
+            if pattern in name:
+                series.setdefault(name, []).append(value)
+    if not series:
+        return (f"no metrics matching {pattern!r} in "
+                f"{len(rows)} history row(s)")
+    table = []
+    for name, values in sorted(series.items()):
+        delta = ((values[-1] - values[-2]) / values[-2]
+                 if len(values) > 1 and values[-2] else None)
+        table.append([
+            name, len(values), sparkline(values, width=min(24, last)),
+            f"{values[-1]:.4g}",
+            f"{delta:+.1%}" if delta is not None else "-",
+        ])
+    lines = [
+        f"{len(rows)} row(s), newest: {_fmt_row_id(rows[-1])} "
+        f"[{rows[-1].get('section', '-')}]",
+        "",
+        format_table(["metric", "n", "trend", "latest", "Δ last"], table),
+    ]
+    return "\n".join(lines)
+
+
+def render_diff(diff: dict) -> str:
+    """Text report of :func:`diff_rows`."""
+    from repro.reporting import format_table
+
+    lines = [
+        f"perf diff: {_fmt_row_id(diff['a'])} [{diff['a']['section']}]"
+        f"  →  {_fmt_row_id(diff['b'])} [{diff['b']['section']}]",
+    ]
+    if diff["findings"]:
+        rows = [
+            [f["metric"], f["verdict"],
+             f"{f['mean_a']:.4g}", f"{f['mean_b']:.4g}",
+             f"{f['z']:+.2f}" if f["z"] is not None else "-",
+             f["reason"]]
+            for f in diff["findings"]
+        ]
+        lines.append("")
+        lines.append(format_table(
+            ["metric", "verdict", "old", "new", "z", "reasoning"], rows,
+        ))
+    lines.append("")
+    lines.append(
+        f"verdict: {diff['verdict'].upper()} — {diff['tested']} metric(s) "
+        f"variance-tested, {diff['regressions']} significant regression(s)"
+    )
+    return "\n".join(lines)

@@ -199,6 +199,19 @@ class TestRender:
         assert "campaign 'camp'" in out
         assert f"3/{N_CANDIDATES} done" in out
 
+    def test_cli_watch_once_json(self, interrupted_campaign, capsys):
+        import json
+
+        rc = main([
+            "campaign", "watch", "--name", "camp",
+            "--out", str(interrupted_campaign), "--once", "--json",
+        ])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["status"]["done"] == 3
+        assert str(os.getpid()) in snap["shards"]
+        assert not snap["run_active"]
+
     def test_cli_watch_unknown_campaign_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main([

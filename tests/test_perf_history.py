@@ -1,0 +1,210 @@
+"""BENCH_history.jsonl: append-only trajectory + variance-aware diff."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli.main import main
+from repro.perf import emit_bench
+from repro.perf.history import (
+    append_history,
+    diff_rows,
+    extract_metrics,
+    history_path_for,
+    machine_fingerprint,
+    metric_direction,
+    read_history,
+    render_diff,
+    render_history,
+    welch_z,
+)
+
+
+def throughput_payload(mean, var=4.0, n=3, wall=2.0):
+    return {
+        "TF_iters_per_sec_mean": mean,
+        "TF_iters_per_sec_var": var,
+        "TF_iters_per_sec_samples": list(range(n)),
+        "wall_s": wall,
+    }
+
+
+class TestExtraction:
+    def test_flattens_numeric_leaves_to_dotted_paths(self):
+        metrics = extract_metrics({
+            "a": 1, "nested": {"b": 2.5, "deeper": {"c": 3}},
+            "text": "skip", "flag": True, "items": [1, 2, 3],
+        })
+        assert metrics == {"a": 1.0, "nested.b": 2.5, "nested.deeper.c": 3.0}
+
+    def test_sample_lists_become_counts(self):
+        metrics = extract_metrics({"x_samples": [9, 9, 9, 9]})
+        assert metrics == {"x_n": 4.0}
+
+    def test_non_finite_dropped_and_capped(self):
+        metrics = extract_metrics(
+            {"bad": float("nan"), "worse": float("inf"),
+             **{f"m{i:03d}": i for i in range(50)}},
+            cap=10,
+        )
+        assert len(metrics) == 10
+        assert "bad" not in metrics and "worse" not in metrics
+
+
+class TestAppendRead:
+    def test_rows_accumulate_with_provenance(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        assert append_history("s", throughput_payload(100.0), path) == path
+        assert append_history("s", throughput_payload(101.0), path) == path
+        rows, skipped = read_history(path)
+        assert skipped == 0 and len(rows) == 2
+        for row in rows:
+            assert row["section"] == "s"
+            assert row["ts"] > 0
+            assert row["machine"]["fingerprint"] == \
+                machine_fingerprint({k: v for k, v in row["machine"].items()
+                                     if k != "fingerprint"})
+        assert rows[0]["metrics"]["TF_iters_per_sec_mean"] == 100.0
+        assert rows[1]["metrics"]["TF_iters_per_sec_n"] == 3.0
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_history("s", {"v": 1}, path)
+        with open(path, "a") as fh:
+            fh.write('{"ts": 1, "section": "s", "metr')
+        rows, skipped = read_history(path)
+        assert len(rows) == 1 and skipped == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_history(tmp_path / "none.jsonl") == ([], 0)
+
+    def test_append_failure_is_swallowed(self, tmp_path):
+        from repro.perf import PERF
+
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        before = PERF.get("perf.history.errors")
+        # Parent "directory" is a regular file: the open must fail, the
+        # call must not raise.
+        assert append_history("s", {"v": 1}, blocker / "h.jsonl") is None
+        assert PERF.get("perf.history.errors") == before + 1
+
+    def test_emit_bench_appends_a_sibling_history_row(self, tmp_path):
+        bench = tmp_path / "BENCH_perf.json"
+        emit_bench("sa_throughput", throughput_payload(100.0), bench)
+        emit_bench("sa_throughput", throughput_payload(101.0), bench)
+        rows, skipped = read_history(history_path_for(bench))
+        assert skipped == 0 and len(rows) == 2
+        # The bench JSON itself still holds one overwritten section.
+        data = json.loads(bench.read_text())
+        assert data["sa_throughput"]["TF_iters_per_sec_mean"] == 101.0
+
+
+class TestWelch:
+    def test_direction_heuristic(self):
+        assert metric_direction("TF_iters_per_sec") == 1
+        assert metric_direction("suite_wall_s") == -1
+        assert metric_direction("sa.session.committed") == 0
+
+    def test_z_statistic(self):
+        assert welch_z(10, 1, 4, 10, 1, 4) == 0.0
+        z = welch_z(10, 1, 4, 11, 1, 4)
+        assert z == pytest.approx(1 / math.sqrt(0.5))
+        assert welch_z(10, 0, 4, 11, 0, 4) == math.inf
+        assert welch_z(10, 1, 0, 11, 1, 4) is None
+
+    def row(self, mean, var=1.0, n=5, **plain):
+        return {"ts": 1.0, "git": "abc", "section": "s", "metrics": {
+            "TF_iters_per_sec_mean": mean,
+            "TF_iters_per_sec_var": var,
+            "TF_iters_per_sec_n": n,
+            **plain,
+        }}
+
+    def test_noise_is_ok(self):
+        diff = diff_rows(self.row(100.0, var=25.0), self.row(98.0, var=25.0))
+        (finding,) = diff["findings"]
+        assert finding["verdict"] == "ok"
+        assert diff["verdict"] == "ok"
+
+    def test_significant_drop_in_higher_better_metric_regresses(self):
+        diff = diff_rows(self.row(100.0, var=0.25), self.row(90.0, var=0.25))
+        (finding,) = diff["findings"]
+        assert finding["verdict"] == "regressed"
+        assert finding["z"] < -2
+        assert diff["verdict"] == "regression"
+        assert diff["regressions"] == 1
+
+    def test_significant_rise_improves(self):
+        diff = diff_rows(self.row(100.0, var=0.25), self.row(110.0, var=0.25))
+        assert diff["findings"][0]["verdict"] == "improved"
+        assert diff["verdict"] == "ok"
+
+    def test_plain_metrics_are_noted_never_gated(self):
+        diff = diff_rows(
+            self.row(100.0, wall_s=2.0), self.row(100.0, wall_s=3.0)
+        )
+        noted = [f for f in diff["findings"] if f["kind"] == "plain"]
+        assert [f["verdict"] for f in noted] == ["noted"]
+        assert diff["verdict"] == "ok"
+        # A <=10% drift is not even noted.
+        quiet = diff_rows(
+            self.row(100.0, wall_s=2.0), self.row(100.0, wall_s=2.1)
+        )
+        assert all(f["kind"] != "plain" for f in quiet["findings"])
+
+    def test_render_diff_mentions_the_verdict(self):
+        text = render_diff(
+            diff_rows(self.row(100.0, var=0.25), self.row(90.0, var=0.25))
+        )
+        assert "REGRESSION" in text
+        assert "z" in text
+
+
+class TestCli:
+    def make_history(self, tmp_path, means=(100.0, 101.0)):
+        path = tmp_path / "h.jsonl"
+        for mean in means:
+            append_history("sa_throughput", throughput_payload(mean), path)
+        return path
+
+    def test_history_trend_table(self, tmp_path, capsys):
+        path = self.make_history(tmp_path)
+        rc = main(["perf", "history", "--path", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TF_iters_per_sec_mean" in out
+        assert "trend" in out
+
+    def test_history_empty_file_is_graceful(self, tmp_path, capsys):
+        rc = main(["perf", "history", "--path", str(tmp_path / "no.jsonl")])
+        assert rc == 0
+        assert "no history rows" in capsys.readouterr().out
+
+    def test_diff_default_compares_last_two(self, tmp_path, capsys):
+        path = self.make_history(tmp_path)
+        rc = main(["perf", "diff", "--path", str(path)])
+        assert rc == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_diff_writes_json_report(self, tmp_path, capsys):
+        path = self.make_history(tmp_path, means=(100.0, 101.0, 102.0))
+        out_file = tmp_path / "diff.json"
+        rc = main(["perf", "diff", "0", "-1", "--path", str(path),
+                   "--out", str(out_file)])
+        assert rc == 0
+        report = json.loads(out_file.read_text())
+        assert report["verdict"] in ("ok", "regression")
+        assert report["tested"] == 1
+
+    def test_diff_needs_two_rows(self, tmp_path, capsys):
+        path = self.make_history(tmp_path, means=(100.0,))
+        rc = main(["perf", "diff", "--path", str(path)])
+        assert rc == 0
+        assert "need two rows" in capsys.readouterr().out
+
+    def test_render_history_smoke(self, tmp_path):
+        rows, _ = read_history(self.make_history(tmp_path))
+        text = render_history(rows)
+        assert "TF_iters_per_sec_mean" in text
