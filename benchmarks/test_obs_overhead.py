@@ -241,3 +241,117 @@ def test_diag_overhead_guard(tf_model):
         f"diag recording costs {enabled_overhead:.4%} of an SA iteration "
         f"(budget {MAX_DIAG_ENABLED_OVERHEAD:.0%})"
     )
+
+
+#: Fault-handling budgets (same method again).  Both seams and the
+#: armed supervision loop charge per *candidate* (seconds of SA), never
+#: per iteration, so the budgets are comfortably tight.
+MAX_FAULT_DORMANT_OVERHEAD = 0.001
+MAX_FAULT_ARMED_OVERHEAD = 0.01
+
+
+def test_fault_overhead_guard(tf_model):
+    """Fault tolerance must be ~free when nothing faults.
+
+    Three computed costs, all divided by one candidate evaluation's CPU
+    (a candidate evaluation is one compiled SA run per workload):
+
+    * the dormant chaos seams — one ``_EVAL_HOOK`` identity check per
+      worker evaluation plus one ``_PUT_HOOK`` check per checkpoint
+      put (~2 puts/candidate);
+    * the armed-policy supervision bookkeeping the pool loop pays per
+      fault-free candidate: a ``time.monotonic`` deadline, the
+      in-flight dict insert/pop, and the deadline-min wait bound;
+    * (recorded only) one deterministic ``RetryPolicy.delay_s``
+      derivation — paid per *retry*, so it never touches the fault-free
+      path at all.
+    """
+    from repro.campaign.faults import RetryPolicy
+
+    arch = g_arch()
+    batch = 16
+    iterations = max(30, int(sa_settings(120).iterations))
+    graph = tf_model
+    groups = partition_graph(graph, arch, batch=batch)
+    lmss = [initial_lms(graph, g, arch) for g in groups]
+
+    # Dormant seams: module-global None checks (identical shape to the
+    # real sites in explorer._evaluate_in_worker and store.put).
+    class _Seam:
+        __slots__ = ("hook",)
+
+        def __init__(self):
+            self.hook = None
+
+    seam = _Seam()
+    n_off = 1_000_000
+    sink = 0
+    t0 = time.process_time()
+    for _ in range(n_off):
+        if seam.hook is not None:
+            sink += 1
+    cost_seam = (time.process_time() - t0) / n_off
+    assert sink == 0
+    checks_per_candidate = 3  # 1 eval hook + ~2 put hooks
+
+    # Armed supervision bookkeeping, per fault-free candidate: what
+    # CampaignRunner._run_pool adds over the old fire-and-forget map.
+    policy = RetryPolicy(max_attempts=3, timeout_s=300.0)
+    inflight = {}
+    n_sup = 200_000
+    t0 = time.process_time()
+    for i in range(n_sup):
+        deadline = time.monotonic() + policy.timeout_s
+        inflight[i] = ((i, None, None), 1, deadline, False)
+        bounds = [d for _, _, d, _ in inflight.values() if d is not None]
+        min(bounds)
+        inflight.pop(i)
+    cost_armed = (time.process_time() - t0) / n_sup
+
+    # Per-retry cost (never on the fault-free path): one seeded jitter
+    # derivation.  Recorded so a regression is visible in BENCH_perf.
+    n_delay = 50_000
+    t0 = time.process_time()
+    for i in range(n_delay):
+        policy.delay_s("bench-key", 2 + (i & 3))
+    cost_delay = (time.process_time() - t0) / n_delay
+
+    run_cpu = _sa_cpu(graph, arch, lmss, batch, iterations)
+    assert run_cpu > 0
+    dormant_overhead = checks_per_candidate * cost_seam / run_cpu
+    armed_overhead = cost_armed / run_cpu
+
+    print_banner("Fault-handling overhead on the fault-free campaign path")
+    print(f"dormant seam check:    {cost_seam * 1e9:.1f} ns/check x "
+          f"{checks_per_candidate}/candidate -> {dormant_overhead:.6%} "
+          f"of a candidate (budget {MAX_FAULT_DORMANT_OVERHEAD:.1%})")
+    print(f"armed supervision:     {cost_armed * 1e6:.2f} us/candidate "
+          f"-> {armed_overhead:.5%} of a candidate "
+          f"(budget {MAX_FAULT_ARMED_OVERHEAD:.0%})")
+    print(f"delay derivation:      {cost_delay * 1e6:.2f} us/retry "
+          "(off the fault-free path)")
+    print(f"candidate CPU:         {run_cpu:.3f} s")
+
+    emit_bench("fault_overhead", {
+        "iterations": iterations,
+        "batch": batch,
+        "model": "TF",
+        "seam_cost_s_per_check": cost_seam,
+        "seam_checks_per_candidate": checks_per_candidate,
+        "armed_cost_s_per_candidate": cost_armed,
+        "delay_cost_s_per_retry": cost_delay,
+        "run_cpu_s": run_cpu,
+        "dormant_overhead_fraction": dormant_overhead,
+        "armed_overhead_fraction": armed_overhead,
+        "budget_dormant": MAX_FAULT_DORMANT_OVERHEAD,
+        "budget_armed": MAX_FAULT_ARMED_OVERHEAD,
+    }, BENCH_PATH)
+
+    assert dormant_overhead <= MAX_FAULT_DORMANT_OVERHEAD, (
+        f"dormant chaos seams cost {dormant_overhead:.4%} of a candidate "
+        f"evaluation (budget {MAX_FAULT_DORMANT_OVERHEAD:.1%})"
+    )
+    assert armed_overhead <= MAX_FAULT_ARMED_OVERHEAD, (
+        f"armed-policy supervision costs {armed_overhead:.4%} of a "
+        f"candidate evaluation (budget {MAX_FAULT_ARMED_OVERHEAD:.0%})"
+    )

@@ -30,12 +30,16 @@ from repro.campaign.keys import (
     settings_digest,
     workload_digest,
 )
+from repro.campaign.faults import RetryPolicy
+from repro.campaign.fsck import FsckReport, fsck_store
 from repro.campaign.runner import (
     CampaignError,
     CampaignInterrupted,
     CampaignReport,
     CampaignRunner,
     CampaignSpec,
+    CandidateTimeout,
+    WorkerCrashed,
     campaign_status,
     export_campaign,
 )
@@ -48,7 +52,12 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "CampaignSpec",
+    "CandidateTimeout",
+    "FsckReport",
     "ResultStore",
+    "RetryPolicy",
+    "WorkerCrashed",
+    "fsck_store",
     "arch_digest",
     "arch_distance",
     "arch_family",

@@ -1,0 +1,103 @@
+"""Fault-handling policy for campaign execution.
+
+A :class:`RetryPolicy` describes how the supervised campaign runner
+reacts when evaluating one candidate goes wrong: how many attempts a
+candidate gets before it is quarantined as *poison*, how long a single
+attempt may run before it is declared hung, and how re-dispatches are
+spaced (exponential backoff with deterministic, seeded jitter — two
+runs of the same campaign retry at the same offsets, so fault-recovery
+paths stay as reproducible as the evaluations themselves).
+
+The policy also covers the runner's *store* writes: a transient
+``OSError`` on a checkpoint put (ENOSPC, EIO) is retried a few times
+against a freshly rotated segment before the campaign gives up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class FaultPolicyError(ReproError):
+    """A retry/timeout policy is malformed."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the campaign runner treats per-candidate faults.
+
+    The default policy (one attempt, no timeout) keeps today's
+    semantics — a crash or error fails the candidate immediately — but
+    still buys supervision: a dead worker no longer kills the campaign,
+    and checkpoint puts retry transient store errors.
+    """
+
+    #: Evaluation attempts per candidate before it is finalized (as a
+    #: quarantined poison record for crashes/timeouts, or a plain
+    #: retryable failure record for evaluation errors).
+    max_attempts: int = 1
+    #: Per-attempt wall-clock deadline in seconds; ``None`` disables
+    #: hang detection (an evaluation may run forever).
+    timeout_s: float | None = None
+    #: Base delay before re-dispatching a failed attempt.  0 retries
+    #: immediately.
+    backoff_s: float = 0.0
+    #: Multiplier applied per additional attempt (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Fractional jitter width: the delay is scaled by ``1 + jitter*u``
+    #: with ``u in [-1, 1)`` derived deterministically from
+    #: ``(seed, key, attempt)``.
+    jitter: float = 0.1
+    #: Seed folded into the jitter derivation.
+    seed: int = 0
+    #: Attempts for one store checkpoint put (transient ``OSError``).
+    store_attempts: int = 3
+    #: Pause between store put attempts.
+    store_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultPolicyError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise FaultPolicyError("timeout_s must be positive (or None)")
+        if self.backoff_s < 0 or self.store_backoff_s < 0:
+            raise FaultPolicyError("backoff must be non-negative")
+        if self.store_attempts < 1:
+            raise FaultPolicyError("store_attempts must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise FaultPolicyError("jitter must be within [0, 1]")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def needs_supervision(self) -> bool:
+        """True when the policy requires the supervised pool path
+        (deadlines can only be enforced on futures, never on an
+        in-process serial evaluation)."""
+        return self.timeout_s is not None
+
+    def jitter_u(self, key: str, attempt: int) -> float:
+        """Deterministic ``u in [-1, 1)`` for ``(seed, key, attempt)``."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        # 53 bits -> uniform in [0, 1), exactly like random.random().
+        u01 = int.from_bytes(digest[:7], "big") >> 3
+        return 2.0 * (u01 / (1 << 53)) - 1.0
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before dispatching ``attempt`` (2-based: the first
+        retry).  Deterministic per ``(seed, key, attempt)``."""
+        if attempt <= 1 or self.backoff_s <= 0:
+            return 0.0
+        base = self.backoff_s * self.backoff_factor ** (attempt - 2)
+        return max(0.0, base * (1.0 + self.jitter * self.jitter_u(key, attempt)))
+
+
+#: Failure causes recorded on quarantine / retry events.
+CAUSE_CRASH = "crash"
+CAUSE_TIMEOUT = "timeout"
+CAUSE_ERROR = "error"

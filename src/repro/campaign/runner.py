@@ -23,12 +23,21 @@ search configuration, bound to a directory.  The runner
 from __future__ import annotations
 
 import os
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.arch.params import ArchConfig
 from repro.campaign import keys as ck
+from repro.campaign.faults import (
+    CAUSE_CRASH,
+    CAUSE_ERROR,
+    CAUSE_TIMEOUT,
+    RetryPolicy,
+)
 from repro.campaign.store import (
     KIND_CANDIDATE,
     KIND_MAPPING,
@@ -69,6 +78,14 @@ class CampaignInterrupted(ReproError):
     """
 
 
+class WorkerCrashed(ReproError):
+    """A pool worker died (SIGKILL, OOM, segfault) mid-evaluation."""
+
+
+class CandidateTimeout(ReproError):
+    """An evaluation attempt exceeded the policy deadline."""
+
+
 @dataclass
 class CampaignSpec:
     """Everything that defines a campaign's work list."""
@@ -95,6 +112,9 @@ class CampaignReport:
     evaluated: int
     store_hits: int
     failed: int
+    #: Candidates quarantined as poison (now or by an earlier run);
+    #: skipped by default on resume.
+    quarantined: int = 0
 
     @property
     def done(self) -> list[CandidateResult]:
@@ -166,6 +186,7 @@ class CampaignRunner:
         self.resumed = self._manifest_path().exists()
         self.manifest = self._load_or_create_manifest()
         self._ledger: RunLedger | None = None
+        self._policy: RetryPolicy | None = None
 
     # ------------------------------------------------------------------
     # Manifest
@@ -180,7 +201,16 @@ class CampaignRunner:
         path = self._manifest_path()
         if not path.exists():
             return None
-        return json.loads(path.read_text())
+        try:
+            return json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            # Manifest writes are atomic, so a corrupt manifest means
+            # external damage.  The runner holds the full spec and can
+            # rebuild it losslessly (the store, not the manifest, is
+            # the source of truth for results) — warn via counter and
+            # recreate rather than bricking the campaign.
+            PERF.add("campaign.manifest.corrupt")
+            return None
 
     def _load_or_create_manifest(self) -> dict:
         manifest = self._read_manifest()
@@ -291,14 +321,25 @@ class CampaignRunner:
     # Running
     # ------------------------------------------------------------------
 
-    def pending(self) -> list[tuple[int, ArchConfig]]:
-        """Candidates whose key is not yet in the store."""
+    def pending(
+        self, retry_quarantined: bool = False
+    ) -> list[tuple[int, ArchConfig]]:
+        """Candidates whose key is not yet in the store.
+
+        Quarantined (poison) candidates are excluded by default — they
+        already used up their attempts crashing workers or hanging, and
+        a clean resume must not re-run them.  ``retry_quarantined``
+        opts back in (e.g. after a code fix).
+        """
+        skip: set[str] = set()
+        if not retry_quarantined:
+            skip = self.store.quarantined_keys(KIND_CANDIDATE)
         return [
             (i, arch)
             for i, (arch, key) in enumerate(
                 zip(self.spec.candidates, self.candidate_keys)
             )
-            if not self.store.has(KIND_CANDIDATE, key)
+            if not self.store.has(KIND_CANDIDATE, key) and key not in skip
         ]
 
     def ledger_path(self) -> Path:
@@ -318,10 +359,30 @@ class CampaignRunner:
     def _checkpoint(self, index: int, arch: ArchConfig,
                     result: CandidateResult,
                     shard: int | None = None) -> None:
-        self.explorer.publish(
-            self.store, arch, index, result,
-            key=self.candidate_keys[index],
-        )
+        policy = self._policy or RetryPolicy()
+        for put_attempt in range(1, policy.store_attempts + 1):
+            try:
+                self.explorer.publish(
+                    self.store, arch, index, result,
+                    key=self.candidate_keys[index],
+                )
+                break
+            except OSError as exc:
+                # The store already rotated to a fresh segment; a retry
+                # re-appends the full record set (duplicates are
+                # harmless: identical payloads, last record wins).
+                PERF.add("campaign.store_put_retries")
+                if self._ledger is not None:
+                    self._ledger.emit(
+                        "store_put_retried",
+                        index=index,
+                        key=self.candidate_keys[index],
+                        attempt=put_attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if put_attempt >= policy.store_attempts:
+                    raise
+                time.sleep(policy.store_backoff_s)
         PERF.add("campaign.evaluated")
         if self._ledger is not None:
             restarts, mean, var = self._restart_stats(result)
@@ -334,6 +395,7 @@ class CampaignRunner:
                 delay=result.delay,
                 duration_s=result.wall_time_s,
                 warm_started=result.warm_started,
+                attempts=result.attempts,
                 shard=os.getpid() if shard is None else shard,
                 restarts=restarts,
                 restart_mean_s=mean,
@@ -357,10 +419,49 @@ class CampaignRunner:
                 shard=os.getpid() if shard is None else shard,
             )
 
+    def _record_quarantine(self, index: int, error: Exception,
+                           attempts: int, cause: str) -> None:
+        """Finalize a poison candidate: structured failure record, but
+        the campaign continues and a resume skips it by default."""
+        self.store.record_quarantine(
+            KIND_CANDIDATE, self.candidate_keys[index],
+            f"{type(error).__name__}: {error}",
+            attempts=attempts, cause=cause,
+        )
+        PERF.add("campaign.quarantined")
+        if self._ledger is not None:
+            self._ledger.emit(
+                "candidate_quarantined",
+                index=index,
+                key=self.candidate_keys[index],
+                cause=cause,
+                attempts=attempts,
+                error=f"{type(error).__name__}: {error}",
+                digest=failure_digest(error),
+                shard=os.getpid(),
+            )
+
+    def _emit_retry(self, index: int, cause: str, attempt: int,
+                    delay: float) -> None:
+        PERF.add("campaign.retries")
+        if self._ledger is not None:
+            self._ledger.emit(
+                "candidate_retried",
+                index=index,
+                key=self.candidate_keys[index],
+                cause=cause,
+                attempt=attempt,
+                delay_s=delay,
+                shard=os.getpid(),
+            )
+
     def run(
         self,
         workers: int | None = 1,
         fail_after: int | None = None,
+        policy: RetryPolicy | None = None,
+        chaos=None,
+        retry_quarantined: bool = False,
     ) -> CampaignReport:
         """Evaluate every pending candidate, checkpointing continuously.
 
@@ -369,16 +470,33 @@ class CampaignRunner:
         have been checkpointed, :class:`CampaignInterrupted` is raised —
         at an arbitrary-looking but fully durable point, exactly like a
         kill signal between two checkpoints.
+
+        ``policy`` arms fault handling (retries with backoff, per-
+        candidate deadlines, poison quarantine); ``chaos`` is an
+        installable fault plan (duck-typed: ``install``/``uninstall``,
+        see :mod:`repro.testing.chaos`) injected for the duration of
+        the run.  A timeout policy or a chaos plan forces the
+        supervised pool path even for one worker — deadlines are
+        enforced on futures, and injected worker crashes must not take
+        the parent process down.
         """
         from repro.obs.trace import trace
 
-        todo = self.pending()
-        hits = len(self.spec.candidates) - len(todo)
+        policy = policy or RetryPolicy()
+        self._policy = policy
+        todo = self.pending(retry_quarantined=retry_quarantined)
+        hits = sum(
+            1 for key in self.candidate_keys
+            if self.store.has(KIND_CANDIDATE, key)
+        )
         PERF.add("campaign.store_hits", hits)
         if workers is None:
             workers = os.cpu_count() or 1
         workers = max(1, min(workers, len(todo) or 1))
         tasks = [(i, arch, self._warm_for(i)) for i, arch in todo]
+        use_pool = bool(tasks) and (
+            workers > 1 or policy.needs_supervision or chaos is not None
+        )
         completed = failed = 0
         self._ledger = RunLedger(self.ledger_path())
         self._ledger.emit(
@@ -392,31 +510,23 @@ class CampaignRunner:
         # Anything short of a clean fall-through — fault injection,
         # a kill, an unexpected error — logs as an interruption.
         outcome = "run_interrupted"
+        if chaos is not None:
+            chaos.install()
         try:
             with trace("campaign.run", campaign=self.spec.name,
                        pending=len(todo), workers=workers):
-                if workers == 1:
-                    for i, arch, warm in tasks:
-                        try:
-                            result = self.explorer.evaluate_candidate(
-                                arch, index=i, warm=warm
-                            )
-                        except ReproError as exc:
-                            self._record_failure(i, exc)
-                            failed += 1
-                            continue
-                        self._checkpoint(i, arch, result)
-                        completed += 1
-                        if fail_after is not None and completed >= fail_after:
-                            raise CampaignInterrupted(
-                                f"fault injection after {completed} candidates"
-                            )
-                elif tasks:
+                if use_pool:
                     completed, failed = self._run_pool(
-                        tasks, workers, fail_after
+                        tasks, workers, fail_after, policy
+                    )
+                else:
+                    completed, failed = self._run_serial(
+                        tasks, fail_after, policy
                     )
             outcome = "run_finished"
         finally:
+            if chaos is not None:
+                chaos.uninstall()
             self.store.write_index()
             self._ledger.emit(
                 outcome,
@@ -436,45 +546,272 @@ class CampaignRunner:
             self._ledger.emit("perf", **perf_fields)
             self._ledger.close()
             self._ledger = None
+            self._policy = None
             self.resumed = True
         return self.report(evaluated=completed, store_hits=hits,
                            failed=failed)
 
-    def _run_pool(self, tasks, workers: int,
-                  fail_after: int | None) -> tuple[int, int]:
-        """Shard ``tasks`` over the persistent pool, checkpointing as
-        results land.
+    def _run_serial(self, tasks, fail_after: int | None,
+                    policy: RetryPolicy) -> tuple[int, int]:
+        """In-process evaluation with retries (no deadlines possible)."""
+        completed = failed = 0
+        for i, arch, warm in tasks:
+            key = self.candidate_keys[i]
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self.explorer.evaluate_candidate(
+                        arch, index=i, warm=warm
+                    )
+                except ReproError as exc:
+                    if attempt >= policy.max_attempts:
+                        self._record_failure(i, exc)
+                        failed += 1
+                        break
+                    delay = policy.delay_s(key, attempt + 1)
+                    self._emit_retry(i, CAUSE_ERROR, attempt + 1, delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                result.attempts = attempt
+                self._checkpoint(i, arch, result)
+                completed += 1
+                break
+            if fail_after is not None and completed >= fail_after:
+                raise CampaignInterrupted(
+                    f"fault injection after {completed} candidates"
+                )
+        return completed, failed
+
+    def _run_pool(self, tasks, workers: int, fail_after: int | None,
+                  policy: RetryPolicy) -> tuple[int, int]:
+        """Shard ``tasks`` over the persistent pool under supervision.
 
         The pool lives on the explorer and survives this call: resumed
         runs, multi-campaign sessions and the store-hit/pending split
         all dispatch into already-warm workers (fork-inherited compiled
         tables) instead of respawning per run.
+
+        Supervision invariants:
+
+        * at most ``workers`` tasks are in flight, so a worker death
+          has a bounded casualty list;
+        * a break with exactly *one* task in flight unambiguously
+          attributes the crash; with several, every casualty moves to a
+          *probe* queue and is re-dispatched solo — the next crash
+          identifies the culprit, and innocents are never penalized;
+        * a task whose deadline expires is attributed a timeout (the
+          hung worker is killed by the respawn) and other in-flight
+          tasks are re-queued as collateral, no fault charged;
+        * a candidate whose *attributed* crash/timeout count reaches
+          ``policy.max_attempts`` is quarantined as poison; plain
+          evaluation errors exhaust into an ordinary retryable failure
+          record.
         """
         completed = failed = 0
         pool = self.explorer.pool(workers)
-        futures = {pool.submit(task): task for task in tasks}
-        outstanding = set(futures)
-        while outstanding:
-            finished, outstanding = wait(
-                outstanding, return_when=FIRST_COMPLETED
+        # fault counts (attributed) per candidate index; the dispatch
+        # attempt number is faults+1, so injected chaos faults key on a
+        # deterministic attempt sequence even across collateral
+        # re-dispatches (which charge no fault).
+        faults: dict[int, int] = {}
+        cause_of: dict[int, str] = {}
+        pending = deque(tasks)
+        probes: deque = deque()
+        delayed: list[tuple[float, tuple, bool]] = []
+        inflight: dict = {}
+
+        def dispatch(task, probe: bool) -> None:
+            i = task[0]
+            attempt = faults.get(i, 0) + 1
+            try:
+                fut = pool.submit((task[0], task[1], task[2], attempt))
+            except BrokenProcessPool:
+                # A worker died while the executor sat idle (detected
+                # at submit, not through a future).  Nobody's fault:
+                # respawn and dispatch again.
+                pool.respawn()
+                if self._ledger is not None:
+                    self._ledger.emit("pool_respawned",
+                                      workers=pool.workers)
+                fut = pool.submit((task[0], task[1], task[2], attempt))
+            deadline = (
+                time.monotonic() + policy.timeout_s
+                if policy.timeout_s is not None else None
             )
-            # Checkpoint the whole finished batch before honoring
-            # the fault injection — results that already exist must
-            # never be thrown away.
-            for fut in finished:
-                i, arch, _ = futures[fut]
+            inflight[fut] = (task, attempt, deadline, probe)
+
+        def requeue(task, cause: str, probe: bool) -> bool:
+            """Charge one fault; re-dispatch or finalize.  Returns True
+            when the candidate was finalized (quarantine/failure)."""
+            i = task[0]
+            faults[i] = faults.get(i, 0) + 1
+            cause_of[i] = cause
+            if faults[i] >= policy.max_attempts:
+                if cause == CAUSE_CRASH:
+                    err: Exception = WorkerCrashed(
+                        f"candidate {i} killed its worker "
+                        f"{faults[i]} time(s)"
+                    )
+                elif cause == CAUSE_TIMEOUT:
+                    err = CandidateTimeout(
+                        f"candidate {i} exceeded the {policy.timeout_s}s "
+                        f"deadline {faults[i]} time(s)"
+                    )
+                else:  # pragma: no cover - errors finalize at the caller
+                    err = ReproError(f"candidate {i} failed")
+                self._record_quarantine(
+                    i, err, attempts=faults[i], cause=cause
+                )
+                return True
+            delay = policy.delay_s(self.candidate_keys[i], faults[i] + 1)
+            self._emit_retry(i, cause, faults[i] + 1, delay)
+            if delay > 0:
+                delayed.append((time.monotonic() + delay, task, probe))
+            elif probe:
+                probes.append(task)
+            else:
+                pending.appendleft(task)
+            return False
+
+        def handle_break(casualties: list) -> int:
+            """One or more workers died; attribute, re-queue, respawn."""
+            nonlocal failed
+            PERF.add("dse.pool.worker_deaths")
+            if self._ledger is not None:
+                self._ledger.emit(
+                    "worker_died",
+                    casualties=[t[0] for t, _, _, _ in casualties],
+                    probing=len(casualties) > 1,
+                )
+            quarantined_now = 0
+            if len(casualties) == 1:
+                task, _, _, probe = casualties[0]
+                if requeue(task, CAUSE_CRASH, probe=True):
+                    quarantined_now += 1
+            else:
+                # Ambiguous: any of them may be the poison one.  No
+                # fault is charged; each goes to the probe queue and
+                # runs solo so the next crash is attributable.
+                for task, _, _, _ in casualties:
+                    probes.append(task)
+            pool.respawn()
+            if self._ledger is not None:
+                self._ledger.emit("pool_respawned", workers=pool.workers)
+            return quarantined_now
+
+        while pending or probes or delayed or inflight:
+            now = time.monotonic()
+            # Promote backoff-expired tasks.
+            still: list[tuple[float, tuple, bool]] = []
+            for ready_at, task, probe in delayed:
+                if ready_at <= now:
+                    (probes if probe else pending).append(task)
+                else:
+                    still.append((ready_at, task, probe))
+            delayed[:] = still
+
+            # Dispatch: probe tasks run strictly solo; otherwise fill
+            # the in-flight window up to the worker count.
+            if probes:
+                if not inflight:
+                    dispatch(probes.popleft(), probe=True)
+            else:
+                while pending and len(inflight) < workers:
+                    dispatch(pending.popleft(), probe=False)
+
+            if not inflight:
+                if delayed:
+                    time.sleep(
+                        max(0.0, min(r for r, _, _ in delayed)
+                            - time.monotonic())
+                    )
+                continue
+
+            # Wait bounded by the nearest deadline or backoff expiry.
+            timeout = None
+            deadlines = [d for _, _, d, _ in inflight.values()
+                         if d is not None]
+            bounds = deadlines + [r for r, _, _ in delayed]
+            if bounds:
+                timeout = max(0.05, min(bounds) - time.monotonic())
+            done, _ = wait(
+                inflight.keys(), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+
+            # Checkpoint the whole finished batch before anything else —
+            # results that already exist must never be thrown away.
+            broke = False
+            casualties: list = []
+            for fut in done:
+                task, attempt, _, probe = inflight.pop(fut)
+                i, arch, _ = task
                 try:
                     result, snapshot = fut.result()
+                except BrokenProcessPool:
+                    broke = True
+                    casualties.append((task, attempt, None, probe))
+                    continue
                 except ReproError as exc:
-                    self._record_failure(i, exc)
-                    failed += 1
+                    faults_now = faults.get(i, 0) + 1
+                    if faults_now >= policy.max_attempts:
+                        faults[i] = faults_now
+                        self._record_failure(i, exc)
+                        failed += 1
+                    else:
+                        requeue(task, CAUSE_ERROR, probe)
                     continue
                 PERF.merge(snapshot)
+                result.attempts = attempt
                 self._checkpoint(i, arch, result,
                                  shard=snapshot.get("pid"))
                 completed += 1
+
+            if broke:
+                # Every other in-flight future is broken too.
+                casualties.extend(inflight.values())
+                inflight.clear()
+                failed += handle_break(casualties)
+            elif policy.timeout_s is not None:
+                now = time.monotonic()
+                expired = [
+                    (fut, flight) for fut, flight in inflight.items()
+                    if flight[2] is not None and flight[2] <= now
+                ]
+                if expired:
+                    # The hung workers only die with the respawn; the
+                    # rest of the in-flight tasks are collateral and
+                    # re-queue without a fault charge.
+                    expired_futs = {fut for fut, _ in expired}
+                    collateral = [
+                        flight for fut, flight in inflight.items()
+                        if fut not in expired_futs
+                    ]
+                    inflight.clear()
+                    for _, (task, attempt, _, probe) in expired:
+                        PERF.add("campaign.timeouts")
+                        if self._ledger is not None:
+                            self._ledger.emit(
+                                "candidate_timeout",
+                                index=task[0],
+                                key=self.candidate_keys[task[0]],
+                                attempt=attempt,
+                                timeout_s=policy.timeout_s,
+                            )
+                        if requeue(task, CAUSE_TIMEOUT, probe):
+                            failed += 1
+                    for task, _, _, probe in collateral:
+                        (probes if probe else pending).appendleft(task)
+                    pool.respawn()
+                    if self._ledger is not None:
+                        self._ledger.emit(
+                            "pool_respawned", workers=pool.workers
+                        )
+
             if fail_after is not None and completed >= fail_after:
-                for f in outstanding:
+                for f in inflight:
                     f.cancel()
                 raise CampaignInterrupted(
                     f"fault injection after {completed} candidates"
@@ -494,6 +831,7 @@ class CampaignRunner:
             results.append(
                 None if rec is None else candidate_result_from_dict(rec)
             )
+        quarantined = self.store.quarantined_keys(KIND_CANDIDATE)
         return CampaignReport(
             name=self.spec.name,
             results=results,
@@ -501,6 +839,9 @@ class CampaignRunner:
             evaluated=evaluated,
             store_hits=store_hits,
             failed=failed,
+            quarantined=sum(
+                1 for k in self.candidate_keys if k in quarantined
+            ),
         )
 
     def close(self) -> None:
@@ -525,7 +866,13 @@ def _load_manifest(home: str | Path, name: str) -> dict:
     path = Path(home) / name / MANIFEST_NAME
     if not path.exists():
         raise CampaignError(f"no campaign manifest at {path}")
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CampaignError(
+            f"campaign manifest {path} is corrupt ({exc}); re-running "
+            "the campaign with its original arguments rebuilds it"
+        ) from exc
 
 
 def campaign_status(home: str | Path, name: str) -> dict:
@@ -546,6 +893,9 @@ def campaign_status(home: str | Path, name: str) -> dict:
     failed = {
         k for k in store.failed_keys(KIND_CANDIDATE) if k in key_set
     }
+    quarantined = {
+        k for k in store.quarantined_keys(KIND_CANDIDATE) if k in key_set
+    }
     best = {}
     for axis, keyfn in AXES.items():
         if done_results:
@@ -559,7 +909,8 @@ def campaign_status(home: str | Path, name: str) -> dict:
         "total": len(keys),
         "done": len(done_results),
         "failed": len(failed),
-        "pending": len(keys) - len(done_results),
+        "quarantined": len(quarantined),
+        "pending": len(keys) - len(done_results) - len(quarantined),
         "warm_started": sum(1 for r in done_results if r.warm_started),
         "best": best,
     }

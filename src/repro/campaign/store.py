@@ -35,12 +35,18 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.io.atomic import atomic_write_json
+from repro.perf import PERF
 
 #: Record kinds.
 KIND_CANDIDATE = "candidate"
 KIND_MAPPING = "mapping"
 KIND_SCENARIO = "scenario"
 KIND_FAILURE = "failure"
+
+#: Fault-injection seam (chaos harness): when armed, called as
+#: ``hook(fh, line)`` right before every segment write.  ``None`` in
+#: production — one identity check per put.
+_PUT_HOOK = None
 
 
 class StoreError(ReproError):
@@ -100,7 +106,14 @@ class ResultStore:
     # -- writing -------------------------------------------------------
 
     def put(self, kind: str, key: str, payload: dict) -> None:
-        """Durably append one record and make it visible immediately."""
+        """Durably append one record and make it visible immediately.
+
+        A failed write (ENOSPC, EIO, a chaos fault) re-raises, but only
+        after the writer has *rotated* to a fresh segment file: whatever
+        partial line the failure left behind becomes the tolerated torn
+        tail of the abandoned segment, and a retried put can never
+        concatenate onto it and corrupt an otherwise good record.
+        """
         from repro.obs.trace import trace
 
         with trace("store.put", kind=kind):
@@ -112,11 +125,30 @@ class ResultStore:
                 raise StoreError("record serialization produced a newline")
             if self._fh is None:
                 self._fh = open(self._segment_path, "a")
-            self._fh.write(line + "\n")
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            try:
+                if _PUT_HOOK is not None:
+                    _PUT_HOOK(self._fh, line)
+                self._fh.write(line + "\n")
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError:
+                PERF.add("store.put.errors")
+                self._rotate_segment()
+                raise
             self._records[(kind, key)] = payload
             self._locations[(kind, key)] = self._segment_path.name
+
+    def _rotate_segment(self) -> None:
+        """Abandon the current segment file and start a fresh one."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - double-fault close
+                pass
+            self._fh = None
+        self._segment_path = self.segments_dir / (
+            f"seg-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+        )
 
     # -- reading -------------------------------------------------------
 
@@ -150,19 +182,53 @@ class ResultStore:
         """
         self.put(KIND_FAILURE, key, {"for_kind": kind, "error": error})
 
+    def record_quarantine(self, kind: str, key: str, error: str,
+                          attempts: int, cause: str) -> None:
+        """Commit ``(kind, key)`` as *poison*: it crashed its worker or
+        timed out ``attempts`` times and must not be retried by default.
+
+        Quarantine is a structured failure record (``poison: true``), so
+        everything that understands failures — supersede-on-success,
+        ``status``, fsck — works unchanged; only :meth:`failed_keys`
+        treats poison specially (quarantined keys are not pending).
+        """
+        self.put(KIND_FAILURE, key, {
+            "for_kind": kind, "error": error, "poison": True,
+            "attempts": attempts, "cause": cause,
+        })
+
     def failed_keys(self, kind: str) -> set[str]:
-        """Keys whose last computation failed and has not succeeded since."""
+        """Keys whose last computation failed retryably and has not
+        succeeded since (quarantined poison keys are excluded — see
+        :meth:`quarantined_keys`)."""
         failed = set()
         for (kd, key), payload in self._records.items():
-            if kd == KIND_FAILURE and payload.get("for_kind") == kind:
+            if kd == KIND_FAILURE and payload.get("for_kind") == kind \
+                    and not payload.get("poison"):
                 if not self.has(kind, key):
                     failed.add(key)
         return failed
 
+    def quarantined_keys(self, kind: str) -> set[str]:
+        """Poison keys of ``kind`` without a superseding success."""
+        out = set()
+        for (kd, key), payload in self._records.items():
+            if kd == KIND_FAILURE and payload.get("for_kind") == kind \
+                    and payload.get("poison"):
+                if not self.has(kind, key):
+                    out.add(key)
+        return out
+
     # -- index ---------------------------------------------------------
 
-    def write_index(self) -> Path:
-        """Atomically rewrite ``index.json`` from the in-memory state."""
+    def write_index(self) -> Path | None:
+        """Atomically rewrite ``index.json`` from the in-memory state.
+
+        Best-effort: the index is a derived artifact (segments are the
+        source of truth, fsck rebuilds it), so a failed write — disk
+        full at the end of an otherwise durable run — must not take the
+        run's results down with it.
+        """
         index = {
             "counts": self.counts(),
             "skipped_lines": self._skipped_lines,
@@ -170,7 +236,11 @@ class ResultStore:
         }
         for (kind, key), seg in sorted(self._locations.items()):
             index["keys"].setdefault(kind, {})[key] = seg
-        return atomic_write_json(self.root / "index.json", index)
+        try:
+            return atomic_write_json(self.root / "index.json", index)
+        except OSError:
+            PERF.add("store.index.errors")
+            return None
 
     # -- lifecycle -----------------------------------------------------
 

@@ -482,6 +482,7 @@ def cmd_campaign_run(args) -> int:
         CampaignInterrupted,
         CampaignRunner,
         CampaignSpec,
+        RetryPolicy,
     )
     from repro.errors import ReproError
 
@@ -499,14 +500,29 @@ def cmd_campaign_run(args) -> int:
         warm_start=not args.no_warm_start,
     )
     try:
+        policy = RetryPolicy(
+            max_attempts=args.retries,
+            timeout_s=args.timeout,
+            backoff_s=args.backoff,
+            seed=args.seed,
+        )
+        chaos = None
+        if args.chaos:
+            from repro.testing.chaos import parse_chaos
+
+            chaos = parse_chaos(args.chaos, seed=args.seed)
         with CampaignRunner(spec, args.out) as runner:
-            pending = len(runner.pending())
+            pending = len(
+                runner.pending(retry_quarantined=args.retry_quarantined)
+            )
             total = len(candidates)
             print(f"campaign {args.name!r}: {total} candidate(s), "
                   f"{total - pending} stored, {pending} pending "
                   f"({args.workers or 'all'} worker(s))")
             report = runner.run(
-                workers=args.workers or None, fail_after=args.fail_after
+                workers=args.workers or None, fail_after=args.fail_after,
+                policy=policy, chaos=chaos,
+                retry_quarantined=args.retry_quarantined,
             )
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}")
@@ -516,7 +532,9 @@ def cmd_campaign_run(args) -> int:
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
     print(f"evaluated {report.evaluated}, served {report.store_hits} from "
-          f"the store, {report.failed} failed")
+          f"the store, {report.failed} failed"
+          + (f", {report.quarantined} quarantined"
+             if report.quarantined else ""))
     done = report.done
     if done:
         rows = [list(candidate_result_summary(r).values())
@@ -545,6 +563,7 @@ def cmd_campaign_status(args) -> int:
         raise SystemExit(str(exc)) from exc
     print(f"campaign {status['name']!r}: {status['done']}/{status['total']} "
           f"done, {status['pending']} pending, {status['failed']} failed, "
+          f"{status.get('quarantined', 0)} quarantined, "
           f"{status['warm_started']} warm-started")
     rows = [
         [axis, status["best"][axis]["arch"], status["best"][axis]["value"]]
@@ -594,6 +613,18 @@ def cmd_campaign_report(args) -> int:
     else:
         print(render_campaign_report(data))
     return 0
+
+
+def cmd_store_fsck(args) -> int:
+    """Integrity-check (and optionally repair) a result store."""
+    from repro.campaign.fsck import fsck_store, render_fsck
+
+    root = Path(args.store) if args.store else Path(args.out) / "store"
+    if not root.is_dir():
+        raise SystemExit(f"no result store at {root}")
+    report = fsck_store(root, repair=args.repair)
+    print(render_fsck(report))
+    return 0 if report.clean else 1
 
 
 def cmd_sa_report(args) -> int:
@@ -884,6 +915,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel candidate evaluators (0 = all CPUs)")
     c.add_argument("--no-warm-start", action="store_true",
                    help="disable SA warm starts from stored mappings")
+    c.add_argument("--timeout", type=float, default=None,
+                   help="per-candidate evaluation deadline in seconds; "
+                        "a hung worker is killed and the attempt retried "
+                        "(forces the supervised pool path)")
+    c.add_argument("--retries", type=int, default=1,
+                   help="evaluation attempts per candidate before it is "
+                        "finalized (crash/timeout exhaustion quarantines "
+                        "it as poison; default 1)")
+    c.add_argument("--backoff", type=float, default=0.0,
+                   help="base re-dispatch delay in seconds (exponential, "
+                        "deterministically jittered; default 0)")
+    c.add_argument("--retry-quarantined", action="store_true",
+                   help="re-try candidates quarantined as poison by "
+                        "earlier runs")
+    c.add_argument("--chaos", default=None, metavar="PLAN",
+                   help="inject a deterministic fault plan, e.g. "
+                        "'crash:1,hang:0:1:45,enospc:2' "
+                        "(kind:target[:count[:seconds]]; kinds: crash, "
+                        "hang, slow per candidate index; enospc, torn "
+                        "per store put)")
     c.add_argument("--fail-after", type=int, default=None,
                    help="fault injection: interrupt after N fresh "
                         "evaluations (CI smoke / crash drills)")
@@ -935,6 +986,26 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--json", action="store_true",
                    help="emit the raw report data as JSON")
     c.set_defaults(func=cmd_campaign_report, command="campaign-report")
+
+    p = sub.add_parser(
+        "store",
+        help="result-store maintenance",
+    )
+    ssub = p.add_subparsers(dest="store_command", required=True)
+    c = ssub.add_parser(
+        "fsck",
+        help="scan JSONL segments for torn/corrupt records, report what "
+             "resume would lose; --repair quarantines bad lines and "
+             "rebuilds the index",
+    )
+    c.add_argument("--out", default="campaigns",
+                   help="campaigns home directory (store at <out>/store)")
+    c.add_argument("--store", default=None,
+                   help="explicit store directory (overrides --out)")
+    c.add_argument("--repair", action="store_true",
+                   help="quarantine bad lines to a sidecar and rebuild "
+                        "index.json atomically")
+    c.set_defaults(func=cmd_store_fsck, command="store-fsck")
 
     p = sub.add_parser("heatmap", help="Fig 9 traffic heatmaps")
     p.add_argument("--model", default="TF",

@@ -69,6 +69,11 @@ class CandidateResult:
     #: Search diagnostics per workload: ``{"warm": bool, "restarts":
     #: [per-restart diag dicts]}``.  Empty unless ``SASettings.diag``.
     sa_diag: dict[str, dict] = field(default_factory=dict)
+    #: 1-based evaluation attempt that produced this result (> 1 when
+    #: the supervised runner retried after a crash/timeout/error).
+    #: Provenance only — excluded from content keys and export rows, so
+    #: retried and clean evaluations stay interchangeable.
+    attempts: int = 1
 
     @property
     def edp(self) -> float:
@@ -110,19 +115,51 @@ def geomean(values: list[float]) -> float:
 #: initializer instead of once per submitted candidate.
 _WORKER_EXPLORER: "DesignSpaceExplorer | None" = None
 
+#: Fault-injection seam (chaos harness): when armed, called as
+#: ``hook(index, attempt)`` at the start of every worker evaluation.
+#: ``None`` in production — the cost of the dormant seam is one
+#: identity check per *candidate*, never per SA iteration.
+_EVAL_HOOK = None
+
 
 def _init_worker(explorer: "DesignSpaceExplorer") -> None:
     global _WORKER_EXPLORER
     _WORKER_EXPLORER = explorer
 
 
-def _evaluate_in_worker(
-    args: tuple[int, ArchConfig] | tuple[int, ArchConfig, dict | None]
-) -> tuple[CandidateResult, dict]:
-    index, arch, warm = args if len(args) == 3 else (*args, None)
+def _evaluate_in_worker(args) -> tuple[CandidateResult, dict]:
+    """Evaluate one ``(index, arch[, warm[, attempt]])`` task.
+
+    Short tuples stay accepted for older call sites; ``attempt`` is the
+    parent-tracked 1-based attempt number the supervised runner ships
+    so injected faults (and retry provenance) key on it deterministically.
+    """
+    index, arch = args[0], args[1]
+    warm = args[2] if len(args) > 2 else None
+    attempt = args[3] if len(args) > 3 else 1
+    if _EVAL_HOOK is not None:
+        _EVAL_HOOK(index, attempt)
     PERF.reset()  # process-local; each candidate ships its own delta
     result = _WORKER_EXPLORER.evaluate_candidate(arch, index=index, warm=warm)
+    result.attempts = attempt
     return result, PERF.snapshot()
+
+
+def _evaluate_chunk(chunk) -> list:
+    """Evaluate a chunk of tasks, capturing per-item failures.
+
+    Returns ``("ok", (result, snapshot))`` / ``("err", exception)``
+    pairs so one failing candidate cannot take its chunk-mates' already
+    computed results down with it (``Executor.map`` would fail the
+    whole chunk future).
+    """
+    out = []
+    for task in chunk:
+        try:
+            out.append(("ok", _evaluate_in_worker(task)))
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent
+            out.append(("err", exc))
+    return out
 
 
 class DesignSpaceExplorer:

@@ -17,6 +17,14 @@ costs across the pool's lifetime:
 * candidates are dispatched in chunks so per-task IPC overhead is paid
   per chunk, not per candidate.
 
+The pool is also *supervisable*: a SIGKILL'd or hung worker breaks a
+``ProcessPoolExecutor`` permanently (every outstanding future raises
+``BrokenProcessPool`` and the executor refuses new work), so
+:meth:`respawn` tears the broken executor down — force-killing any
+still-running workers, which is the only way to clear a hung task —
+and builds a fresh one bound to the same explorer.  The campaign
+runner calls it to keep a campaign alive across worker deaths.
+
 The explorer must be treated as immutable once a pool exists — workers
 saw its state at fork/spawn time.
 """
@@ -61,6 +69,21 @@ def _release(executor: ProcessPoolExecutor, token: int | None) -> None:
         _FORK_STATE.pop(token, None)
 
 
+def _kill_workers(executor: ProcessPoolExecutor) -> int:
+    """SIGKILL an executor's worker processes (hung tasks cannot be
+    cancelled any other way).  Returns how many were still alive."""
+    killed = 0
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        if proc.is_alive():
+            try:
+                proc.kill()
+                killed += 1
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+    return killed
+
+
 class PersistentEvalPool:
     """A long-lived process pool bound to one explorer."""
 
@@ -68,32 +91,59 @@ class PersistentEvalPool:
         if workers < 1:
             raise ValueError("pool needs at least one worker")
         self.workers = workers
+        self._explorer = explorer
         self._token: int | None = None
         # Compile the workloads' graph tables in the parent before any
         # worker exists, so fork inheritance ships them for free.
         explorer.prepare()
-        if "fork" in mp.get_all_start_methods():
+        self._use_fork = "fork" in mp.get_all_start_methods()
+        if self._use_fork:
             self._token = next(_TOKENS)
             _FORK_STATE[self._token] = explorer
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=mp.get_context("fork"),
-                initializer=_init_fork_worker,
-                initargs=(self._token,),
-            )
-        else:  # pragma: no cover - non-POSIX fallback
-            from repro.dse.explorer import _init_worker
-
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(explorer,),
-            )
+        self._pool = self._spawn_executor()
         self._finalizer = weakref.finalize(
             self, _release, self._pool, self._token
         )
         self.dispatched = 0
+        self.respawns = 0
         PERF.add("dse.pool.created")
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        if self._use_fork:
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp.get_context("fork"),
+                initializer=_init_fork_worker,
+                initargs=(self._token,),
+            )
+        from repro.dse.explorer import _init_worker  # pragma: no cover
+
+        return ProcessPoolExecutor(  # pragma: no cover - non-POSIX
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self._explorer,),
+        )
+
+    def respawn(self) -> None:
+        """Replace a broken (or hung) executor with a fresh one.
+
+        Outstanding futures of the old executor are abandoned: a broken
+        executor has already failed them with ``BrokenProcessPool``,
+        and a hung worker only dies by force — the supervisor decides
+        which of its tasks get re-dispatched.  Workers of the new
+        executor fork from the *current* parent state at next submit,
+        so fork-inherited explorer tables (and any armed chaos hooks)
+        carry over.
+        """
+        _kill_workers(self._pool)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._finalizer.detach()
+        self._pool = self._spawn_executor()
+        self._finalizer = weakref.finalize(
+            self, _release, self._pool, self._token
+        )
+        self.respawns += 1
+        PERF.add("dse.pool.respawned")
 
     # ------------------------------------------------------------------
 
@@ -102,25 +152,39 @@ class PersistentEvalPool:
 
         Yields ``(result, perf_snapshot)`` pairs in task order as they
         complete, like ``Executor.map`` — callers can checkpoint the
-        ordered stream as it advances.
+        ordered stream as it advances.  Unlike ``Executor.map``, one
+        failing task does not poison its whole dispatch chunk: workers
+        capture per-task outcomes, so every result computed *before*
+        the first failing task is yielded before its exception re-raises.
         """
-        from repro.dse.explorer import _evaluate_in_worker
+        from repro.dse.explorer import _evaluate_chunk
         from repro.obs.trace import trace
 
         if chunksize is None:
             chunksize = default_chunksize(len(tasks), self.workers)
         self.dispatched += len(tasks)
         PERF.add("dse.pool.dispatched", len(tasks))
-        # The span covers submission only — the returned map is lazy;
+        # The span covers submission only — the generator is lazy;
         # workers report their own spans through the snapshot channel.
         with trace("dse.pool.dispatch", tasks=len(tasks),
                    chunksize=chunksize, workers=self.workers):
-            return self._pool.map(
-                _evaluate_in_worker, tasks, chunksize=chunksize
-            )
+            futures = [
+                self._pool.submit(_evaluate_chunk, tasks[i:i + chunksize])
+                for i in range(0, len(tasks), chunksize)
+            ]
+
+        def _results():
+            for fut in futures:
+                for status, payload in fut.result():
+                    if status == "err":
+                        raise payload
+                    yield payload
+
+        return _results()
 
     def submit(self, task) -> Future:
-        """Dispatch one ``(index, arch, warm)`` task (unordered use)."""
+        """Dispatch one ``(index, arch, warm[, attempt])`` task
+        (unordered use)."""
         from repro.dse.explorer import _evaluate_in_worker
 
         self.dispatched += 1

@@ -236,6 +236,10 @@ def candidate_result_to_dict(result) -> dict:
             name: dict(uses) for name, uses in result.operator_uses.items()
         },
         "sa_diag": result.sa_diag,
+        # Retry provenance (wall-clock-like: outside the content key
+        # and the export rows, so retried and clean evaluations stay
+        # byte-identical where it matters).
+        "attempts": result.attempts,
     }
 
 
@@ -268,6 +272,7 @@ def candidate_result_from_dict(data: dict):
                 for name, uses in data.get("operator_uses", {}).items()
             },
             sa_diag=data.get("sa_diag", {}),
+            attempts=data.get("attempts", 1),
         )
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"bad candidate record: {exc}") from exc

@@ -439,6 +439,20 @@ def campaign_report_data(home, name) -> dict:
         slot["count"] += 1
         slot["indices"].append(ev.get("index"))
 
+    # Poison candidates, keyed by index (later verdicts win: a
+    # re-quarantine after --retry-quarantined updates the row).
+    quarantined: dict[int, dict] = {}
+    for ev in events:
+        if ev.get("event") != "candidate_quarantined":
+            continue
+        quarantined[ev.get("index", -1)] = {
+            "index": ev.get("index"),
+            "cause": ev.get("cause", "?"),
+            "attempts": ev.get("attempts", 0),
+            "error": ev.get("error", ""),
+            "digest": ev.get("digest", "?"),
+        }
+
     def _mean(xs):
         return sum(xs) / len(xs) if xs else None
 
@@ -453,6 +467,8 @@ def campaign_report_data(home, name) -> dict:
         },
         "diag_by_pid": diag_by_pid,
         "failures": failures,
+        "quarantined": sorted(quarantined.values(),
+                              key=lambda q: q["index"]),
         "ledger_skipped": skipped,
     }
 
@@ -529,6 +545,19 @@ def render_campaign_report(data: dict) -> str:
         ]
         lines.append(format_table(
             ["failure digest", "count", "candidates", "error"], rows,
+        ))
+
+    if data.get("quarantined"):
+        lines.append("")
+        lines.append("quarantined (poison) candidates — resume skips "
+                     "these; re-try with --retry-quarantined:")
+        rows = [
+            [q["index"], q["cause"], q["attempts"], q["digest"],
+             q["error"][:60]]
+            for q in data["quarantined"]
+        ]
+        lines.append(format_table(
+            ["cand", "cause", "attempts", "digest", "error"], rows,
         ))
 
     if data["ledger_skipped"]:

@@ -26,11 +26,21 @@ EVENT_RUN_STARTED = "run_started"
 EVENT_RUN_RESUMED = "run_resumed"
 EVENT_EVALUATED = "candidate_evaluated"
 EVENT_FAILED = "candidate_failed"
+EVENT_RETRIED = "candidate_retried"
+EVENT_TIMEOUT = "candidate_timeout"
+EVENT_QUARANTINED = "candidate_quarantined"
+EVENT_WORKER_DIED = "worker_died"
+EVENT_POOL_RESPAWNED = "pool_respawned"
 EVENT_INTERRUPTED = "run_interrupted"
 EVENT_FINISHED = "run_finished"
 EVENT_PERF = "perf"
 
 _RUN_EVENTS = (EVENT_RUN_STARTED, EVENT_RUN_RESUMED)
+
+_SHARD_DEFAULTS = {
+    "evaluated": 0, "failed": 0, "busy_s": 0.0, "last_ts": 0.0,
+    "attempts": 0, "retries": 0, "timeouts": 0, "quarantined": 0,
+}
 
 
 def ledger_path(home: str | Path, name: str) -> Path:
@@ -83,20 +93,40 @@ def watch_snapshot(home: str | Path, name: str,
     )
 
     shards: dict[int, dict] = {}
+    faults = {"retries": 0, "timeouts": 0, "quarantined": 0,
+              "worker_deaths": 0, "pool_respawns": 0}
+
+    def shard_of(ev: dict) -> dict:
+        return shards.setdefault(
+            int(ev.get("shard", ev["pid"])), dict(_SHARD_DEFAULTS)
+        )
+
     for ev in segment:
         if ev["event"] == EVENT_EVALUATED:
-            shard = shards.setdefault(int(ev.get("shard", ev["pid"])), {
-                "evaluated": 0, "failed": 0, "busy_s": 0.0, "last_ts": 0.0,
-            })
+            shard = shard_of(ev)
             shard["evaluated"] += 1
+            shard["attempts"] += int(ev.get("attempts", 1))
             shard["busy_s"] += float(ev.get("duration_s", 0.0))
             shard["last_ts"] = max(shard["last_ts"], ev["ts"])
         elif ev["event"] == EVENT_FAILED:
-            shard = shards.setdefault(int(ev.get("shard", ev["pid"])), {
-                "evaluated": 0, "failed": 0, "busy_s": 0.0, "last_ts": 0.0,
-            })
+            shard = shard_of(ev)
             shard["failed"] += 1
             shard["last_ts"] = max(shard["last_ts"], ev["ts"])
+        elif ev["event"] == EVENT_RETRIED:
+            shard_of(ev)["retries"] += 1
+            faults["retries"] += 1
+        elif ev["event"] == EVENT_TIMEOUT:
+            shard_of(ev)["timeouts"] += 1
+            faults["timeouts"] += 1
+        elif ev["event"] == EVENT_QUARANTINED:
+            shard = shard_of(ev)
+            shard["quarantined"] += 1
+            shard["last_ts"] = max(shard["last_ts"], ev["ts"])
+            faults["quarantined"] += 1
+        elif ev["event"] == EVENT_WORKER_DIED:
+            faults["worker_deaths"] += 1
+        elif ev["event"] == EVENT_POOL_RESPAWNED:
+            faults["pool_respawns"] += 1
 
     # Aggregate throughput: shards run in parallel, so the campaign
     # rate is the sum of the per-shard rates (count / busy time).
@@ -129,6 +159,7 @@ def watch_snapshot(home: str | Path, name: str,
         "run_event": run_event,
         "run_active": bool(segment) and not finished,
         "shards": shards,
+        "faults": faults,
         "cands_per_sec": cand_rate,
         "sa_iters_per_sec": iters_rate,
         "busy_s": busy_s,
@@ -153,10 +184,21 @@ def render_watch(snap: dict) -> str:
     state = "running" if snap["run_active"] else "idle"
     lines = [
         f"campaign {status['name']!r} [{bar}] {done}/{status['total']} done, "
-        f"{status['pending']} pending, {status['failed']} failed "
-        f"({state}, run {snap['runs']}"
+        f"{status['pending']} pending, {status['failed']} failed"
+        + (f", {status['quarantined']} quarantined"
+           if status.get("quarantined") else "")
+        + f" ({state}, run {snap['runs']}"
         + (" resumed" if snap["resumed"] else "") + ")",
     ]
+    faults = snap.get("faults") or {}
+    if any(faults.values()):
+        lines.append(
+            "faults: "
+            f"{faults['retries']} retried, {faults['timeouts']} timed out, "
+            f"{faults['quarantined']} quarantined, "
+            f"{faults['worker_deaths']} worker death(s), "
+            f"{faults['pool_respawns']} pool respawn(s)"
+        )
     thr = (f"throughput: {snap['cands_per_sec']:.2f} cand/s, "
            f"{snap['sa_iters_per_sec']:.0f} SA it/s")
     if snap["eta_s"] is not None:
@@ -168,12 +210,15 @@ def render_watch(snap: dict) -> str:
             mean = s["busy_s"] / s["evaluated"] if s["evaluated"] else 0.0
             age = max(0.0, snap["now"] - s["last_ts"])
             rows.append([
-                pid, s["evaluated"], s["failed"], f"{s['busy_s']:.1f}s",
-                f"{mean:.2f}s", f"{age:.0f}s ago",
+                pid, s["evaluated"], s["failed"],
+                s.get("attempts", s["evaluated"]), s.get("retries", 0),
+                s.get("timeouts", 0), s.get("quarantined", 0),
+                f"{s['busy_s']:.1f}s", f"{mean:.2f}s", f"{age:.0f}s ago",
             ])
         lines.append("")
         lines.append(format_table(
-            ["shard", "evaluated", "failed", "busy", "s/cand", "last seen"],
+            ["shard", "evaluated", "failed", "attempts", "retries",
+             "timeouts", "poison", "busy", "s/cand", "last seen"],
             rows,
         ))
     if snap["caches"]:

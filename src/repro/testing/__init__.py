@@ -1,0 +1,23 @@
+"""Deterministic test harnesses (fault injection, chaos plans).
+
+Production modules never import this package; chaos plans reach into
+the runtime through explicit hook seams (`repro.dse.explorer._EVAL_HOOK`,
+`repro.campaign.store._PUT_HOOK`) that are ``None`` unless a test or
+``repro campaign run --chaos`` arms them.
+"""
+
+from repro.testing.chaos import (
+    ChaosError,
+    ChaosFault,
+    ChaosPlan,
+    format_chaos,
+    parse_chaos,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosFault",
+    "ChaosPlan",
+    "format_chaos",
+    "parse_chaos",
+]

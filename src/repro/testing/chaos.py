@@ -1,0 +1,208 @@
+"""Deterministic chaos harness: seeded fault plans for campaigns.
+
+A :class:`ChaosPlan` generalizes the runner's original ``fail_after``
+hook into a reproducible fault schedule.  Faults come in two families:
+
+* **evaluation faults** fire inside a pool worker, keyed by the
+  candidate *index* and the 1-based *attempt* number — ``crash``
+  (SIGKILL the worker mid-evaluation), ``hang`` (sleep past any
+  deadline), ``slow`` (sleep but finish);
+* **store faults** fire in the parent on a 1-based *put* ordinal —
+  ``enospc`` (raise ``OSError(ENOSPC)`` before anything is written),
+  ``torn`` (write half a record without a newline, then fail), the two
+  ways a checkpoint write dies in the wild.
+
+Evaluation faults are *pure* functions of ``(index, attempt)``: no
+state has to survive the worker they just killed.  The parent tracks
+attempt numbers and ships them with each task, so "crash the first two
+attempts of candidate 3" means exactly that on every run of the plan.
+Store faults use a parent-local put counter (campaign checkpoints only
+ever put from the parent process).
+
+Plans parse from a compact spec — ``"crash:1,hang:0:1:45,enospc:2"``
+is "SIGKILL candidate 1's first attempt, hang candidate 0's first
+attempt for 45s, ENOSPC the 2nd store put" — usable from tests and
+``repro campaign run --chaos``.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Fault kinds fired inside a worker during candidate evaluation.
+EVAL_KINDS = ("crash", "hang", "slow")
+#: Fault kinds fired in the parent on a store put.
+STORE_KINDS = ("enospc", "torn")
+
+#: Default sleep of a ``hang`` fault — long enough to trip any sane
+#: deadline, short enough that an unsupervised test still terminates.
+DEFAULT_HANG_S = 30.0
+
+
+class ChaosError(ReproError):
+    """A chaos plan spec is malformed."""
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled fault.
+
+    ``target`` is a candidate index for evaluation faults and a 1-based
+    put ordinal for store faults.  ``count`` arms evaluation faults for
+    attempts ``1..count`` (a candidate that crashes twice then succeeds
+    has ``count=2``); store faults always fire exactly once.
+    """
+
+    kind: str
+    target: int
+    count: int = 1
+    seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVAL_KINDS + STORE_KINDS:
+            raise ChaosError(f"unknown fault kind {self.kind!r}")
+        if self.target < 0:
+            raise ChaosError("fault target must be >= 0")
+        if self.count < 1:
+            raise ChaosError("fault count must be >= 1")
+        if self.seconds is not None and self.seconds < 0:
+            raise ChaosError("fault seconds must be >= 0")
+
+
+def parse_chaos(spec: str, seed: int = 0) -> "ChaosPlan":
+    """Parse ``"kind:target[:count[:seconds]]"`` comma-separated specs."""
+    faults = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        bits = part.split(":")
+        if not 2 <= len(bits) <= 4:
+            raise ChaosError(
+                f"bad fault spec {part!r} "
+                "(want kind:target[:count[:seconds]])"
+            )
+        try:
+            kind = bits[0]
+            target = int(bits[1])
+            count = int(bits[2]) if len(bits) > 2 else 1
+            seconds = float(bits[3]) if len(bits) > 3 else None
+        except ValueError as exc:
+            raise ChaosError(f"bad fault spec {part!r}: {exc}") from exc
+        faults.append(ChaosFault(kind, target, count, seconds))
+    if not faults:
+        raise ChaosError(f"empty chaos spec {spec!r}")
+    return ChaosPlan(faults, seed=seed)
+
+
+def format_chaos(plan: "ChaosPlan") -> str:
+    """Inverse of :func:`parse_chaos` (round-trips a plan)."""
+    parts = []
+    for f in plan.faults:
+        bits = [f.kind, str(f.target)]
+        if f.count != 1 or f.seconds is not None:
+            bits.append(str(f.count))
+        if f.seconds is not None:
+            bits.append(f"{f.seconds:g}")
+        parts.append(":".join(bits))
+    return ",".join(parts)
+
+
+@dataclass
+class ChaosPlan:
+    """A seeded, deterministic schedule of injected faults."""
+
+    faults: list[ChaosFault]
+    seed: int = 0
+    #: Parent-local 1-based put counter (store faults only).
+    _puts: int = field(default=0, repr=False, compare=False)
+    _installed: bool = field(default=False, repr=False, compare=False)
+
+    # -- pure schedule lookups -----------------------------------------
+
+    def eval_fault(self, index: int, attempt: int) -> ChaosFault | None:
+        """The evaluation fault armed for ``(index, attempt)``, if any."""
+        for f in self.faults:
+            if f.kind in EVAL_KINDS and f.target == index \
+                    and attempt <= f.count:
+                return f
+        return None
+
+    def store_fault(self, put_number: int) -> ChaosFault | None:
+        """The store fault armed for the given 1-based put ordinal."""
+        for f in self.faults:
+            if f.kind in STORE_KINDS and f.target == put_number:
+                return f
+        return None
+
+    def slow_seconds(self, index: int) -> float:
+        """Deterministic default duration of a ``slow`` fault."""
+        return 0.05 + 0.05 * ((self.seed + index) % 4)
+
+    # -- hook bodies ---------------------------------------------------
+
+    def fire_eval(self, index: int, attempt: int) -> None:
+        """Run in the worker at the start of an evaluation attempt."""
+        fault = self.eval_fault(index, attempt)
+        if fault is None:
+            return
+        if fault.kind == "crash":
+            # Bypass every interpreter cleanup path: this is a kernel
+            # OOM-kill / node power-loss stand-in, not an exception.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault.kind == "hang":
+            time.sleep(DEFAULT_HANG_S if fault.seconds is None
+                       else fault.seconds)
+        elif fault.kind == "slow":
+            time.sleep(self.slow_seconds(index) if fault.seconds is None
+                       else fault.seconds)
+
+    def fire_put(self, fh, line: str) -> None:
+        """Run in the parent on every store put (fh is the open segment)."""
+        self._puts += 1
+        fault = self.store_fault(self._puts)
+        if fault is None:
+            return
+        if fault.kind == "enospc":
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        if fault.kind == "torn":
+            # Half a record, no newline, then the write "fails": what a
+            # crash mid-write leaves behind in a real segment.
+            fh.write(line[: len(line) // 2])
+            fh.flush()
+            raise OSError(errno.EIO, "chaos: torn write")
+
+    # -- installation --------------------------------------------------
+
+    def install(self) -> None:
+        """Arm the hook seams.  Must run before the eval pool spawns so
+        forked workers inherit the evaluation hook."""
+        from repro.campaign import store as store_mod
+        from repro.dse import explorer as explorer_mod
+
+        explorer_mod._EVAL_HOOK = self.fire_eval
+        store_mod._PUT_HOOK = self.fire_put
+        self._installed = True
+
+    def uninstall(self) -> None:
+        from repro.campaign import store as store_mod
+        from repro.dse import explorer as explorer_mod
+
+        if explorer_mod._EVAL_HOOK == self.fire_eval:
+            explorer_mod._EVAL_HOOK = None
+        if store_mod._PUT_HOOK == self.fire_put:
+            store_mod._PUT_HOOK = None
+        self._installed = False
+
+    def __enter__(self) -> "ChaosPlan":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
