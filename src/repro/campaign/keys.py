@@ -108,6 +108,13 @@ def settings_digest(
     # gets computed, so a diag'd evaluation must keep matching the
     # store records a plain run wrote (and vice versa).
     sa_dict.pop("diag", None)
+    # population=1 is exactly the serial walk (the population fields
+    # did not exist when older stores were written), so N=1 digests
+    # must stay byte-identical to pre-population ones; any N>1 keys a
+    # genuinely different search and digests distinctly.
+    if sa_dict.get("population", 1) == 1:
+        sa_dict.pop("population", None)
+        sa_dict.pop("tempering", None)
     data: dict = {
         "sa": {**sa_dict, "operators": (
             None if sa.operators is None else list(sa.operators)

@@ -134,6 +134,20 @@ def add_fabric_flags(p, multiple: bool = False) -> None:
                    help="deterministic routing policy override")
 
 
+def add_population_flags(p) -> None:
+    """``--population`` / ``--tempering`` on the search commands."""
+    p.add_argument("--population", type=int, default=1,
+                   help="SA walkers annealed in lockstep batches (1 = the "
+                        "paper's serial walk; >1 evaluates the whole "
+                        "population per step through the batched compiled "
+                        "core)")
+    p.add_argument("--tempering", type=int, default=1,
+                   help="parallel-tempering rungs spread over the "
+                        "population (requires --population > 1; rung 0 "
+                        "anneals at the base schedule, higher rungs run "
+                        "hotter with periodic replica exchange)")
+
+
 def add_obs_flags(p) -> None:
     """``--trace`` / ``--metrics`` on the long-running commands."""
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -158,12 +172,14 @@ def resolve_model(spec: str) -> DNNGraph:
 
 
 def engine_for(arch: ArchConfig, iterations: int, seed: int = 0,
-               proposal_batch: int = 1) -> MappingEngine:
+               proposal_batch: int = 1, population: int = 1,
+               tempering: int = 1) -> MappingEngine:
     return MappingEngine(
         arch,
         settings=MappingEngineSettings(
             sa=SASettings(iterations=iterations, seed=seed,
-                          proposal_batch=proposal_batch)
+                          proposal_batch=proposal_batch,
+                          population=population, tempering=tempering)
         ),
     )
 
@@ -234,7 +250,9 @@ def cmd_dse(args) -> int:
           f"(SA x{args.iters}, {args.workers or 'all'} worker(s))")
     with DesignSpaceExplorer(
         [Workload(resolve_model(m), args.batch) for m in args.models],
-        sa_settings=SASettings(iterations=args.iters),
+        sa_settings=SASettings(iterations=args.iters,
+                               population=args.population,
+                               tempering=args.tempering),
         record_mappings=False,  # no store attached; keep IPC lean
     ) as explorer:
         report = explorer.explore(candidates, workers=args.workers or None)
@@ -261,7 +279,8 @@ def cmd_map(args) -> int:
     arch = fabric_overridden(resolve_arch(args.arch), args)
     graph = resolve_model(args.model)
     result = engine_for(
-        arch, args.iters, proposal_batch=args.proposal_batch
+        arch, args.iters, proposal_batch=args.proposal_batch,
+        population=args.population, tempering=args.tempering,
     ).map(graph, args.batch)
     summary = mapping_result_summary(result)
     print(format_table(
@@ -495,7 +514,8 @@ def cmd_campaign_run(args) -> int:
         workloads=[Workload(resolve_model(m), args.batch)
                    for m in args.models],
         sa=SASettings(iterations=args.iters, seed=args.seed,
-                      diag=args.diag),
+                      diag=args.diag, population=args.population,
+                      tempering=args.tempering),
         seed_stride=args.seed_stride,
         warm_start=not args.no_warm_start,
     )
@@ -817,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="truncate the grid to its first N candidates "
                         "(smoke tests; fabrics alternate, so every "
                         "--fabric entry stays represented)")
+    add_population_flags(p)
     add_fabric_flags(p, multiple=True)
     p.add_argument("--profile", action="store_true",
                    help="print perf counters and write BENCH_perf.json")
@@ -833,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--proposal-batch", type=int, default=1,
                    help="SA proposals scored per iteration (best-of-K "
                         "delta evaluation; 1 = the paper's plain walk)")
+    add_population_flags(p)
     add_fabric_flags(p)
     p.add_argument("--save-mapping")
     p.add_argument("--profile", action="store_true",
@@ -910,6 +932,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--iters", type=int, default=80)
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--seed-stride", type=int, default=0)
+    add_population_flags(c)
     add_fabric_flags(c, multiple=True)
     c.add_argument("--workers", type=int, default=1,
                    help="parallel candidate evaluators (0 = all CPUs)")

@@ -55,7 +55,6 @@ from repro.evalmodel.traffic_analysis import (
     _matmul_needs,
 )
 from repro.intracore.dataflow import CoreWorkload
-from repro.noc.multicast import multicast_tree
 from repro.perf import LruDict
 from repro.workloads.layer import LayerType
 
@@ -482,22 +481,37 @@ class CompiledEval:
             self.input_blocks.put(key, block)
         return block
 
-    def _tree_links(self, dram, cores: tuple[int, ...]) -> tuple[list, int]:
-        """``(link list, size)`` of the dram -> cores multicast tree.
+    def _tree_links(self, dram, cores: tuple[int, ...]) -> tuple:
+        """``(link index array, size)`` of the dram -> cores multicast
+        tree.
 
         Keyed by core *indices* (int-tuple hashing beats node-tuple
-        hashing in the hot loop); the tree itself comes from the shared
-        :func:`multicast_tree`, so both paths agree on the link set and
-        its iteration order.
+        hashing in the hot loop); the tree is the union of the
+        deterministic per-core routes (:mod:`repro.noc.multicast`
+        semantics) gathered from the padded route tables, so both
+        paths agree on the link set.
+        The links are cached as an int64 array: scatter targets are
+        unique within a tree, so fancy-index adds through the array are
+        value-identical to the old list form, and the batched self-block
+        builder can concatenate them without per-use conversion.
         """
         key = (dram, cores)
         got = self._trees.get_lru(key)
         if got is None:
             topo = self.ev.topo
-            tree = multicast_tree(
-                topo, dram, [topo.core_node(c) for c in cores]
+            # The tree is the union of the deterministic per-core
+            # routes (see noc.multicast); the padded from-DRAM route
+            # table holds exactly those routes, so one gather + unique
+            # replaces the per-destination route walk.
+            n_dram = len(topo.dram_nodes())
+            from_d = topo.dram_route_tables()[2]
+            rows = (
+                np.fromiter(cores, dtype=np.int64, count=len(cores))
+                * n_dram + dram[1]
             )
-            got = (list(tree), len(tree))
+            padded = from_d[rows]
+            links = np.unique(padded[padded >= 0])
+            got = (links.astype(np.int64, copy=False), int(links.size))
             self._trees.put(key, got)
         return got
 

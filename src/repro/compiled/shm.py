@@ -1,0 +1,209 @@
+"""Shared-memory arenas for compiled graph tables.
+
+``PersistentEvalPool`` used to rely on Linux ``fork`` semantics to hand
+workers the parent's compiled tables (copy-on-write inheritance); under
+``spawn`` every worker would rebuild them from the pickled graph.  An
+:class:`ShmArena` instead publishes the tables once into one
+``multiprocessing.shared_memory`` segment; workers attach the segment
+and wrap zero-copy numpy views around it, so the tables exist once in
+physical memory regardless of start method or worker count.
+
+Lifetime is parent-owned and refcounted: each pool (or any other
+publisher caller) holds a reference, :meth:`ShmArena.release` drops
+one, and the segment is closed + unlinked when the count reaches zero
+— with a ``weakref.finalize`` safety net for arenas abandoned without
+release.  Workers only ever *attach*: their handles are unregistered
+from the per-process ``resource_tracker`` so a worker exit (including a
+SIGKILL'd chaos casualty) can never unlink a segment the parent still
+serves to its siblings.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.compiled.graph import TABLE_KEYS, CompiledGraph, _COMPILED
+from repro.perf import PERF
+
+#: Table rows are 64-byte aligned inside the segment so every view
+#: starts on a cache-line boundary.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Location of one table inside an arena segment."""
+
+    key: str
+    offset: int
+    dtype: str
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable pointer to a published arena (ships via initargs)."""
+
+    name: str
+    graph_name: str
+    tables: tuple[TableSpec, ...]
+
+
+def _finalize_arena(shm: shared_memory.SharedMemory, owner: bool) -> None:
+    """Last-resort cleanup for arenas dropped without release()."""
+    try:
+        shm.close()
+        if owner:
+            shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - racing
+        pass
+
+
+class ShmArena:
+    """One shared-memory segment holding a set of named numpy tables."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 handle: ArenaHandle, owner: bool):
+        self._shm = shm
+        self.handle = handle
+        self.owner = owner
+        self.refs = 1 if owner else 0
+        self.released = False
+        self._finalizer = weakref.finalize(
+            self, _finalize_arena, shm, owner
+        )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def publish(cls, graph_name: str,
+                tables: dict[str, np.ndarray]) -> "ShmArena":
+        """Copy ``tables`` into a fresh segment (parent side)."""
+        layout = []
+        offset = 0
+        for key, arr in tables.items():
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // _ALIGN) * _ALIGN
+            layout.append((key, offset, arr))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        specs = []
+        for key, off, arr in layout:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off
+            )
+            view[...] = arr
+            specs.append(TableSpec(key, off, arr.dtype.str, arr.shape))
+        PERF.add("compiled.shm.published")
+        PERF.add("compiled.shm.bytes", float(shm.size))
+        return cls(
+            shm, ArenaHandle(shm.name, graph_name, tuple(specs)), True
+        )
+
+    @classmethod
+    def attach(cls, handle: ArenaHandle) -> "ShmArena":
+        """Map an already-published segment (worker side, zero-copy)."""
+        # SharedMemory(name=...) registers the segment with the
+        # resource tracker as if this process owned it — under spawn
+        # all processes share one tracker, so a worker's claim would
+        # either unlink a segment the parent still serves or leave
+        # "leaked resource" noise at shutdown.  Python 3.13 grows a
+        # ``track=False`` knob; until then, suppress the registration
+        # for the duration of the constructor (worker init is
+        # single-threaded).
+        original = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+        finally:
+            resource_tracker.register = original
+        PERF.add("compiled.shm.attached")
+        return cls(shm, handle, False)
+
+    # -- access --------------------------------------------------------
+
+    def views(self, writeable: bool = False) -> dict[str, np.ndarray]:
+        """Numpy views over the segment, one per published table."""
+        out = {}
+        for spec in self.handle.tables:
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf, offset=spec.offset,
+            )
+            if not writeable:
+                view.flags.writeable = False
+            out[spec.key] = view
+        return out
+
+    # -- lifetime ------------------------------------------------------
+
+    def acquire(self) -> "ShmArena":
+        """Take one more parent-side reference (publisher only)."""
+        self.refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last one closes + unlinks."""
+        if self.released:
+            return
+        self.refs -= 1
+        if self.refs <= 0:
+            self.released = True
+            self._finalizer.detach()
+            _finalize_arena(self._shm, self.owner)
+            PERF.add("compiled.shm.unlinked")
+
+    def close(self) -> None:
+        """Unconditionally drop this process's mapping (worker side)."""
+        if not self.released:
+            self.released = True
+            self._finalizer.detach()
+            _finalize_arena(self._shm, self.owner)
+
+
+#: Published arenas per compiled graph: pools sharing an explorer (or
+#: respawning) reuse one segment per graph instead of stacking copies.
+_PUBLISHED: "WeakKeyDictionary[CompiledGraph, ShmArena]" = (
+    WeakKeyDictionary()
+)
+
+#: Worker-side pins: attached arenas (and therefore their mapped
+#: buffers) must outlive every compiled-table view handed out.
+_WORKER_ARENAS: list[ShmArena] = []
+
+
+def publish_graph_tables(compiled: CompiledGraph) -> ShmArena:
+    """The (refcounted, memoized) arena publishing ``compiled``'s tables.
+
+    Every call takes one reference; pair each with
+    :meth:`ShmArena.release`.
+    """
+    arena = _PUBLISHED.get(compiled)
+    if arena is not None and not arena.released:
+        return arena.acquire()
+    arena = ShmArena.publish(
+        compiled.name or "graph",
+        {key: getattr(compiled, key) for key in TABLE_KEYS},
+    )
+    _PUBLISHED[compiled] = arena
+    return arena
+
+
+def adopt_shared_tables(graph, handle: ArenaHandle) -> CompiledGraph:
+    """Worker side: back ``graph``'s compiled tables by the arena.
+
+    Attaches the segment, builds a :class:`CompiledGraph` whose int64
+    tables are read-only views into it, and seeds the module-level
+    compile memo so every evaluator in this process resolves to the
+    shared tables instead of rebuilding them.
+    """
+    arena = ShmArena.attach(handle)
+    compiled = CompiledGraph(graph, tables=arena.views())
+    _COMPILED[graph] = compiled
+    _WORKER_ARENAS.append(arena)
+    return compiled

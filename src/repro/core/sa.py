@@ -49,6 +49,17 @@ class SASettings:
     #: greedier descent.  Deterministic for a fixed seed, but a
     #: *different* search trajectory than ``K=1``; opt-in.
     proposal_batch: int = 1
+    #: Walkers annealed in lockstep (see :mod:`repro.core.population`).
+    #: ``1`` (default) is the single-trajectory walk above; ``N > 1``
+    #: runs N independently-seeded walkers whose proposals are priced
+    #: together through the population-batched compiled core
+    #: (:mod:`repro.compiled.batch`) — a different (deterministic)
+    #: search trajectory, keyed distinctly in campaign digests.
+    population: int = 1
+    #: Parallel-tempering rungs over the population (``1`` = all
+    #: walkers share the base schedule).  Only meaningful with
+    #: ``population > 1``; clamped to the population size.
+    tempering: int = 1
     #: Record search diagnostics (convergence curve, per-operator
     #: effectiveness, temperature checkpoints) into ``SAStats.diag``.
     #: Pure observation: the trajectory is unchanged, so campaign
@@ -139,11 +150,13 @@ class SAController:
         compiled_for = getattr(evaluator, "compiled_for", None)
         compiled = compiled_for(graph) if compiled_for is not None else None
         self._sessions = None
-        if compiled is not None:
+        if compiled is not None and self.settings.population <= 1:
             self._sessions = [
                 compiled.session(lms, batch, self._stored_at)
                 for lms in self.current
             ]
+        #: The PopulationWalk of the last population run (telemetry).
+        self._population_walk = None
         self._delta_eval_s = 0.0
         self._delta_evals = 0
         # Opt-in diagnostics recorder; ``None`` keeps the hot path at
@@ -312,7 +325,22 @@ class SAController:
         self.stats.proposed += len(candidates)
         old_cost = self.current_costs[gi]
         improved_before = self.stats.improved
-        scored = [self._candidate_cost(gi, c) for _, c in candidates]
+        if self._sessions is not None and len(candidates) > 1:
+            # One stacked fold + finalize prices all K candidates;
+            # costs are bit-identical to the serial scoring loop, so
+            # the trajectory (and campaign digests) are unchanged.
+            from repro.compiled.batch import score_session_batch
+
+            t0 = time.perf_counter()
+            proposals = score_session_batch(
+                self._sessions[gi], [c for _, c in candidates],
+                self._stored_at,
+            )
+            self._delta_eval_s += time.perf_counter() - t0
+            self._delta_evals += len(candidates)
+            scored = [(self._objective(p.result), p) for p in proposals]
+        else:
+            scored = [self._candidate_cost(gi, c) for _, c in candidates]
         bi = min(range(len(scored)), key=lambda j: scored[j][0])
         new_cost, proposal = scored[bi]
         accepted = self._accept(
@@ -329,6 +357,10 @@ class SAController:
         return accepted
 
     def run(self) -> list[LayerGroupMapping]:
+        if self.settings.population > 1:
+            from repro.core.population import run_population
+
+            return run_population(self)
         from repro.obs.trace import trace
 
         ran = 0

@@ -1,4 +1,4 @@
-"""Persistent DSE worker pool with fork-inherited explorer state.
+"""Persistent DSE worker pool with shared-memory table handoff.
 
 The old driver paid worker spawn + explorer shipping on every
 ``explore()`` call, which made parallel DSE *slower* than serial for
@@ -7,23 +7,30 @@ costs across the pool's lifetime:
 
 * workers are spawned once and reused for every subsequent dispatch
   (the explorer caches its pool, and the campaign runner shares it);
-* on platforms with ``fork`` (Linux), the explorer — including the
-  compiled graph tables built by :meth:`DesignSpaceExplorer.prepare`
-  and any warmed caches — is *inherited* by the forked workers through
-  copy-on-write memory: nothing is pickled, and every worker starts
-  with hot tables;
-* elsewhere the explorer is pickled once per worker process (at spawn),
-  not once per ``explore()`` call;
+* the workloads' compiled graph tables are published **once** into
+  ``multiprocessing.shared_memory`` arenas
+  (:mod:`repro.compiled.shm`); workers attach them zero-copy, so the
+  tables exist once in physical memory regardless of start method or
+  worker count;
+* the explorer itself rides the cheapest channel the start method
+  offers — inherited memory under ``fork``, pickled once per worker
+  (at spawn, not per ``explore()`` call) under ``spawn``;
 * candidates are dispatched in chunks so per-task IPC overhead is paid
   per chunk, not per candidate.
+
+The pool honors ``multiprocessing.set_start_method``: under ``spawn``
+(macOS/Windows default, or opted into anywhere) workers receive the
+explorer, the arena handles, and any armed chaos evaluation hook
+through the initializer — no fork dependence anywhere.
 
 The pool is also *supervisable*: a SIGKILL'd or hung worker breaks a
 ``ProcessPoolExecutor`` permanently (every outstanding future raises
 ``BrokenProcessPool`` and the executor refuses new work), so
 :meth:`respawn` tears the broken executor down — force-killing any
 still-running workers, which is the only way to clear a hung task —
-and builds a fresh one bound to the same explorer.  The campaign
-runner calls it to keep a campaign alive across worker deaths.
+and builds a fresh one bound to the same explorer and the same arenas.
+The campaign runner calls it to keep a campaign alive across worker
+deaths.
 
 The explorer must be treated as immutable once a pool exists — workers
 saw its state at fork/spawn time.
@@ -41,15 +48,31 @@ from repro.perf import PERF
 #: Explorers registered for fork inheritance, keyed by token.  The
 #: parent keeps every live pool's explorer here so workers forked at
 #: any later submit still find their token (pools may interleave).
+#: Spawn pools ship the explorer through initargs instead.
 _FORK_STATE: dict[int, object] = {}
 _TOKENS = itertools.count()
 
 
-def _init_fork_worker(token: int) -> None:
-    """Adopt the fork-inherited explorer as this worker's evaluator."""
+def _init_worker(token, explorer, handles, hook) -> None:
+    """Adopt the pool's state as this worker's evaluation context.
+
+    One initializer for every start method: ``explorer`` is ``None``
+    under fork (the inherited :data:`_FORK_STATE` registry has it) and
+    the pickled explorer under spawn; ``handles`` are the shared-memory
+    arena handles of the workloads' compiled tables; ``hook`` is the
+    chaos evaluation hook armed in the parent at executor creation (a
+    no-op ``None`` in production).
+    """
+    from repro.compiled.shm import adopt_shared_tables
     from repro.dse import explorer as explorer_mod
 
-    explorer_mod._WORKER_EXPLORER = _FORK_STATE[token]
+    if explorer is None:
+        explorer = _FORK_STATE[token]
+    explorer_mod._WORKER_EXPLORER = explorer
+    if hook is not None:
+        explorer_mod._EVAL_HOOK = hook
+    for workload, handle in zip(explorer.workloads, handles):
+        adopt_shared_tables(workload.graph, handle)
 
 
 def default_chunksize(n_tasks: int, workers: int) -> int:
@@ -57,16 +80,21 @@ def default_chunksize(n_tasks: int, workers: int) -> int:
     return max(1, n_tasks // (workers * 4))
 
 
-def _release(executor: ProcessPoolExecutor, token: int | None) -> None:
+def _release(executor: ProcessPoolExecutor, token: int | None,
+             arenas: list) -> None:
     """Shut a pool's resources down (close() or garbage collection).
 
     Registered as a ``weakref.finalize`` callback so an abandoned pool
-    (an explorer dropped without ``close()``) still stops its workers
-    and unpins its explorer from :data:`_FORK_STATE`.
+    (an explorer dropped without ``close()``) still stops its workers,
+    unpins its explorer from :data:`_FORK_STATE`, and releases its
+    arena references (unlinking the segments when it held the last).
     """
     executor.shutdown(wait=False, cancel_futures=True)
     if token is not None:
         _FORK_STATE.pop(token, None)
+    for arena in arenas:
+        arena.release()
+    arenas.clear()
 
 
 def _kill_workers(executor: ProcessPoolExecutor) -> int:
@@ -84,6 +112,18 @@ def _kill_workers(executor: ProcessPoolExecutor) -> int:
     return killed
 
 
+def pool_start_method() -> str:
+    """The start method pools use: whatever the application configured
+    via ``multiprocessing.set_start_method``, else ``fork`` where
+    available (cheapest handoff), else the platform default."""
+    method = mp.get_start_method(allow_none=True)
+    if method is not None:
+        return method
+    if "fork" in mp.get_all_start_methods():
+        return "fork"
+    return mp.get_start_method()  # pragma: no cover - non-POSIX
+
+
 class PersistentEvalPool:
     """A long-lived process pool bound to one explorer."""
 
@@ -94,34 +134,46 @@ class PersistentEvalPool:
         self._explorer = explorer
         self._token: int | None = None
         # Compile the workloads' graph tables in the parent before any
-        # worker exists, so fork inheritance ships them for free.
+        # worker exists, then publish them as shared-memory arenas so
+        # every worker — fork or spawn — attaches the same physical
+        # tables.
         explorer.prepare()
-        self._use_fork = "fork" in mp.get_all_start_methods()
-        if self._use_fork:
+        from repro.compiled import compile_graph
+        from repro.compiled.shm import publish_graph_tables
+
+        self._arenas = [
+            publish_graph_tables(compile_graph(wl.graph))
+            for wl in explorer.workloads
+        ]
+        self.start_method = pool_start_method()
+        if self.start_method == "fork":
             self._token = next(_TOKENS)
             _FORK_STATE[self._token] = explorer
         self._pool = self._spawn_executor()
         self._finalizer = weakref.finalize(
-            self, _release, self._pool, self._token
+            self, _release, self._pool, self._token, self._arenas
         )
         self.dispatched = 0
         self.respawns = 0
         PERF.add("dse.pool.created")
 
     def _spawn_executor(self) -> ProcessPoolExecutor:
-        if self._use_fork:
-            return ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=mp.get_context("fork"),
-                initializer=_init_fork_worker,
-                initargs=(self._token,),
-            )
-        from repro.dse.explorer import _init_worker  # pragma: no cover
+        from repro.dse import explorer as explorer_mod
 
-        return ProcessPoolExecutor(  # pragma: no cover - non-POSIX
+        handles = tuple(arena.handle for arena in self._arenas)
+        # The chaos hook is captured here so a respawned executor's
+        # workers re-arm it — under fork they would inherit it anyway,
+        # under spawn it must ride the initargs.
+        hook = explorer_mod._EVAL_HOOK
+        if self.start_method == "fork":
+            initargs = (self._token, None, handles, hook)
+        else:
+            initargs = (None, self._explorer, handles, hook)
+        return ProcessPoolExecutor(
             max_workers=self.workers,
+            mp_context=mp.get_context(self.start_method),
             initializer=_init_worker,
-            initargs=(self._explorer,),
+            initargs=initargs,
         )
 
     def respawn(self) -> None:
@@ -130,17 +182,15 @@ class PersistentEvalPool:
         Outstanding futures of the old executor are abandoned: a broken
         executor has already failed them with ``BrokenProcessPool``,
         and a hung worker only dies by force — the supervisor decides
-        which of its tasks get re-dispatched.  Workers of the new
-        executor fork from the *current* parent state at next submit,
-        so fork-inherited explorer tables (and any armed chaos hooks)
-        carry over.
+        which of its tasks get re-dispatched.  The published arenas are
+        kept: new workers re-attach the same segments at next submit.
         """
         _kill_workers(self._pool)
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._finalizer.detach()
         self._pool = self._spawn_executor()
         self._finalizer = weakref.finalize(
-            self, _release, self._pool, self._token
+            self, _release, self._pool, self._token, self._arenas
         )
         self.respawns += 1
         PERF.add("dse.pool.respawned")
@@ -197,6 +247,9 @@ class PersistentEvalPool:
         if self._token is not None:
             _FORK_STATE.pop(self._token, None)
             self._token = None
+        for arena in self._arenas:
+            arena.release()
+        self._arenas = []
 
     def __enter__(self) -> "PersistentEvalPool":
         return self

@@ -1,0 +1,139 @@
+"""PersistentEvalPool under the spawn start method (no fork anywhere).
+
+ISSUE 10's acceptance criterion: the pool's table handoff must not
+depend on fork inheritance.  Compiled graph tables travel through
+``multiprocessing.shared_memory`` arenas (published once, attached
+zero-copy by every worker), the explorer and any armed chaos hook ride
+the spawn initializer, and the reuse / fault-recovery behavior pinned
+for fork pools holds identically.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignRunner, RetryPolicy
+from repro.compiled import compile_graph
+from repro.compiled.graph import TABLE_KEYS, CompiledGraph
+from repro.compiled.shm import (
+    ShmArena,
+    adopt_shared_tables,
+    publish_graph_tables,
+)
+from repro.core.sa import SASettings
+from repro.dse import DesignSpaceExplorer, Workload
+from repro.perf import PERF
+from repro.testing import parse_chaos
+
+from test_campaign_faults import (
+    N,
+    events_named,
+    make_spec,
+    small_candidates,
+    tiny_graph,
+)
+
+
+@pytest.fixture
+def spawn_method():
+    """Force the spawn start method for one test, then restore."""
+    old = mp.get_start_method(allow_none=True)
+    mp.set_start_method("spawn", force=True)
+    try:
+        yield
+    finally:
+        mp.set_start_method(old or "fork", force=True)
+
+
+class TestShmArena:
+    def test_publish_attach_roundtrip_zero_copy(self):
+        compiled = compile_graph(tiny_graph())
+        arena = publish_graph_tables(compiled)
+        try:
+            peer = ShmArena.attach(arena.handle)
+            views = peer.views()
+            for key in TABLE_KEYS:
+                np.testing.assert_array_equal(
+                    views[key], getattr(compiled, key)
+                )
+                assert not views[key].flags.writeable
+            peer.close()
+        finally:
+            arena.release()
+
+    def test_refcount_unlinks_only_on_last_release(self):
+        compiled = compile_graph(tiny_graph(4))
+        arena = publish_graph_tables(compiled)
+        again = publish_graph_tables(compiled)
+        assert again is arena and arena.refs == 2
+        arena.release()
+        # Still published: a fresh attach succeeds.
+        ShmArena.attach(arena.handle).close()
+        arena.release()
+        assert arena.released
+        with pytest.raises(FileNotFoundError):
+            ShmArena.attach(arena.handle)
+
+    def test_adopted_graph_reuses_views_and_seeds_memo(self):
+        graph = tiny_graph()
+        arena = publish_graph_tables(compile_graph(graph))
+        try:
+            clone = tiny_graph()
+            compiled = adopt_shared_tables(clone, arena.handle)
+            assert compile_graph(clone) is compiled
+            for key in TABLE_KEYS:
+                np.testing.assert_array_equal(
+                    getattr(compiled, key),
+                    getattr(compile_graph(graph), key),
+                )
+        finally:
+            arena.release()
+
+    def test_mismatched_tables_rejected(self):
+        arena = publish_graph_tables(compile_graph(tiny_graph(3)))
+        try:
+            with pytest.raises(ValueError, match="shared table"):
+                CompiledGraph(
+                    tiny_graph(5),
+                    tables=ShmArena.attach(arena.handle).views(),
+                )
+        finally:
+            arena.release()
+
+
+class TestSpawnPool:
+    def test_pool_reuse_and_identical_results(self, spawn_method):
+        candidates = small_candidates()
+        with DesignSpaceExplorer(
+            [Workload(tiny_graph(), batch=2)],
+            sa_settings=SASettings(iterations=6, seed=11),
+            record_mappings=False,
+        ) as ex:
+            serial = ex.explore(candidates)  # in-process reference
+            PERF.reset()
+            par1 = ex.explore(candidates, workers=2)
+            par2 = ex.explore(candidates, workers=2)
+            assert ex._pool.start_method == "spawn"
+            assert PERF.get("dse.pool.created") == 1
+            arenas = ex._pool._arenas
+            assert len(arenas) == 1 and not arenas[0].released
+        # Worker results match the in-process evaluation exactly, and
+        # closing the pool released the published segment.
+        for rep in (par1, par2):
+            assert [r.score for r in rep.results] == \
+                [r.score for r in serial.results]
+        assert arenas == [] or all(a.released for a in arenas)
+
+    def test_crash_recovery_under_spawn(self, spawn_method, tmp_path):
+        PERF.reset()
+        plan = parse_chaos("crash:1")  # SIGKILL candidate 1's 1st attempt
+        with CampaignRunner(make_spec(), tmp_path / "faulty") as runner:
+            report = runner.run(
+                workers=2, policy=RetryPolicy(max_attempts=3), chaos=plan,
+            )
+        assert report.evaluated == N
+        assert report.failed == 0
+        assert report.quarantined == 0
+        assert PERF.get("dse.pool.worker_deaths") >= 1
+        assert events_named(tmp_path / "faulty", "camp", "pool_respawned")
